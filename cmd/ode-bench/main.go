@@ -1,0 +1,648 @@
+// ode-bench runs the reproduction's experiment suite (DESIGN.md §5,
+// EXPERIMENTS.md) and prints one table per experiment. The source
+// paper is a design paper without measured tables, so each experiment
+// regenerates a worked example or quantifies a performance claim; the
+// tables here are the rows EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	ode-bench [-quick] [-run E3,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"strings"
+	"time"
+
+	"ode"
+	"ode/internal/bench"
+)
+
+var quick = flag.Bool("quick", false, "smaller workloads (CI-sized)")
+
+func main() {
+	runFilter := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*runFilter, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			wanted[id] = true
+		}
+	}
+	type experiment struct {
+		id, title string
+		run       func() error
+	}
+	experiments := []experiment{
+		{"E1", "persistent object creation and reopen scan (WE §2.2-2.5)", runE1},
+		{"E2", "cluster iteration vs pointer navigation (PC §3)", runE2},
+		{"E3", "suchthat selection: scan vs index across selectivities (WE §3.1)", runE3},
+		{"E4", "the by (ordering) clause (WE §3.1)", runE4},
+		{"E5", "hierarchy iteration: person vs person* (WE §3.1.1)", runE5},
+		{"E6", "two-variable joins by strategy (WE §3.1)", runE6},
+		{"E7", "fixpoint parts explosion: worklist vs naive vs semi-naive (WE §3.2)", runE7},
+		{"E8", "versioning: newversion and deref costs (WE §4)", runE8},
+		{"E9", "constraint enforcement (WE §5)", runE9},
+		{"E10", "trigger activation / firing / quiescence (WE §6)", runE10},
+		{"E11", "volatile vs persistent manipulation (PC §2)", runE11},
+		{"E12", "crash recovery (repair-on-open)", runE12},
+	}
+	for _, e := range experiments {
+		if len(wanted) > 0 && !wanted[e.id] {
+			continue
+		}
+		fmt.Printf("\n== %s: %s ==\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func scale(n int) int {
+	if *quick {
+		return n / 10
+	}
+	return n
+}
+
+// timeIt runs fn `reps` times and returns the per-rep duration.
+func timeIt(reps int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
+}
+
+func row(cols ...any) {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		switch v := c.(type) {
+		case time.Duration:
+			parts[i] = fmt.Sprintf("%12s", v.Round(time.Microsecond))
+		case string:
+			parts[i] = fmt.Sprintf("%-28s", v)
+		default:
+			parts[i] = fmt.Sprintf("%10v", v)
+		}
+	}
+	fmt.Println("  " + strings.Join(parts, " "))
+}
+
+func runE1() error {
+	for _, n := range []int{scale(1000), scale(10000), scale(100000)} {
+		w, err := bench.NewWorld(nil)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := w.LoadStock(n); err != nil {
+			w.Close()
+			return err
+		}
+		create := time.Since(start)
+		if err := w.DB.Checkpoint(); err != nil {
+			w.Close()
+			return err
+		}
+		scan, err := timeIt(3, func() error {
+			return w.DB.View(func(tx *ode.Tx) error {
+				got, err := ode.Forall(tx, w.Stock).Count()
+				if got != n {
+					return fmt.Errorf("scan found %d of %d", got, n)
+				}
+				return err
+			})
+		})
+		if err != nil {
+			w.Close()
+			return err
+		}
+		st := w.DB.Stats()
+		row(fmt.Sprintf("objects=%d", n), "create", create, "scan", scan,
+			fmt.Sprintf("%6d pages", st.Pages))
+		w.Close()
+	}
+	return nil
+}
+
+func runE2() error {
+	n := scale(50000)
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := w.LoadStock(n); err != nil {
+		return err
+	}
+	head, err := w.LoadChain(n)
+	if err != nil {
+		return err
+	}
+	scan, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			_, err := ode.Forall(tx, w.Stock).Count()
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	chase, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			for oid := head; oid != ode.NilOID; {
+				o, err := tx.Deref(oid)
+				if err != nil {
+					return err
+				}
+				oid = o.MustGet("next").OID()
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row(fmt.Sprintf("N=%d forall-iterator", n), scan)
+	row(fmt.Sprintf("N=%d pointer-navigation", n), chase)
+	fmt.Printf("  (declarative iterators also admit indexes — see E3 — and predicates;\n   pointer navigation admits neither)\n")
+	return nil
+}
+
+func runE3() error {
+	n := scale(50000)
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := w.LoadStock(n); err != nil {
+		return err
+	}
+	measure := func(selPct int, indexed bool) (time.Duration, error) {
+		lo := ode.Int(int64(n - n*selPct/100))
+		return timeIt(3, func() error {
+			return w.DB.View(func(tx *ode.Tx) error {
+				q := ode.Forall(tx, w.Stock).SuchThat(ode.Field("qty").Ge(lo))
+				if !indexed {
+					q = q.NoIndex()
+				}
+				got, err := q.Count()
+				if err != nil {
+					return err
+				}
+				if want := n * selPct / 100; got != want {
+					return fmt.Errorf("matched %d, want %d", got, want)
+				}
+				return nil
+			})
+		})
+	}
+	for _, selPct := range []int{1, 10, 100} {
+		scan, err := measure(selPct, false)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("select=%3d%% extent-scan", selPct), scan)
+	}
+	if err := w.DB.CreateIndex(w.Stock, "qty"); err != nil {
+		return err
+	}
+	for _, selPct := range []int{1, 10, 100} {
+		idx, err := measure(selPct, true)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("select=%3d%% index-scan", selPct), idx)
+	}
+	return nil
+}
+
+func runE4() error {
+	n := scale(50000)
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := w.LoadStock(n); err != nil {
+		return err
+	}
+	unordered, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			_, err := ode.Forall(tx, w.Stock).Count()
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	ordered, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			return ode.Forall(tx, w.Stock).By("name").Do(func(ode.Item) (bool, error) {
+				return true, nil
+			})
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row(fmt.Sprintf("N=%d unordered", n), unordered)
+	row(fmt.Sprintf("N=%d by (name)", n), ordered)
+	return nil
+}
+
+func runE5() error {
+	n := scale(40000)
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := w.LoadPersons(n); err != nil {
+		return err
+	}
+	exact, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			_, err := ode.Forall(tx, w.Person).Count()
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	star, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			_, err := ode.Forall(tx, w.Person).Subtypes().Count()
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row(fmt.Sprintf("person  (%d objects)", n/2), exact)
+	row(fmt.Sprintf("person* (%d objects)", n), star)
+	return nil
+}
+
+func runE6() error {
+	nEmp, nDept := scale(20000), 100
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := w.LoadEmpDept(nEmp, nDept); err != nil {
+		return err
+	}
+	if err := w.DB.CreateIndex(w.Dept, "deptno"); err != nil {
+		return err
+	}
+	for _, s := range []ode.JoinStrategy{ode.NestedLoop, ode.HashJoin, ode.IndexNestedLoop} {
+		reps := 3
+		if s == ode.NestedLoop {
+			reps = 1
+		}
+		d, err := timeIt(reps, func() error {
+			return w.DB.View(func(tx *ode.Tx) error {
+				j := ode.Forall(tx, w.Emp).JoinWith(ode.Forall(tx, w.Dept)).
+					OnEq("deptno", "deptno").Strategy(s)
+				pairs, err := j.Count()
+				if err != nil {
+					return err
+				}
+				if pairs != nEmp {
+					return fmt.Errorf("pairs=%d", pairs)
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("emp(%d) ⋈ dept(%d) %s", nEmp, nDept, s), d)
+	}
+	return nil
+}
+
+func runE7() error {
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	for _, depth := range []int{3, 6, 9} {
+		root, total, err := w.LoadPartDAG(depth, 30, 5, int64(depth))
+		if err != nil {
+			return err
+		}
+		type strat struct {
+			name string
+			fn   func([]ode.Value, ode.SuccFunc) (*ode.Set, error)
+		}
+		for _, s := range []strat{
+			{"worklist (O++ loop)", ode.TransitiveClosure},
+			{"naive", ode.NaiveTransitiveClosure},
+			{"semi-naive", ode.SemiNaiveTransitiveClosure},
+		} {
+			var size int
+			d, err := timeIt(3, func() error {
+				return w.DB.View(func(tx *ode.Tx) error {
+					set, err := s.fn([]ode.Value{ode.Ref(root)}, bench.Subparts(tx))
+					if err != nil {
+						return err
+					}
+					size = set.Len()
+					return nil
+				})
+			})
+			if err != nil {
+				return err
+			}
+			row(fmt.Sprintf("depth=%d parts=%d closure=%d %s", depth, total, size, s.name), d)
+		}
+	}
+	return nil
+}
+
+func runE8() error {
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	oids, err := w.LoadStock(1)
+	if err != nil {
+		return err
+	}
+	oid := oids[0]
+	nv, err := timeIt(200, func() error {
+		return w.DB.RunTx(func(tx *ode.Tx) error {
+			_, err := tx.NewVersion(oid)
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row("newversion", nv)
+	for _, chain := range []int{16, 128} {
+		// Top the chain up to the target length.
+		cur := 0
+		w.DB.View(func(tx *ode.Tx) error {
+			v, _ := tx.CurrentVersion(oid)
+			cur = int(v)
+			return nil
+		})
+		if cur < chain {
+			w.DB.RunTx(func(tx *ode.Tx) error {
+				for i := cur; i < chain; i++ {
+					if _, err := tx.NewVersion(oid); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		g, err := timeIt(500, func() error {
+			return w.DB.View(func(tx *ode.Tx) error {
+				_, err := tx.Deref(oid)
+				return err
+			})
+		})
+		if err != nil {
+			return err
+		}
+		ref := ode.VRef{OID: oid, Version: uint32(chain / 2)}
+		sp, err := timeIt(500, func() error {
+			return w.DB.View(func(tx *ode.Tx) error {
+				_, err := tx.DerefVersion(ref)
+				return err
+			})
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("chain=%3d generic deref", chain), g)
+		row(fmt.Sprintf("chain=%3d pinned deref", chain), sp)
+	}
+	return nil
+}
+
+func runE9() error {
+	for _, nc := range []int{0, 1, 4} {
+		s := ode.NewSchema()
+		builder := ode.NewClass("acct").Field("bal", ode.TInt)
+		for k := 0; k < nc; k++ {
+			builder = builder.Constraint(fmt.Sprintf("c%d", k), "bal >= 0",
+				func(_ ode.Store, o *ode.Object) (bool, error) {
+					return o.MustGet("bal").Int() >= 0, nil
+				})
+		}
+		acct := builder.Register(s)
+		dir, err := os.MkdirTemp("", "ode-e9")
+		if err != nil {
+			return err
+		}
+		db, err := ode.Open(filepath.Join(dir, "c.odb"), s, &ode.Options{NoSync: true})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		db.CreateCluster(acct)
+		var oid ode.OID
+		db.RunTx(func(tx *ode.Tx) error {
+			o := ode.NewObject(acct)
+			o.MustSet("bal", ode.Int(1))
+			var err error
+			oid, err = tx.PNew(acct, o)
+			return err
+		})
+		d, err := timeIt(500, func() error {
+			return db.RunTx(func(tx *ode.Tx) error {
+				o, err := tx.Deref(oid)
+				if err != nil {
+					return err
+				}
+				o.MustSet("bal", ode.Int(2))
+				return tx.Update(oid, o)
+			})
+		})
+		db.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("update with %d constraints", nc), d)
+	}
+	return nil
+}
+
+func runE10() error {
+	s := ode.NewSchema()
+	item := ode.NewClass("item").
+		Field("qty", ode.TInt).
+		Field("fires", ode.TInt).
+		Trigger(&ode.TriggerDef{
+			Name:      "watch",
+			Perpetual: true,
+			Cond: func(_ ode.Store, o *ode.Object, _ []ode.Value) (bool, error) {
+				return o.MustGet("qty").Int() < 0, nil
+			},
+			Action: func(st ode.Store, o *ode.Object, oid ode.OID, _ []ode.Value) error {
+				o.MustSet("fires", ode.Int(o.MustGet("fires").Int()+1))
+				o.MustSet("qty", ode.Int(0))
+				return st.Update(oid, o)
+			},
+		}).
+		Register(s)
+	dir, err := os.MkdirTemp("", "ode-e10")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := ode.Open(filepath.Join(dir, "t.odb"), s, &ode.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.CreateCluster(item)
+	var oid ode.OID
+	db.RunTx(func(tx *ode.Tx) error {
+		o := ode.NewObject(item)
+		o.MustSet("qty", ode.Int(1))
+		var err error
+		oid, err = tx.PNew(item, o)
+		return err
+	})
+	bare, err := timeIt(500, func() error {
+		return db.RunTx(func(tx *ode.Tx) error {
+			o, err := tx.Deref(oid)
+			if err != nil {
+				return err
+			}
+			o.MustSet("qty", ode.Int(5))
+			return tx.Update(oid, o)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row("update, no activations", bare)
+	db.RunTx(func(tx *ode.Tx) error {
+		_, err := db.Triggers().Activate(tx, oid, "watch")
+		return err
+	})
+	quiet, err := timeIt(500, func() error {
+		return db.RunTx(func(tx *ode.Tx) error {
+			o, err := tx.Deref(oid)
+			if err != nil {
+				return err
+			}
+			o.MustSet("qty", ode.Int(5))
+			return tx.Update(oid, o)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row("update, armed but quiescent", quiet)
+	fire, err := timeIt(500, func() error {
+		return db.RunTx(func(tx *ode.Tx) error {
+			o, err := tx.Deref(oid)
+			if err != nil {
+				return err
+			}
+			o.MustSet("qty", ode.Int(-1))
+			return tx.Update(oid, o)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row("update that fires (incl. action tx)", fire)
+	return nil
+}
+
+func runE11() error {
+	_, w := bench.Schema()
+	vol, err := timeIt(200000, func() error {
+		o := ode.NewObject(w.Stock)
+		o.MustSet("qty", ode.Int(1))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ww, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer ww.Close()
+	pers, err := timeIt(2000, func() error {
+		return ww.DB.RunTx(func(tx *ode.Tx) error {
+			o := ode.NewObject(ww.Stock)
+			o.MustSet("qty", ode.Int(1))
+			_, err := tx.PNew(ww.Stock, o)
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	row("volatile new + set", vol)
+	row("pnew + commit (nosync)", pers)
+	return nil
+}
+
+func runE12() error {
+	for _, n := range []int{scale(5000), scale(20000)} {
+		dir, err := os.MkdirTemp("", "ode-e12")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "r.odb")
+		s, w := bench.Schema()
+		db, err := ode.Open(path, s, &ode.Options{NoSync: true})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		w.DB = db
+		db.CreateCluster(w.Stock)
+		if _, err := w.LoadStock(n); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		db.CrashForTesting()
+		start := time.Now()
+		s2, w2 := bench.Schema()
+		db2, err := ode.Open(path, s2, &ode.Options{NoSync: true})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		recov := time.Since(start)
+		var count int
+		db2.View(func(tx *ode.Tx) error {
+			count, err = ode.Forall(tx, w2.Stock).Count()
+			return err
+		})
+		db2.Close()
+		os.RemoveAll(dir)
+		if count != n {
+			return fmt.Errorf("recovered %d of %d", count, n)
+		}
+		row(fmt.Sprintf("crash with %d objects in WAL", n), "recover+verify", recov)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// ode-sh is the interactive O++ shell: it executes O++-subset programs
+// (class declarations, pnew, forall queries, versions, triggers)
+// against an Ode database file.
+//
+// Usage:
+//
+//	ode-sh -db inventory.odb schema.oql [script.oql ...]
+//	ode-sh -db inventory.odb            # REPL on stdin
+//
+// When reopening an existing database, pass the same schema scripts
+// first: classes must be registered before the file is opened so the
+// catalog can be verified. Class declarations found in any script are
+// registered before Open; the remaining statements run afterwards.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ode"
+	"ode/internal/oql"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (required)")
+	poolPages := flag.Int("pool", 1024, "buffer pool size in pages")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ode-sh -db FILE [script.oql ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Phase 1: parse all scripts, registering classes into the schema.
+	schema := ode.NewSchema()
+	var programs []*oql.Program
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := oql.SplitSchema(string(src), schema)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		programs = append(programs, prog)
+	}
+
+	db, err := ode.Open(*dbPath, schema, &ode.Options{PoolPages: *poolPages})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	sess := oql.NewSession(db, os.Stdout)
+	for i, prog := range programs {
+		if err := sess.Run(prog); err != nil {
+			fatal(fmt.Errorf("%s: %w", flag.Arg(i), err))
+		}
+	}
+	if len(programs) > 0 {
+		if err := sess.Close(); err != nil {
+			fatal(err)
+		}
+		db.Triggers().Wait()
+		return
+	}
+
+	// REPL: accumulate input until braces balance and the line ends
+	// with ';' (or '}' for class declarations and loops).
+	fmt.Println("ode-sh — O++ subset shell. End statements with ';'. Ctrl-D to exit.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "ode> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		src := buf.String()
+		if !complete(src) {
+			prompt = "...> "
+			continue
+		}
+		buf.Reset()
+		prompt = "ode> "
+		if strings.TrimSpace(src) == "" {
+			continue
+		}
+		if err := sess.Exec(src); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		db.Triggers().Wait()
+		if errs := db.Triggers().Errors(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "trigger error:", e)
+			}
+		}
+	}
+	if err := sess.Close(); err != nil {
+		fatal(err)
+	}
+	db.Triggers().Wait()
+}
+
+// complete reports whether the input forms a complete statement batch:
+// balanced braces/parens outside literals, ending with ';' or '}'.
+func complete(src string) bool {
+	depth := 0
+	inStr, inChar, inLine, inBlock := false, false, false, false
+	var last byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inLine:
+			if c == '\n' {
+				inLine = false
+			}
+			continue
+		case inBlock:
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inBlock = false
+				i++
+			}
+			continue
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '\'':
+			inChar = true
+		case '/':
+			if i+1 < len(src) {
+				if src[i+1] == '/' {
+					inLine = true
+				} else if src[i+1] == '*' {
+					inBlock = true
+				}
+			}
+		case '{', '(':
+			depth++
+		case '}', ')':
+			depth--
+		}
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			last = c
+		}
+	}
+	if depth > 0 || inStr || inChar || inBlock {
+		return false
+	}
+	return last == ';' || last == '}'
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ode-sh:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+package ode
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ode/internal/storage"
+)
+
+// TestCorruptionDetectedOnRecovery: a flipped byte in a heap page of an
+// unclean database must fail the recovery rebuild loudly, not produce a
+// silently wrong database.
+func TestCorruptionDetectedOnRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.odb")
+	crashAfter(t, path, func(db *DB, stock *Class) {
+		for i := 0; i < 50; i++ {
+			addItem(t, db, stock, "x", int64(i), 1)
+		}
+		// Checkpoint so object data is on disk, then more commits so the
+		// WAL is non-empty and recovery will run.
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		addItem(t, db, stock, "tail", 1, 1)
+	})
+
+	// Flip a byte inside a heap page body (skip the meta page).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := f.Stat()
+	corrupted := false
+	buf := make([]byte, storage.PageSize)
+	for off := int64(storage.PageSize); off < fi.Size(); off += storage.PageSize {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			break
+		}
+		if storage.PageType(buf[12]) == storage.TypeHeap { // page type byte
+			if _, err := f.WriteAt([]byte{buf[200] ^ 0xFF}, off+200); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+			break
+		}
+	}
+	f.Close()
+	if !corrupted {
+		t.Skip("no heap page found to corrupt")
+	}
+
+	schema, _ := inventorySchema()
+	_, err = Open(path, schema, nil)
+	if err == nil {
+		t.Fatal("Open succeeded on a corrupted unclean database")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("err = %v, want checksum failure", err)
+	}
+}
+
+// TestCleanDatabaseIgnoresStaleWALGarbage: random garbage appended to
+// the WAL of a cleanly closed database is trimmed as a torn tail.
+func TestCleanDatabaseIgnoresStaleWALGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.odb")
+	schema, stock := inventorySchema()
+	db, err := Open(path, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateCluster(stock)
+	addItem(t, db, stock, "x", 1, 1)
+	db.Close()
+
+	f, err := os.OpenFile(path+".wal", os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("this is not a wal record, just garbage bytes"))
+	f.Close()
+
+	schema2, stock2 := inventorySchema()
+	db2, err := Open(path, schema2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *Tx) error {
+		n, err := Forall(tx, stock2).Count()
+		if n != 1 {
+			t.Errorf("objects = %d", n)
+		}
+		return err
+	})
+}
+
+// TestMissingSideFilesTolerated: deleting the .dw side file of a
+// cleanly closed database must not prevent reopening (it is recreated).
+func TestMissingSideFilesTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.odb")
+	schema, stock := inventorySchema()
+	db, err := Open(path, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateCluster(stock)
+	oid := addItem(t, db, stock, "x", 7, 1)
+	db.Close()
+	os.Remove(path + ".dw")
+	os.Remove(path + ".wal")
+
+	schema2, _ := inventorySchema()
+	db2, err := Open(path, schema2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *Tx) error {
+		o, err := tx.Deref(oid)
+		if err != nil {
+			return err
+		}
+		if o.MustGet("qty").Int() != 7 {
+			t.Error("state lost")
+		}
+		return nil
+	})
+}
+
+// TestOpenNonDatabaseFile rejects files that are not Ode databases.
+func TestOpenNonDatabaseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-db")
+	if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := inventorySchema()
+	if _, err := Open(path, schema, nil); err == nil {
+		t.Fatal("Open accepted a non-database file")
+	}
+}

@@ -1,0 +1,134 @@
+package ode_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ode"
+)
+
+// Example shows the full lifecycle: schema, open, cluster, pnew,
+// forall with suchthat and by, and constraint enforcement.
+func Example() {
+	dir, _ := os.MkdirTemp("", "ode-example")
+	defer os.RemoveAll(dir)
+
+	schema := ode.NewSchema()
+	stock := ode.NewClass("stockitem").
+		Field("name", ode.TString).
+		Field("qty", ode.TInt).
+		Constraint("nonneg", "qty >= 0", func(_ ode.Store, o *ode.Object) (bool, error) {
+			return o.MustGet("qty").Int() >= 0, nil
+		}).
+		Register(schema)
+
+	db, err := ode.Open(filepath.Join(dir, "inv.odb"), schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateCluster(stock)
+
+	db.RunTx(func(tx *ode.Tx) error {
+		for _, it := range []struct {
+			name string
+			qty  int64
+		}{{"dram", 7500}, {"sram", 90}, {"eprom", 45}} {
+			o := ode.NewObject(stock)
+			o.MustSet("name", ode.Str(it.name))
+			o.MustSet("qty", ode.Int(it.qty))
+			if _, err := tx.PNew(stock, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	db.View(func(tx *ode.Tx) error {
+		return ode.Forall(tx, stock).
+			SuchThat(ode.Field("qty").Lt(ode.Int(100))).
+			By("name").
+			Do(func(it ode.Item) (bool, error) {
+				fmt.Println(it.Obj.MustGet("name").Str(), it.Obj.MustGet("qty").Int())
+				return true, nil
+			})
+	})
+
+	// The constraint rejects a negative quantity.
+	err = db.RunTx(func(tx *ode.Tx) error {
+		var oid ode.OID
+		ode.Forall(tx, stock).SuchThat(ode.Field("name").Eq(ode.Str("sram"))).
+			Do(func(it ode.Item) (bool, error) { oid = it.OID; return false, nil })
+		o, _ := tx.Deref(oid)
+		o.MustSet("qty", ode.Int(-1))
+		return tx.Update(oid, o)
+	})
+	fmt.Println("constraint enforced:", err != nil)
+
+	// Output:
+	// eprom 45
+	// sram 90
+	// constraint enforced: true
+}
+
+// ExampleTx_NewVersion demonstrates the paper's versioning model:
+// newversion freezes the current state; generic references see the
+// current version while pinned references see history.
+func ExampleTx_NewVersion() {
+	dir, _ := os.MkdirTemp("", "ode-example")
+	defer os.RemoveAll(dir)
+
+	schema := ode.NewSchema()
+	doc := ode.NewClass("doc").Field("text", ode.TString).Register(schema)
+	db, _ := ode.Open(filepath.Join(dir, "v.odb"), schema, nil)
+	defer db.Close()
+	db.CreateCluster(doc)
+
+	var oid ode.OID
+	var v0 ode.VRef
+	db.RunTx(func(tx *ode.Tx) error {
+		o := ode.NewObject(doc)
+		o.MustSet("text", ode.Str("draft"))
+		oid, _ = tx.PNew(doc, o)
+		return nil
+	})
+	db.RunTx(func(tx *ode.Tx) error {
+		v0, _ = tx.NewVersion(oid) // freeze "draft"
+		o, _ := tx.Deref(oid)
+		o.MustSet("text", ode.Str("final"))
+		return tx.Update(oid, o)
+	})
+	db.View(func(tx *ode.Tx) error {
+		cur, _ := tx.Deref(oid)
+		old, _ := tx.DerefVersion(v0)
+		fmt.Println("current:", cur.MustGet("text").Str())
+		fmt.Println("v0:", old.MustGet("text").Str())
+		return nil
+	})
+
+	// Output:
+	// current: final
+	// v0: draft
+}
+
+// ExampleTransitiveClosure runs the paper's parts-explosion fixpoint
+// query over plain values.
+func ExampleTransitiveClosure() {
+	// 1 -> {2, 3}, 2 -> {4}: everything reachable from 1.
+	succ := func(v ode.Value) ([]ode.Value, error) {
+		switch v.Int() {
+		case 1:
+			return []ode.Value{ode.Int(2), ode.Int(3)}, nil
+		case 2:
+			return []ode.Value{ode.Int(4)}, nil
+		}
+		return nil, nil
+	}
+	closure, _ := ode.TransitiveClosure([]ode.Value{ode.Int(1)}, succ)
+	fmt.Println(ode.SetOf(closure))
+
+	// Output:
+	// {1, 2, 3, 4}
+}

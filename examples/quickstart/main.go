@@ -1,0 +1,133 @@
+// Quickstart: the paper's stockitem example (section 2) through the Go
+// API — declare a class with a constraint, create its cluster, pnew
+// persistent objects, query them with forall/suchthat/by, update and
+// delete, and reopen the database to show persistence.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ode"
+)
+
+// schema declares the stockitem class. The same declarations must be
+// registered on every open of the same database file.
+func schema() (*ode.Schema, *ode.Class) {
+	s := ode.NewSchema()
+	stock := ode.NewClass("stockitem").
+		Field("name", ode.TString).
+		Field("price", ode.TFloat).
+		Field("qty", ode.TInt).
+		Field("threshold", ode.TInt).
+		Field("supplier", ode.TString).
+		Constraint("nonneg-qty", "qty >= 0", func(_ ode.Store, o *ode.Object) (bool, error) {
+			return o.MustGet("qty").Int() >= 0, nil
+		}).
+		Register(s)
+	return s, stock
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "ode-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "inventory.odb")
+
+	s, stock := schema()
+	db, err := ode.Open(path, s, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// "Before creating a persistent object, the corresponding cluster
+	// must exist."
+	if err := db.CreateCluster(stock); err != nil {
+		log.Fatal(err)
+	}
+
+	// pnew a few stock items in one transaction.
+	items := []struct {
+		name  string
+		price float64
+		qty   int64
+	}{
+		{"512k dram", 0.05, 7500},
+		{"1m dram", 0.15, 3200},
+		{"sram cache", 1.25, 90},
+		{"eprom", 0.60, 45},
+	}
+	err = db.RunTx(func(tx *ode.Tx) error {
+		for _, it := range items {
+			o := ode.NewObject(stock)
+			o.MustSet("name", ode.Str(it.name))
+			o.MustSet("price", ode.Float(it.price))
+			o.MustSet("qty", ode.Int(it.qty))
+			o.MustSet("threshold", ode.Int(100))
+			o.MustSet("supplier", ode.Str("at&t"))
+			if _, err := tx.PNew(stock, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// forall s in stockitem suchthat (s.qty < s.threshold) by (s.name):
+	// which items need reordering?
+	fmt.Println("low stock:")
+	err = db.View(func(tx *ode.Tx) error {
+		return ode.Forall(tx, stock).
+			SuchThat(ode.Fn(func(_ ode.Store, it ode.Item) (bool, error) {
+				return it.Obj.MustGet("qty").Int() < it.Obj.MustGet("threshold").Int(), nil
+			})).
+			By("name").
+			Do(func(it ode.Item) (bool, error) {
+				fmt.Printf("  %-12s qty=%d\n", it.Obj.MustGet("name").Str(), it.Obj.MustGet("qty").Int())
+				return true, nil
+			})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The constraint rejects a negative quantity: the transaction is
+	// aborted and rolled back.
+	err = db.RunTx(func(tx *ode.Tx) error {
+		var oid ode.OID
+		ode.Forall(tx, stock).SuchThat(ode.Field("name").Eq(ode.Str("eprom"))).
+			Do(func(it ode.Item) (bool, error) {
+				oid = it.OID
+				return false, nil
+			})
+		o, err := tx.Deref(oid)
+		if err != nil {
+			return err
+		}
+		o.MustSet("qty", ode.Int(-10))
+		return tx.Update(oid, o)
+	})
+	fmt.Printf("negative update rejected: %v\n", err != nil)
+
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen: persistence survives the process... or at least the close.
+	s2, stock2 := schema()
+	db2, err := ode.Open(path, s2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *ode.Tx) error {
+		n, err := ode.Forall(tx, stock2).Count()
+		fmt.Printf("after reopen: %d stock items\n", n)
+		return err
+	})
+}

@@ -1,0 +1,141 @@
+// Versioned design: the paper's section 4 — computer-aided-design style
+// object versioning. A circuit layout object evolves through explicit
+// newversion checkpoints; generic references always see the current
+// state while pinned version references (and vprev/vnext navigation)
+// give access to history, as in engineering-database version control.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ode"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ode-versions")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	s := ode.NewSchema()
+	layout := ode.NewClass("layout").
+		Field("name", ode.TString).
+		Field("gates", ode.TInt).
+		Field("area", ode.TFloat).
+		Field("author", ode.TString).
+		Register(s)
+	db, err := ode.Open(filepath.Join(dir, "cad.odb"), s, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateCluster(layout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Create the design, then evolve it through three revisions, each
+	// checkpointed with newversion before the next edit.
+	var chip ode.OID
+	var tags []ode.VRef
+	revisions := []struct {
+		gates  int64
+		area   float64
+		author string
+	}{
+		{1200, 4.8, "rna"},
+		{1150, 4.1, "nhg"},
+		{1800, 5.9, "rna"},
+	}
+	err = db.RunTx(func(tx *ode.Tx) error {
+		o := ode.NewObject(layout)
+		o.MustSet("name", ode.Str("alu-v1"))
+		o.MustSet("gates", ode.Int(1000))
+		o.MustSet("area", ode.Float(5.5))
+		o.MustSet("author", ode.Str("rna"))
+		var err error
+		chip, err = tx.PNew(layout, o)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rev := range revisions {
+		err = db.RunTx(func(tx *ode.Tx) error {
+			ref, err := tx.NewVersion(chip) // freeze the state so far
+			if err != nil {
+				return err
+			}
+			tags = append(tags, ref)
+			o, err := tx.Deref(chip)
+			if err != nil {
+				return err
+			}
+			o.MustSet("gates", ode.Int(rev.gates))
+			o.MustSet("area", ode.Float(rev.area))
+			o.MustSet("author", ode.Str(rev.author))
+			return tx.Update(chip, o)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A generic reference dereferences to the current version; pinned
+	// references see frozen history.
+	err = db.View(func(tx *ode.Tx) error {
+		cur, err := tx.Deref(chip)
+		if err != nil {
+			return err
+		}
+		curV, _ := tx.CurrentVersion(chip)
+		fmt.Printf("current (v%d): %d gates, %.1f mm², by %s\n",
+			curV, cur.MustGet("gates").Int(), cur.MustGet("area").Float(), cur.MustGet("author").Str())
+		fmt.Println("history:")
+		for _, ref := range tags {
+			o, err := tx.DerefVersion(ref)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  v%d: %d gates, %.1f mm², by %s\n",
+				ref.Version, o.MustGet("gates").Int(), o.MustGet("area").Float(), o.MustGet("author").Str())
+		}
+		// Walk backwards from current through the chain.
+		vs, err := tx.Versions(chip)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("frozen versions on record: %v (current v%d is live)\n", vs, curV)
+
+		// Which revision shrank the area? Compare adjacent versions.
+		for i := 1; i < len(tags); i++ {
+			prev, _ := tx.DerefVersion(tags[i-1])
+			this, _ := tx.DerefVersion(tags[i])
+			if this.MustGet("area").Float() < prev.MustGet("area").Float() {
+				fmt.Printf("v%d shrank the layout (%.1f -> %.1f)\n",
+					tags[i].Version, prev.MustGet("area").Float(), this.MustGet("area").Float())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Old versions can be pruned individually (implementation permits
+	// deletion of specific versions, paper footnote 16).
+	err = db.RunTx(func(tx *ode.Tx) error {
+		return tx.DeleteVersion(tags[0])
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.View(func(tx *ode.Tx) error {
+		vs, _ := tx.Versions(chip)
+		fmt.Printf("after pruning v0: %v\n", vs)
+		return nil
+	})
+}

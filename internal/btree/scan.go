@@ -1,0 +1,243 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"ode/internal/storage"
+)
+
+// Visit is the scan callback. Returning false stops the scan early. The
+// key and value slices are owned by the callback (they are copies).
+type Visit func(key, value []byte) (bool, error)
+
+// Scan visits all entries in ascending key order.
+func (t *Tree) Scan(fn Visit) error {
+	return t.ScanRange(nil, nil, fn)
+}
+
+// ScanRange visits entries with from <= key < to in ascending order.
+// A nil from starts at the smallest key; a nil to runs to the end.
+//
+// The scan snapshots each leaf while holding the tree lock, then
+// releases it between leaves, so the callback may safely Get from the
+// same tree (but mutations during a scan see no consistency guarantee
+// beyond per-leaf atomicity — the transaction layer provides isolation).
+func (t *Tree) ScanRange(from, to []byte, fn Visit) error {
+	t.mu.RLock()
+	if t.root == storage.InvalidPage {
+		t.mu.RUnlock()
+		return nil
+	}
+	// Descend to the first relevant leaf.
+	n, err := t.load(t.root)
+	if err != nil {
+		t.mu.RUnlock()
+		return err
+	}
+	for !n.leaf {
+		ci := 0
+		if from != nil {
+			ci = n.childIndex(from)
+		}
+		n, err = t.load(n.children[ci])
+		if err != nil {
+			t.mu.RUnlock()
+			return err
+		}
+	}
+	t.mu.RUnlock()
+
+	start := 0
+	if from != nil {
+		start, _ = n.searchLeaf(from)
+	}
+	for {
+		for i := start; i < len(n.keys); i++ {
+			if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+				return nil
+			}
+			cont, err := fn(n.keys[i], n.vals[i])
+			if err != nil || !cont {
+				return err
+			}
+		}
+		if n.next == storage.InvalidPage {
+			return nil
+		}
+		t.mu.RLock()
+		n, err = t.load(n.next)
+		t.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		start = 0
+	}
+}
+
+// ScanPrefix visits entries whose key starts with prefix, in order.
+func (t *Tree) ScanPrefix(prefix []byte, fn Visit) error {
+	if len(prefix) == 0 {
+		return t.Scan(fn)
+	}
+	// Upper bound: prefix with its last byte bumped (carrying 0xFF).
+	to := prefixSuccessor(prefix)
+	return t.ScanRange(prefix, to, fn)
+}
+
+// prefixSuccessor returns the smallest byte string greater than every
+// string with the given prefix, or nil when no such bound exists (all
+// 0xFF).
+func prefixSuccessor(prefix []byte) []byte {
+	out := clone(prefix)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// Len counts the entries (a full scan; diagnostics and tests).
+func (t *Tree) Len() (int, error) {
+	n := 0
+	err := t.Scan(func(_, _ []byte) (bool, error) {
+		n++
+		return true, nil
+	})
+	return n, err
+}
+
+// Stats describes the tree's shape.
+type Stats struct {
+	Depth     int
+	Internal  int
+	Leaves    int
+	Entries   int
+	UsedBytes int
+}
+
+// Stats walks the whole tree (diagnostics).
+func (t *Tree) Stats() (Stats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var st Stats
+	if t.root == storage.InvalidPage {
+		return st, nil
+	}
+	var walk func(id storage.PageID, depth int) error
+	walk = func(id storage.PageID, depth int) error {
+		n, err := t.load(id)
+		if err != nil {
+			return err
+		}
+		if depth > st.Depth {
+			st.Depth = depth
+		}
+		st.UsedBytes += n.size()
+		if n.leaf {
+			st.Leaves++
+			st.Entries += len(n.keys)
+			return nil
+		}
+		st.Internal++
+		for _, c := range n.children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := walk(t.root, 1)
+	return st, err
+}
+
+// CheckInvariants verifies structural invariants (key order within and
+// across nodes, separator correctness, leaf chain completeness). Test
+// helper; returns a descriptive error on the first violation.
+func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == storage.InvalidPage {
+		return nil
+	}
+	var leftmost storage.PageID
+	var check func(id storage.PageID, lo, hi []byte, depth int) (int, error)
+	check = func(id storage.PageID, lo, hi []byte, depth int) (int, error) {
+		n, err := t.load(id)
+		if err != nil {
+			return 0, err
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				return 0, errf("page %d: keys out of order at %d", id, i)
+			}
+		}
+		if len(n.keys) > 0 {
+			if lo != nil && bytes.Compare(n.keys[0], lo) < 0 {
+				return 0, errf("page %d: key below subtree bound", id)
+			}
+			if hi != nil && bytes.Compare(n.keys[len(n.keys)-1], hi) >= 0 {
+				return 0, errf("page %d: key above subtree bound", id)
+			}
+		}
+		if n.leaf {
+			if leftmost == storage.InvalidPage {
+				leftmost = id
+			}
+			return 1, nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return 0, errf("page %d: %d children for %d keys", id, len(n.children), len(n.keys))
+		}
+		d := -1
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			cd, err := check(c, clo, chi, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if d == -1 {
+				d = cd
+			} else if d != cd {
+				return 0, errf("page %d: uneven leaf depth", id)
+			}
+		}
+		return d + 1, nil
+	}
+	if _, err := check(t.root, nil, nil, 1); err != nil {
+		return err
+	}
+	// The leaf chain must enumerate exactly the scan order.
+	var prev []byte
+	n, err := t.load(leftmost)
+	if err != nil {
+		return err
+	}
+	for {
+		for _, k := range n.keys {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return errf("leaf chain out of order at page %d", n.id)
+			}
+			prev = k
+		}
+		if n.next == storage.InvalidPage {
+			return nil
+		}
+		n, err = t.load(n.next)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("btree: invariant violated: "+format, args...)
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Visibility is the access control on a class member. O++ inherits the
+// C++ public/private distinction; the data model only distinguishes the
+// two (protected behaves as private to non-derived code and is folded
+// into Private here, with derived access granted structurally).
+type Visibility uint8
+
+// Member visibilities.
+const (
+	Public Visibility = iota
+	Private
+)
+
+func (v Visibility) String() string {
+	if v == Public {
+		return "public"
+	}
+	return "private"
+}
+
+// Field is a data member declaration.
+type Field struct {
+	Name string
+	Type *Type
+	Vis  Visibility
+	// Origin is the class that declared the field; filled in when the
+	// class layout is computed.
+	Origin string
+}
+
+// MethodFunc is the implementation of a member function. Methods receive
+// the store they run against (so they can dereference and create
+// persistent objects), the receiver, and the argument values.
+type MethodFunc func(st Store, self *Object, args []Value) (Value, error)
+
+// Method is a member function declaration. All methods are virtual, as
+// dispatch is by the receiver's dynamic class.
+type Method struct {
+	Name   string
+	Vis    Visibility
+	Params []Param
+	Result *Type
+	Fn     MethodFunc
+	Origin string
+}
+
+// Param is a method or trigger parameter declaration.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// ConstraintFunc evaluates a constraint condition against an object.
+type ConstraintFunc func(st Store, self *Object) (bool, error)
+
+// Constraint is a class-level boolean condition that every object of the
+// class must satisfy (paper, section 5). Constraints are inherited by
+// derived classes. Src preserves the surface syntax for diagnostics.
+type Constraint struct {
+	Name   string
+	Check  ConstraintFunc
+	Src    string
+	Origin string
+}
+
+// TriggerCond evaluates a trigger condition for an activation.
+type TriggerCond func(st Store, self *Object, args []Value) (bool, error)
+
+// TriggerAction runs a fired trigger's action. It executes inside its
+// own transaction (weak coupling, paper section 6); st is bound to that
+// transaction, self is the target's state in it, and selfOID its id
+// (so the action can publish mutations with st.Update).
+type TriggerAction func(st Store, self *Object, selfOID OID, args []Value) error
+
+// TriggerDef declares a trigger member on a class. Once-only triggers
+// (Perpetual == false) deactivate after firing; perpetual triggers remain
+// active until explicitly deactivated.
+type TriggerDef struct {
+	Name      string
+	Perpetual bool
+	Params    []Param
+	Cond      TriggerCond
+	Action    TriggerAction
+	// TimeoutAction, if non-nil, runs when a timed activation of this
+	// trigger expires before the condition fires (the timed-trigger
+	// extension of Ode's active-database work).
+	TimeoutAction TriggerAction
+	Src           string
+	Origin        string
+}
+
+// Class is a runtime class descriptor: the O++ class construct with data
+// members, member functions, base classes (multiple inheritance),
+// constraints, and triggers. Classes are immutable once sealed by a
+// Schema.
+type Class struct {
+	Name        string
+	Bases       []*Class
+	Fields      []Field // own fields only
+	Methods     []*Method
+	Constraints []Constraint
+	Triggers    []*TriggerDef
+
+	// Filled in by seal:
+	id             ClassID
+	linear         []*Class // C3 linearization, self first
+	layout         []Field  // flattened slot layout
+	slotByName     map[string]int
+	methodByName   map[string]*Method
+	triggerByName  map[string]*TriggerDef
+	allConstraints []Constraint // own + inherited, most-derived first
+	sealed         bool
+}
+
+// ClassID is the persistent identifier of a class in a database catalog.
+type ClassID uint32
+
+// ErrNoSuchMember is returned when a field or method lookup fails.
+var ErrNoSuchMember = errors.New("core: no such member")
+
+// ID returns the class's catalog id (0 before the class is sealed into a
+// schema).
+func (c *Class) ID() ClassID { return c.id }
+
+// Sealed reports whether the class has been sealed into a schema.
+func (c *Class) Sealed() bool { return c.sealed }
+
+// Linearization returns the C3 method-resolution order: the class itself
+// followed by its bases. Only valid after sealing.
+func (c *Class) Linearization() []*Class { return c.linear }
+
+// Layout returns the flattened field layout (slot order). Only valid
+// after sealing.
+func (c *Class) Layout() []Field { return c.layout }
+
+// NumSlots returns the number of data slots in an instance.
+func (c *Class) NumSlots() int { return len(c.layout) }
+
+// SlotIndex returns the slot position of the named field, or -1.
+func (c *Class) SlotIndex(name string) int {
+	if i, ok := c.slotByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// FieldNamed returns the layout entry for the named field.
+func (c *Class) FieldNamed(name string) (Field, bool) {
+	i := c.SlotIndex(name)
+	if i < 0 {
+		return Field{}, false
+	}
+	return c.layout[i], true
+}
+
+// MethodNamed resolves a method by name along the linearization (the
+// most-derived definition wins — virtual dispatch).
+func (c *Class) MethodNamed(name string) (*Method, bool) {
+	m, ok := c.methodByName[name]
+	return m, ok
+}
+
+// TriggerNamed resolves a trigger declaration by name along the
+// linearization.
+func (c *Class) TriggerNamed(name string) (*TriggerDef, bool) {
+	t, ok := c.triggerByName[name]
+	return t, ok
+}
+
+// AllConstraints returns the constraints an instance must satisfy: the
+// class's own plus all inherited ones ("objects must satisfy all the
+// constraints associated with the corresponding class", including via
+// specialization).
+func (c *Class) AllConstraints() []Constraint { return c.allConstraints }
+
+// IsA reports whether c is the given class or derives (transitively,
+// through any base path) from it. This is the `is` test of O++
+// (e.g. `p is persistent student *`).
+func (c *Class) IsA(base *Class) bool {
+	if base == nil {
+		return false
+	}
+	for _, l := range c.linear {
+		if l == base {
+			return true
+		}
+	}
+	return false
+}
+
+// IsAName is IsA by class name.
+func (c *Class) IsAName(base string) bool {
+	for _, l := range c.linear {
+		if l.Name == base {
+			return true
+		}
+	}
+	return false
+}
+
+// c3Linearize computes the C3 linearization of a class: a deterministic
+// method-resolution order that respects local precedence (a class before
+// its bases, bases in declaration order) and monotonicity. C++ itself
+// uses depth-first subobject lookup with ambiguity errors; C3 reproduces
+// the unambiguous cases identically and resolves diamonds to a single
+// shared subobject (the virtual-inheritance reading), which is what the
+// Ode cluster hierarchy requires — a persistent object appears once per
+// extent.
+func c3Linearize(c *Class) ([]*Class, error) {
+	var seqs [][]*Class
+	for _, b := range c.Bases {
+		if b == nil {
+			return nil, fmt.Errorf("core: class %s has a nil base", c.Name)
+		}
+		if len(b.linear) == 0 {
+			return nil, fmt.Errorf("core: base %s of %s is not sealed", b.Name, c.Name)
+		}
+		seqs = append(seqs, append([]*Class(nil), b.linear...))
+	}
+	if len(c.Bases) > 0 {
+		seqs = append(seqs, append([]*Class(nil), c.Bases...))
+	}
+	out := []*Class{c}
+	for {
+		// Drop exhausted sequences.
+		live := seqs[:0]
+		for _, s := range seqs {
+			if len(s) > 0 {
+				live = append(live, s)
+			}
+		}
+		seqs = live
+		if len(seqs) == 0 {
+			return out, nil
+		}
+		// Find a good head: one that appears in no sequence tail.
+		var head *Class
+		for _, s := range seqs {
+			cand := s[0]
+			inTail := false
+			for _, t := range seqs {
+				for _, x := range t[1:] {
+					if x == cand {
+						inTail = true
+						break
+					}
+				}
+				if inTail {
+					break
+				}
+			}
+			if !inTail {
+				head = cand
+				break
+			}
+		}
+		if head == nil {
+			return nil, fmt.Errorf("core: inconsistent inheritance hierarchy at class %s", c.Name)
+		}
+		out = append(out, head)
+		for i, s := range seqs {
+			if len(s) > 0 && s[0] == head {
+				seqs[i] = s[1:]
+			} else {
+				// Also remove deeper duplicates of head (shared bases).
+				for j, x := range s {
+					if x == head {
+						seqs[i] = append(s[:j], s[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// seal computes the linearization, layout, and member tables. Bases must
+// already be sealed.
+func (c *Class) seal(id ClassID) error {
+	if c.sealed {
+		return fmt.Errorf("core: class %s already sealed", c.Name)
+	}
+	lin, err := c3Linearize(c)
+	if err != nil {
+		return err
+	}
+	c.linear = lin
+	c.id = id
+
+	// Field layout: base fields first (in reverse linearization order so
+	// that root-class fields occupy the lowest slots and a derived
+	// object's prefix matches its bases' layouts where single inheritance
+	// is used), then own fields. Duplicate names across distinct origins
+	// are an error (the C++ ambiguity case).
+	c.slotByName = make(map[string]int)
+	for i := len(lin) - 1; i >= 0; i-- {
+		cl := lin[i]
+		for _, f := range cl.Fields {
+			if f.Type == nil {
+				return fmt.Errorf("core: field %s.%s has no type", cl.Name, f.Name)
+			}
+			if prev, dup := c.slotByName[f.Name]; dup {
+				return fmt.Errorf("core: class %s inherits ambiguous field %q (from %s and %s)",
+					c.Name, f.Name, c.layout[prev].Origin, cl.Name)
+			}
+			nf := f
+			nf.Origin = cl.Name
+			c.slotByName[f.Name] = len(c.layout)
+			c.layout = append(c.layout, nf)
+		}
+	}
+
+	// Method and trigger resolution: walk the linearization from most
+	// derived to least; first definition wins.
+	c.methodByName = make(map[string]*Method)
+	c.triggerByName = make(map[string]*TriggerDef)
+	for _, cl := range lin {
+		for _, m := range cl.Methods {
+			if m.Fn == nil {
+				return fmt.Errorf("core: method %s.%s has no body", cl.Name, m.Name)
+			}
+			if _, ok := c.methodByName[m.Name]; !ok {
+				mm := *m
+				if mm.Origin == "" {
+					mm.Origin = cl.Name
+				}
+				c.methodByName[m.Name] = &mm
+			}
+		}
+		for _, t := range cl.Triggers {
+			if t.Cond == nil || t.Action == nil {
+				return fmt.Errorf("core: trigger %s.%s lacks condition or action", cl.Name, t.Name)
+			}
+			if _, ok := c.triggerByName[t.Name]; !ok {
+				tt := *t
+				if tt.Origin == "" {
+					tt.Origin = cl.Name
+				}
+				c.triggerByName[t.Name] = &tt
+			}
+		}
+	}
+
+	// Constraint accumulation: all constraints along the linearization
+	// apply (constraints specialize; they are conjoined, never overridden).
+	for _, cl := range lin {
+		for _, k := range cl.Constraints {
+			if k.Check == nil {
+				return fmt.Errorf("core: constraint %s on %s has no predicate", k.Name, cl.Name)
+			}
+			kk := k
+			if kk.Origin == "" {
+				kk.Origin = cl.Name
+			}
+			c.allConstraints = append(c.allConstraints, kk)
+		}
+	}
+	c.sealed = true
+	return nil
+}
+
+func (c *Class) String() string { return c.Name }

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPersonSchema builds the paper's person/student/faculty hierarchy
+// (section 3.1) used throughout the tests.
+func buildPersonSchema(t testing.TB) (*Schema, *Class, *Class, *Class) {
+	t.Helper()
+	s := NewSchema()
+	person := NewClass("person").
+		Field("name", TString).
+		Field("income", TInt).
+		Field("age", TInt).
+		Method("incomeOf", nil, TInt, func(_ Store, self *Object, _ []Value) (Value, error) {
+			return self.MustGet("income"), nil
+		}).
+		Register(s)
+	student := NewClass("student", person).
+		Field("school", TString).
+		Method("incomeOf", nil, TInt, func(_ Store, self *Object, _ []Value) (Value, error) {
+			// Students report half income (arbitrary override for
+			// dispatch testing).
+			return Int(self.MustGet("income").Int() / 2), nil
+		}).
+		Register(s)
+	faculty := NewClass("faculty", person).
+		Field("dept", TString).
+		Register(s)
+	return s, person, student, faculty
+}
+
+func TestSingleInheritanceLayout(t *testing.T) {
+	_, person, student, _ := buildPersonSchema(t)
+	// Base fields must occupy the lowest slots, in base order.
+	if student.NumSlots() != 4 {
+		t.Fatalf("student slots = %d, want 4", student.NumSlots())
+	}
+	for i, want := range []string{"name", "income", "age", "school"} {
+		if student.Layout()[i].Name != want {
+			t.Errorf("slot %d = %s, want %s", i, student.Layout()[i].Name, want)
+		}
+	}
+	// The shared prefix must match the base layout.
+	for i := 0; i < person.NumSlots(); i++ {
+		if person.Layout()[i].Name != student.Layout()[i].Name {
+			t.Errorf("prefix mismatch at slot %d", i)
+		}
+	}
+	if f, ok := student.FieldNamed("school"); !ok || f.Origin != "student" {
+		t.Errorf("FieldNamed(school) = %+v, %v", f, ok)
+	}
+	if f, ok := student.FieldNamed("name"); !ok || f.Origin != "person" {
+		t.Errorf("FieldNamed(name) origin = %q", f.Origin)
+	}
+}
+
+func TestIsA(t *testing.T) {
+	_, person, student, faculty := buildPersonSchema(t)
+	if !student.IsA(person) || !student.IsA(student) {
+		t.Error("student should be a person and a student")
+	}
+	if person.IsA(student) {
+		t.Error("person is not a student")
+	}
+	if faculty.IsA(student) {
+		t.Error("faculty is not a student")
+	}
+	if !faculty.IsAName("person") {
+		t.Error("IsAName failed")
+	}
+	if person.IsA(nil) {
+		t.Error("IsA(nil) should be false")
+	}
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	_, person, student, faculty := buildPersonSchema(t)
+	mk := func(c *Class, income int64) *Object {
+		o := NewObject(c)
+		o.MustSet("income", Int(income))
+		return o
+	}
+	cases := []struct {
+		o    *Object
+		want int64
+	}{
+		{mk(person, 100), 100},
+		{mk(student, 100), 50},  // override
+		{mk(faculty, 100), 100}, // inherited
+	}
+	for _, c := range cases {
+		got, err := c.o.Call(NullStore{}, "incomeOf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int() != c.want {
+			t.Errorf("%s incomeOf = %d, want %d", c.o.Class().Name, got.Int(), c.want)
+		}
+	}
+}
+
+func TestMethodOriginTracksOverride(t *testing.T) {
+	_, person, student, faculty := buildPersonSchema(t)
+	if m, _ := person.MethodNamed("incomeOf"); m.Origin != "person" {
+		t.Errorf("person method origin = %s", m.Origin)
+	}
+	if m, _ := student.MethodNamed("incomeOf"); m.Origin != "student" {
+		t.Errorf("student method origin = %s", m.Origin)
+	}
+	if m, _ := faculty.MethodNamed("incomeOf"); m.Origin != "person" {
+		t.Errorf("faculty method origin = %s", m.Origin)
+	}
+}
+
+// TestDiamondLinearization models the classic diamond: D derives from B
+// and C, which both derive from A. C3 must place D before B and C, B
+// before C (local precedence), and A once, last.
+func TestDiamondLinearization(t *testing.T) {
+	s := NewSchema()
+	a := NewClass("A").Field("a", TInt).Register(s)
+	b := NewClass("B", a).Field("b", TInt).Register(s)
+	c := NewClass("C", a).Field("c", TInt).Register(s)
+	d := NewClass("D", b, c).Field("d", TInt).Register(s)
+
+	lin := d.Linearization()
+	names := make([]string, len(lin))
+	for i, x := range lin {
+		names[i] = x.Name
+	}
+	want := "D B C A"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("linearization = %s, want %s", got, want)
+	}
+	// The shared base contributes its field once.
+	if d.NumSlots() != 4 {
+		t.Errorf("D slots = %d, want 4 (a appears once)", d.NumSlots())
+	}
+	if !d.IsA(a) || !d.IsA(b) || !d.IsA(c) {
+		t.Error("diamond IsA relations broken")
+	}
+}
+
+func TestC3RejectsInconsistentOrder(t *testing.T) {
+	// The canonical C3 failure: class Z(X, Y) where X derives (A, B) and
+	// Y derives (B, A) — no order can satisfy both.
+	s := NewSchema()
+	a := NewClass("A").Register(s)
+	b := NewClass("B").Register(s)
+	x := NewClass("X", a, b).Register(s)
+	y := NewClass("Y", b, a).Register(s)
+	z := NewClass("Z", x, y).Build()
+	if err := s.Register(z); err == nil {
+		t.Fatal("expected linearization failure for inconsistent hierarchy")
+	}
+}
+
+func TestAmbiguousFieldRejected(t *testing.T) {
+	s := NewSchema()
+	left := NewClass("left").Field("x", TInt).Register(s)
+	right := NewClass("right").Field("x", TInt).Register(s)
+	both := NewClass("both", left, right).Build()
+	if err := s.Register(both); err == nil {
+		t.Fatal("expected ambiguity error for field x inherited twice")
+	}
+}
+
+func TestConstraintInheritance(t *testing.T) {
+	s := NewSchema()
+	person := NewClass("person").
+		Field("age", TInt).
+		Field("sex", TChar).
+		Constraint("nonneg-age", "age >= 0", func(_ Store, o *Object) (bool, error) {
+			return o.MustGet("age").Int() >= 0, nil
+		}).
+		Register(s)
+	// The paper's constraint-based specialization (section 5):
+	// class female : person { constraint: sex == 'f' }.
+	female := NewClass("female", person).
+		Constraint("is-female", "sex == 'f'", func(_ Store, o *Object) (bool, error) {
+			return o.MustGet("sex").Char() == 'f', nil
+		}).
+		Register(s)
+
+	if n := len(female.AllConstraints()); n != 2 {
+		t.Fatalf("female has %d constraints, want 2 (own + inherited)", n)
+	}
+
+	o := NewObject(female)
+	o.MustSet("age", Int(30))
+	o.MustSet("sex", Char('f'))
+	if k, err := o.CheckConstraints(NullStore{}); err != nil || k != nil {
+		t.Fatalf("valid object violates %v (err %v)", k, err)
+	}
+	o.MustSet("sex", Char('m'))
+	if k, _ := o.CheckConstraints(NullStore{}); k == nil || k.Name != "is-female" {
+		t.Fatalf("expected is-female violation, got %v", k)
+	}
+	o.MustSet("sex", Char('f'))
+	o.MustSet("age", Int(-1))
+	if k, _ := o.CheckConstraints(NullStore{}); k == nil || k.Name != "nonneg-age" {
+		t.Fatalf("expected inherited nonneg-age violation, got %v", k)
+	}
+}
+
+func TestRegisterRequiresSealedBases(t *testing.T) {
+	s := NewSchema()
+	unregistered := NewClass("ghost").Build()
+	child := NewClass("child", unregistered).Build()
+	if err := s.Register(child); err == nil {
+		t.Fatal("expected error registering class with unregistered base")
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	s := NewSchema()
+	NewClass("p").Register(s)
+	if err := s.Register(NewClass("p").Build()); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestHierarchyEnumeration(t *testing.T) {
+	s, person, student, faculty := buildPersonSchema(t)
+	phd := NewClass("phd", student).Register(s)
+
+	h := s.Hierarchy(person)
+	names := make([]string, len(h))
+	for i, c := range h {
+		names[i] = c.Name
+	}
+	if got := strings.Join(names, " "); got != "person student phd faculty" {
+		t.Fatalf("Hierarchy(person) = %s", got)
+	}
+	if got := s.Hierarchy(student); len(got) != 2 || got[1] != phd {
+		t.Fatalf("Hierarchy(student) wrong: %v", got)
+	}
+	if got := s.Hierarchy(faculty); len(got) != 1 {
+		t.Fatalf("Hierarchy(faculty) = %v", got)
+	}
+}
+
+func TestHierarchyDedupsDiamond(t *testing.T) {
+	s := NewSchema()
+	a := NewClass("A").Register(s)
+	b := NewClass("B", a).Register(s)
+	c := NewClass("C", a).Register(s)
+	NewClass("D", b, c).Register(s)
+	if got := len(s.Hierarchy(a)); got != 4 {
+		t.Fatalf("Hierarchy(A) has %d classes, want 4 (D deduplicated)", got)
+	}
+}
+
+func TestClassIDsAreStableAcrossRebuild(t *testing.T) {
+	s1, _, _, _ := buildPersonSchema(t)
+	s2, _, _, _ := buildPersonSchema(t)
+	for _, c := range s1.Classes() {
+		c2, ok := s2.ClassNamed(c.Name)
+		if !ok || c2.ID() != c.ID() {
+			t.Errorf("class %s id %d not reproduced (got %v)", c.Name, c.ID(), c2)
+		}
+		if s1.Fingerprint(c) != s2.Fingerprint(c2) {
+			t.Errorf("fingerprint of %s differs across rebuilds", c.Name)
+		}
+	}
+}
+
+func TestSchemaRoots(t *testing.T) {
+	s, person, _, _ := buildPersonSchema(t)
+	roots := s.Roots()
+	if len(roots) != 1 || roots[0] != person {
+		t.Fatalf("Roots = %v", roots)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Object is an in-memory instance of a class: the slot vector plus the
+// dynamic class descriptor. Both volatile objects and the cached images
+// of persistent objects use this representation; persistence is a
+// property of where the object lives, not of its type (the central claim
+// of the paper's persistence model).
+type Object struct {
+	class *Class
+	slots []Value
+}
+
+// NewObject allocates an instance of class c with zero-valued slots.
+// It panics if c is not sealed (unsealed classes have no layout).
+func NewObject(c *Class) *Object {
+	if !c.sealed {
+		panic(fmt.Sprintf("core: NewObject on unsealed class %s", c.Name))
+	}
+	o := &Object{class: c, slots: make([]Value, c.NumSlots())}
+	for i, f := range c.layout {
+		o.slots[i] = f.Type.Zero()
+	}
+	return o
+}
+
+// Class returns the object's dynamic class.
+func (o *Object) Class() *Class { return o.class }
+
+// NumSlots returns the slot count.
+func (o *Object) NumSlots() int { return len(o.slots) }
+
+// Slot returns the value in slot i.
+func (o *Object) Slot(i int) Value { return o.slots[i] }
+
+// SetSlot stores v into slot i without type checking; callers that take
+// values from outside the schema should use Set instead.
+func (o *Object) SetSlot(i int, v Value) { o.slots[i] = v }
+
+// Get returns the value of the named field.
+func (o *Object) Get(name string) (Value, error) {
+	i := o.class.SlotIndex(name)
+	if i < 0 {
+		return Null, fmt.Errorf("%w: field %s.%s", ErrNoSuchMember, o.class.Name, name)
+	}
+	return o.slots[i], nil
+}
+
+// MustGet is Get for fields known to exist; it panics otherwise.
+func (o *Object) MustGet(name string) Value {
+	v, err := o.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Set type-checks v against the field's declared type (applying numeric
+// widening) and stores it.
+func (o *Object) Set(name string, v Value) error {
+	i := o.class.SlotIndex(name)
+	if i < 0 {
+		return fmt.Errorf("%w: field %s.%s", ErrNoSuchMember, o.class.Name, name)
+	}
+	cv, err := o.class.layout[i].Type.Convert(v)
+	if err != nil {
+		return fmt.Errorf("field %s.%s: %w", o.class.Name, name, err)
+	}
+	o.slots[i] = cv
+	return nil
+}
+
+// MustSet is Set for assignments known to be well-typed; it panics
+// otherwise.
+func (o *Object) MustSet(name string, v Value) {
+	if err := o.Set(name, v); err != nil {
+		panic(err)
+	}
+}
+
+// Copy returns a deep copy of the object (sets and arrays are copied).
+func (o *Object) Copy() *Object {
+	out := &Object{class: o.class, slots: make([]Value, len(o.slots))}
+	for i, v := range o.slots {
+		out.slots[i] = v.Copy()
+	}
+	return out
+}
+
+// EqualState reports whether two objects have the same class and equal
+// slot values.
+func (o *Object) EqualState(p *Object) bool {
+	if o.class != p.class || len(o.slots) != len(p.slots) {
+		return false
+	}
+	for i := range o.slots {
+		if !o.slots[i].Equal(p.slots[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Call dispatches the named member function on o (virtual dispatch by
+// dynamic class).
+func (o *Object) Call(st Store, name string, args ...Value) (Value, error) {
+	m, ok := o.class.MethodNamed(name)
+	if !ok {
+		return Null, fmt.Errorf("%w: method %s::%s", ErrNoSuchMember, o.class.Name, name)
+	}
+	if len(m.Params) != len(args) {
+		return Null, fmt.Errorf("core: method %s::%s expects %d arguments, got %d",
+			o.class.Name, name, len(m.Params), len(args))
+	}
+	conv := make([]Value, len(args))
+	for i, a := range args {
+		cv, err := m.Params[i].Type.Convert(a)
+		if err != nil {
+			return Null, fmt.Errorf("argument %q of %s::%s: %w", m.Params[i].Name, o.class.Name, name, err)
+		}
+		conv[i] = cv
+	}
+	return m.Fn(st, o, conv)
+}
+
+// CheckConstraints evaluates all (own and inherited) constraints and
+// returns the first violated one, if any.
+func (o *Object) CheckConstraints(st Store) (*Constraint, error) {
+	for i := range o.class.allConstraints {
+		k := &o.class.allConstraints[i]
+		ok, err := k.Check(st, o)
+		if err != nil {
+			return k, fmt.Errorf("constraint %s on %s: %w", k.Name, o.class.Name, err)
+		}
+		if !ok {
+			return k, nil
+		}
+	}
+	return nil, nil
+}
+
+// String renders the object with its class and field values.
+func (o *Object) String() string {
+	var b strings.Builder
+	b.WriteString(o.class.Name)
+	b.WriteByte('{')
+	for i, f := range o.class.layout {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", f.Name, o.slots[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewObjectZeroSlots(t *testing.T) {
+	_, _, student, _ := buildPersonSchema(t)
+	o := NewObject(student)
+	if o.MustGet("name").Str() != "" || o.MustGet("income").Int() != 0 {
+		t.Error("fields not zero-initialized")
+	}
+	if o.Class() != student {
+		t.Error("wrong dynamic class")
+	}
+}
+
+func TestObjectGetSetTypeChecking(t *testing.T) {
+	_, person, _, _ := buildPersonSchema(t)
+	o := NewObject(person)
+	if err := o.Set("income", Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Set("income", Str("rich")); err == nil {
+		t.Error("expected type error assigning string to int field")
+	}
+	if _, err := o.Get("nope"); !errors.Is(err, ErrNoSuchMember) {
+		t.Errorf("Get(nope) err = %v", err)
+	}
+	if err := o.Set("nope", Int(1)); !errors.Is(err, ErrNoSuchMember) {
+		t.Errorf("Set(nope) err = %v", err)
+	}
+}
+
+func TestObjectSetNumericWidening(t *testing.T) {
+	s := NewSchema()
+	c := NewClass("pt").Field("x", TFloat).Register(s)
+	o := NewObject(c)
+	if err := o.Set("x", Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.MustGet("x"); got.Kind() != KFloat || got.Float() != 3 {
+		t.Errorf("widening produced %s", got)
+	}
+}
+
+func TestObjectCopyIsDeep(t *testing.T) {
+	s := NewSchema()
+	c := NewClass("bag").Field("items", SetOfType(TInt)).Register(s)
+	o := NewObject(c)
+	o.MustGet("items").Set().Insert(Int(1))
+	p := o.Copy()
+	o.MustGet("items").Set().Insert(Int(2))
+	if p.MustGet("items").Set().Len() != 1 {
+		t.Error("Copy shares the set container")
+	}
+	if o.EqualState(p) {
+		t.Error("EqualState should detect the diverged set")
+	}
+}
+
+func TestEqualStateRequiresSameClass(t *testing.T) {
+	_, person, student, _ := buildPersonSchema(t)
+	if NewObject(person).EqualState(NewObject(student)) {
+		t.Error("objects of different classes are never state-equal")
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	_, person, _, _ := buildPersonSchema(t)
+	_, err := NewObject(person).Call(NullStore{}, "fly")
+	if !errors.Is(err, ErrNoSuchMember) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallArgumentConversionAndArity(t *testing.T) {
+	s := NewSchema()
+	c := NewClass("acct").
+		Field("balance", TFloat).
+		Method("deposit", []Param{{Name: "amt", Type: TFloat}}, TFloat,
+			func(_ Store, self *Object, args []Value) (Value, error) {
+				nb := self.MustGet("balance").Float() + args[0].Float()
+				self.MustSet("balance", Float(nb))
+				return Float(nb), nil
+			}).
+		Register(s)
+	o := NewObject(c)
+	// Int argument must widen to float.
+	got, err := o.Call(NullStore{}, "deposit", Int(10))
+	if err != nil || got.Float() != 10 {
+		t.Fatalf("deposit = %v, %v", got, err)
+	}
+	if _, err := o.Call(NullStore{}, "deposit"); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := o.Call(NullStore{}, "deposit", Str("x")); err == nil {
+		t.Error("expected argument type error")
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	_, person, _, _ := buildPersonSchema(t)
+	o := NewObject(person)
+	o.MustSet("name", Str("ann"))
+	want := `person{name: "ann", income: 0, age: 0}`
+	if got := o.String(); got != want {
+		t.Errorf("String = %s, want %s", got, want)
+	}
+}
+
+func TestTypeConvertAndAccepts(t *testing.T) {
+	if !TFloat.Accepts(Int(1)) {
+		t.Error("float should accept int")
+	}
+	if TInt.Accepts(Float(1)) {
+		t.Error("int must not accept float (narrowing)")
+	}
+	if !RefTo("person").Accepts(Null) {
+		t.Error("reference types accept null")
+	}
+	if v, err := TAnyRef.Convert(Null); err != nil || v.OID() != NilOID {
+		t.Errorf("Convert(null->ref) = %v, %v", v, err)
+	}
+	if v, err := SetOfType(TInt).Convert(Null); err != nil || v.Set().Len() != 0 {
+		t.Errorf("Convert(null->set) = %v, %v", v, err)
+	}
+	if _, err := TString.Convert(Int(1)); err == nil {
+		t.Error("expected conversion failure int->string")
+	}
+	// A pinned version reference can stand in for a generic reference.
+	vr := VersionRef(VRef{OID: 3, Version: 1})
+	if v, err := TAnyRef.Convert(vr); err != nil || v.Kind() != KVRef {
+		t.Errorf("vref where ref expected: %v, %v", v, err)
+	}
+}
+
+func TestTypeStringAndZero(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want string
+	}{
+		{TInt, "int"},
+		{RefTo("person"), "person *"},
+		{VRefTo("part"), "part vref"},
+		{SetOfType(RefTo("part")), "set<part *>"},
+		{ArrayOfType(TString), "array<string>"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("Type.String = %q, want %q", got, c.want)
+		}
+	}
+	if !TString.Zero().Equal(Str("")) {
+		t.Error("string zero should be empty string")
+	}
+	if TAnyRef.Zero().OID() != NilOID {
+		t.Error("ref zero should be nil")
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !SetOfType(TInt).Equal(SetOfType(TInt)) {
+		t.Error("identical set types should be equal")
+	}
+	if SetOfType(TInt).Equal(SetOfType(TFloat)) {
+		t.Error("set<int> != set<float>")
+	}
+	if RefTo("a").Equal(RefTo("b")) {
+		t.Error("refs to different classes differ")
+	}
+	if TInt.Equal(nil) {
+		t.Error("non-nil != nil")
+	}
+}

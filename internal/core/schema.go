@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schema is the class catalog of a database: the set of sealed classes,
+// indexed by name and by ClassID, together with the subclass relation
+// that cluster-hierarchy iteration (`forall x in person*`) walks.
+//
+// Classes are registered bottom-up (bases before derived classes) and
+// sealed immediately; a schema never un-registers a class. ClassIDs are
+// assigned in registration order starting at 1, so re-registering the
+// same declarations in the same order against an existing database file
+// reproduces the ids recorded in its catalog.
+type Schema struct {
+	byName map[string]*Class
+	byID   map[ClassID]*Class
+	subs   map[*Class][]*Class // direct subclasses, in registration order
+	order  []*Class            // registration order
+	nextID ClassID
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		byName: make(map[string]*Class),
+		byID:   make(map[ClassID]*Class),
+		subs:   make(map[*Class][]*Class),
+		nextID: 1,
+	}
+}
+
+// Register seals c and adds it to the schema. All bases of c must have
+// been registered first.
+func (s *Schema) Register(c *Class) error {
+	if c == nil {
+		return fmt.Errorf("core: Register(nil)")
+	}
+	if c.Name == "" {
+		return fmt.Errorf("core: class with empty name")
+	}
+	if _, dup := s.byName[c.Name]; dup {
+		return fmt.Errorf("core: class %s already registered", c.Name)
+	}
+	for _, b := range c.Bases {
+		if b == nil {
+			return fmt.Errorf("core: class %s has nil base", c.Name)
+		}
+		if s.byName[b.Name] != b {
+			return fmt.Errorf("core: base %s of %s is not registered in this schema", b.Name, c.Name)
+		}
+	}
+	if err := c.seal(s.nextID); err != nil {
+		return err
+	}
+	s.nextID++
+	s.byName[c.Name] = c
+	s.byID[c.id] = c
+	s.order = append(s.order, c)
+	for _, b := range c.Bases {
+		s.subs[b] = append(s.subs[b], c)
+	}
+	return nil
+}
+
+// MustRegister registers a class built by a trusted caller; it panics on
+// error. Convenient for schema definitions in examples and tests.
+func (s *Schema) MustRegister(c *Class) *Class {
+	if err := s.Register(c); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ClassNamed looks a class up by name.
+func (s *Schema) ClassNamed(name string) (*Class, bool) {
+	c, ok := s.byName[name]
+	return c, ok
+}
+
+// ClassByID looks a class up by catalog id.
+func (s *Schema) ClassByID(id ClassID) (*Class, bool) {
+	c, ok := s.byID[id]
+	return c, ok
+}
+
+// Classes returns all classes in registration order.
+func (s *Schema) Classes() []*Class { return s.order }
+
+// DirectSubclasses returns the classes that list c as a direct base.
+func (s *Schema) DirectSubclasses(c *Class) []*Class { return s.subs[c] }
+
+// Hierarchy returns c and all its (transitive) subclasses — the extents
+// visited by `forall x in c*`. The result is deterministic: a preorder
+// walk with direct subclasses in registration order, deduplicated (a
+// diamond descendant appears once).
+func (s *Schema) Hierarchy(c *Class) []*Class {
+	var out []*Class
+	seen := make(map[*Class]bool)
+	var walk func(*Class)
+	walk = func(x *Class) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		out = append(out, x)
+		for _, sub := range s.subs[x] {
+			walk(sub)
+		}
+	}
+	walk(c)
+	return out
+}
+
+// Roots returns the classes with no bases, sorted by name.
+func (s *Schema) Roots() []*Class {
+	var out []*Class
+	for _, c := range s.order {
+		if len(c.Bases) == 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Fingerprint returns a stable string describing a class's persistent
+// shape (name, id, and slot layout). The catalog stores it so that a
+// reopened database can verify the registered Go schema still matches
+// what is on disk.
+func (s *Schema) Fingerprint(c *Class) string {
+	fp := fmt.Sprintf("%s#%d(", c.Name, c.id)
+	for i, f := range c.layout {
+		if i > 0 {
+			fp += ","
+		}
+		fp += f.Name + ":" + f.Type.String()
+	}
+	return fp + ")"
+}
+
+// ClassBuilder assembles a Class declaratively. It mirrors the O++ class
+// syntax: fields, member functions, constraint and trigger sections.
+type ClassBuilder struct {
+	c *Class
+}
+
+// NewClass starts a class declaration with the given name and bases.
+func NewClass(name string, bases ...*Class) *ClassBuilder {
+	return &ClassBuilder{c: &Class{Name: name, Bases: bases}}
+}
+
+// Field declares a public data member.
+func (b *ClassBuilder) Field(name string, t *Type) *ClassBuilder {
+	b.c.Fields = append(b.c.Fields, Field{Name: name, Type: t, Vis: Public})
+	return b
+}
+
+// PrivateField declares a private data member.
+func (b *ClassBuilder) PrivateField(name string, t *Type) *ClassBuilder {
+	b.c.Fields = append(b.c.Fields, Field{Name: name, Type: t, Vis: Private})
+	return b
+}
+
+// Method declares a public member function.
+func (b *ClassBuilder) Method(name string, params []Param, result *Type, fn MethodFunc) *ClassBuilder {
+	b.c.Methods = append(b.c.Methods, &Method{Name: name, Vis: Public, Params: params, Result: result, Fn: fn})
+	return b
+}
+
+// Constraint declares a class constraint.
+func (b *ClassBuilder) Constraint(name, src string, check ConstraintFunc) *ClassBuilder {
+	b.c.Constraints = append(b.c.Constraints, Constraint{Name: name, Src: src, Check: check})
+	return b
+}
+
+// Trigger declares a trigger member.
+func (b *ClassBuilder) Trigger(def *TriggerDef) *ClassBuilder {
+	b.c.Triggers = append(b.c.Triggers, def)
+	return b
+}
+
+// Build returns the (unsealed) class; pass it to Schema.Register.
+func (b *ClassBuilder) Build() *Class { return b.c }
+
+// Register builds the class and registers it with the schema, panicking
+// on error.
+func (b *ClassBuilder) Register(s *Schema) *Class {
+	return s.MustRegister(b.c)
+}

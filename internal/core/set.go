@@ -1,0 +1,246 @@
+package core
+
+import "sort"
+
+// Set is the container behind set values: an unordered collection of
+// distinct values (paper, section 2.6). Iteration order is insertion
+// order, which gives the deterministic worklist semantics that O++
+// fixpoint queries rely on: elements inserted while a forall loop runs
+// are appended and therefore visited by that loop (section 3.2).
+//
+// Set is not safe for concurrent mutation; the transaction layer
+// serializes access to the objects that own sets.
+type Set struct {
+	index map[uint64][]int // hash -> indices into elems
+	elems []Value
+	dead  int // number of tombstoned elements in elems
+	iters int // active Iter calls; compaction is deferred while > 0
+}
+
+// NewSet returns an empty set.
+func NewSet(elems ...Value) *Set {
+	s := &Set{index: make(map[uint64][]int)}
+	for _, e := range elems {
+		s.Insert(e)
+	}
+	return s
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() int { return len(s.elems) - s.dead }
+
+// find returns the position of v in elems, or -1. The index only holds
+// live slots (Remove deletes the entry), so no tombstone check is needed.
+func (s *Set) find(v Value) int {
+	for _, i := range s.index[v.Hash()] {
+		if s.elems[i].Equal(v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// tombstoned reports whether slot i holds a removed element. Tombstones
+// are marked with the out-of-range kind sentinel numKinds.
+func (s *Set) tombstoned(i int) bool { return s.elems[i].kind == numKinds }
+
+// Insert adds v to the set. It reports whether v was newly added.
+func (s *Set) Insert(v Value) bool {
+	if s.Contains(v) {
+		return false
+	}
+	h := v.Hash()
+	s.elems = append(s.elems, v)
+	s.index[h] = append(s.index[h], len(s.elems)-1)
+	return true
+}
+
+// Remove deletes v from the set. It reports whether v was present.
+// Removal tombstones the slot so that running iterations skip it without
+// index shifting.
+func (s *Set) Remove(v Value) bool {
+	h := v.Hash()
+	slots := s.index[h]
+	for k, i := range slots {
+		if !s.tombstoned(i) && s.elems[i].Equal(v) {
+			s.elems[i] = Value{kind: numKinds}
+			s.index[h] = append(slots[:k], slots[k+1:]...)
+			if len(s.index[h]) == 0 {
+				delete(s.index, h)
+			}
+			s.dead++
+			s.maybeCompact()
+			return true
+		}
+	}
+	return false
+}
+
+// maybeCompact rebuilds the element slice when more than half the slots
+// are tombstones, keeping iteration linear in live elements.
+func (s *Set) maybeCompact() {
+	if s.iters > 0 || s.dead*2 <= len(s.elems) || len(s.elems) < 16 {
+		return
+	}
+	live := make([]Value, 0, s.Len())
+	for _, e := range s.elems {
+		if e.kind != numKinds {
+			live = append(live, e)
+		}
+	}
+	s.elems = live
+	s.dead = 0
+	s.index = make(map[uint64][]int, len(live))
+	for i, e := range live {
+		h := e.Hash()
+		s.index[h] = append(s.index[h], i)
+	}
+}
+
+// Contains reports membership.
+func (s *Set) Contains(v Value) bool { return s.find(v) >= 0 }
+
+// Elems returns the live elements in insertion order. The slice is
+// freshly allocated.
+func (s *Set) Elems() []Value {
+	out := make([]Value, 0, s.Len())
+	for _, e := range s.elems {
+		if e.kind != numKinds {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Iter visits elements in insertion order, *including elements inserted
+// during the iteration* — the fixpoint semantics of O++ set loops. The
+// visit function may mutate the set. Tombstoned elements are skipped.
+// Iter stops early if fn returns false.
+func (s *Set) Iter(fn func(Value) bool) {
+	// Index-based loop: appends grow s.elems and are therefore visited.
+	// Compaction is deferred while any iteration is active so positions
+	// stay stable.
+	s.iters++
+	defer func() { s.iters--; s.maybeCompact() }()
+	for i := 0; i < len(s.elems); i++ {
+		e := s.elems[i]
+		if e.kind == numKinds {
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// IterSnapshot visits the elements present at call time, in insertion
+// order; later insertions are not visited. This is the non-fixpoint
+// iteration mode.
+func (s *Set) IterSnapshot(fn func(Value) bool) {
+	for _, e := range s.Elems() {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Copy returns a deep copy of the set.
+func (s *Set) Copy() *Set {
+	out := NewSet()
+	for _, e := range s.elems {
+		if e.kind != numKinds {
+			out.Insert(e.Copy())
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets contain equal elements.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for _, e := range s.elems {
+		if e.kind != numKinds && !t.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// compare gives sets a total order: by length, then by sorted elements.
+func (s *Set) compare(t *Set) int {
+	if c := cmpInt(int64(s.Len()), int64(t.Len())); c != 0 {
+		return c
+	}
+	a, b := s.Elems(), t.Elems()
+	sort.Slice(a, func(i, j int) bool { return a[i].Compare(a[j]) < 0 })
+	sort.Slice(b, func(i, j int) bool { return b[i].Compare(b[j]) < 0 })
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Array is the container behind array values: an ordered, growable
+// sequence.
+type Array struct {
+	elems []Value
+}
+
+// NewArray returns an array holding the given elements.
+func NewArray(elems ...Value) *Array {
+	return &Array{elems: append([]Value(nil), elems...)}
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.elems) }
+
+// At returns the i-th element. It panics if i is out of range.
+func (a *Array) At(i int) Value { return a.elems[i] }
+
+// SetAt replaces the i-th element. It panics if i is out of range.
+func (a *Array) SetAt(i int, v Value) { a.elems[i] = v }
+
+// Append adds v at the end.
+func (a *Array) Append(v Value) { a.elems = append(a.elems, v) }
+
+// Elems returns the backing elements. Callers must not mutate the
+// returned slice beyond the Array's own methods.
+func (a *Array) Elems() []Value { return a.elems }
+
+// Copy returns a deep copy.
+func (a *Array) Copy() *Array {
+	out := &Array{elems: make([]Value, len(a.elems))}
+	for i, e := range a.elems {
+		out.elems[i] = e.Copy()
+	}
+	return out
+}
+
+// Equal reports element-wise equality.
+func (a *Array) Equal(b *Array) bool {
+	if len(a.elems) != len(b.elems) {
+		return false
+	}
+	for i := range a.elems {
+		if !a.elems[i].Equal(b.elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Array) compare(b *Array) int {
+	if c := cmpInt(int64(len(a.elems)), int64(len(b.elems))); c != 0 {
+		return c
+	}
+	for i := range a.elems {
+		if c := a.elems[i].Compare(b.elems[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetInsertRemoveContains(t *testing.T) {
+	s := NewSet()
+	if !s.Insert(Int(1)) {
+		t.Error("first insert should report true")
+	}
+	if s.Insert(Int(1)) {
+		t.Error("duplicate insert should report false")
+	}
+	if !s.Contains(Int(1)) {
+		t.Error("missing element after insert")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Remove(Int(1)) {
+		t.Error("remove of present element should report true")
+	}
+	if s.Remove(Int(1)) {
+		t.Error("remove of absent element should report false")
+	}
+	if s.Contains(Int(1)) || s.Len() != 0 {
+		t.Error("element survived removal")
+	}
+}
+
+func TestSetNumericEqualityDedup(t *testing.T) {
+	s := NewSet(Int(3))
+	if s.Insert(Float(3)) {
+		t.Error("3.0 should be a duplicate of 3")
+	}
+}
+
+func TestSetIterVisitsInsertedDuringIteration(t *testing.T) {
+	// The fixpoint property of O++ loops (paper section 3.2): elements
+	// added during the iteration are themselves visited.
+	s := NewSet(Int(1))
+	var visited []int64
+	s.Iter(func(v Value) bool {
+		visited = append(visited, v.Int())
+		if v.Int() < 5 {
+			s.Insert(Int(v.Int() + 1))
+		}
+		return true
+	})
+	want := []int64{1, 2, 3, 4, 5}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestSetIterSnapshotIgnoresInsertions(t *testing.T) {
+	s := NewSet(Int(1), Int(2))
+	n := 0
+	s.IterSnapshot(func(v Value) bool {
+		n++
+		s.Insert(Int(v.Int() + 100))
+		return true
+	})
+	if n != 2 {
+		t.Errorf("snapshot iteration visited %d, want 2", n)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len after iteration = %d, want 4", s.Len())
+	}
+}
+
+func TestSetIterEarlyStop(t *testing.T) {
+	s := NewSet(Int(1), Int(2), Int(3))
+	n := 0
+	s.Iter(func(Value) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("visited %d, want 2", n)
+	}
+}
+
+func TestSetRemoveDuringIteration(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 10; i++ {
+		s.Insert(Int(int64(i)))
+	}
+	var visited []int64
+	s.Iter(func(v Value) bool {
+		visited = append(visited, v.Int())
+		s.Remove(Int(v.Int() + 1)) // remove the next element
+		return true
+	})
+	// Every other element should have been visited: 0,2,4,6,8.
+	want := []int64{0, 2, 4, 6, 8}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestSetCompaction(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 100; i++ {
+		s.Insert(Int(int64(i)))
+	}
+	for i := 0; i < 90; i++ {
+		s.Remove(Int(int64(i)))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	if len(s.elems) > 30 {
+		t.Errorf("compaction did not run: %d slots for 10 live elements", len(s.elems))
+	}
+	for i := 90; i < 100; i++ {
+		if !s.Contains(Int(int64(i))) {
+			t.Errorf("element %d lost by compaction", i)
+		}
+	}
+}
+
+func TestSetEqualIsOrderIndependent(t *testing.T) {
+	a := NewSet(Int(1), Int(2), Int(3))
+	b := NewSet(Int(3), Int(1), Int(2))
+	if !a.Equal(b) {
+		t.Error("sets with same elements in different order should be equal")
+	}
+	b.Remove(Int(2))
+	if a.Equal(b) {
+		t.Error("sets of different size should differ")
+	}
+}
+
+// TestSetModelCheck drives a Set and a map[string]bool model with the
+// same random operations and compares observable state.
+func TestSetModelCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := NewSet()
+	model := make(map[int64]bool)
+	for step := 0; step < 5000; step++ {
+		k := int64(r.Intn(200))
+		switch r.Intn(3) {
+		case 0:
+			got := s.Insert(Int(k))
+			want := !model[k]
+			if got != want {
+				t.Fatalf("step %d: Insert(%d) = %v, want %v", step, k, got, want)
+			}
+			model[k] = true
+		case 1:
+			got := s.Remove(Int(k))
+			want := model[k]
+			if got != want {
+				t.Fatalf("step %d: Remove(%d) = %v, want %v", step, k, got, want)
+			}
+			delete(model, k)
+		case 2:
+			if got, want := s.Contains(Int(k)), model[k]; got != want {
+				t.Fatalf("step %d: Contains(%d) = %v, want %v", step, k, got, want)
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model = %d", step, s.Len(), len(model))
+		}
+	}
+}
+
+func TestSetCopyIndependence(t *testing.T) {
+	f := func(keys []int16) bool {
+		s := NewSet()
+		for _, k := range keys {
+			s.Insert(Int(int64(k)))
+		}
+		c := s.Copy()
+		if !s.Equal(c) {
+			return false
+		}
+		c.Insert(Int(1 << 40)) // out of int16 range: guaranteed new
+		return s.Len() == c.Len()-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayOps(t *testing.T) {
+	a := NewArray(Int(1), Int(2))
+	a.Append(Int(3))
+	if a.Len() != 3 || a.At(2).Int() != 3 {
+		t.Fatalf("array state wrong: %v", a.Elems())
+	}
+	a.SetAt(0, Int(9))
+	if a.At(0).Int() != 9 {
+		t.Error("SetAt failed")
+	}
+	b := a.Copy()
+	b.SetAt(0, Int(0))
+	if a.At(0).Int() != 9 {
+		t.Error("Copy is not independent")
+	}
+	if a.Equal(b) {
+		t.Error("arrays differing in one slot should not be Equal")
+	}
+}

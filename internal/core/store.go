@@ -1,0 +1,62 @@
+package core
+
+// Store is the runtime context handed to member functions, constraint
+// predicates, and trigger bodies. It is the O++ "ambient database": the
+// transaction the code executes in. The txn package provides the real
+// implementation; tests can use lightweight fakes.
+//
+// Methods that only compute over the receiver may ignore it entirely —
+// most of the paper's examples do.
+type Store interface {
+	// Deref returns the current state of the persistent object with the
+	// given id. The returned object is the live transactional image:
+	// mutations must be published with Update to take effect.
+	Deref(oid OID) (*Object, error)
+
+	// DerefVersion returns the state of a specific version of an object.
+	DerefVersion(ref VRef) (*Object, error)
+
+	// PNew creates a persistent object of class c initialized from o
+	// (which may be nil for a zero instance) and returns its id. The
+	// cluster for c must exist.
+	PNew(c *Class, o *Object) (OID, error)
+
+	// Update publishes the (mutated) state of a persistent object.
+	Update(oid OID, o *Object) error
+
+	// PDelete removes a persistent object.
+	PDelete(oid OID) error
+
+	// Schema exposes the class catalog the store was opened with.
+	Schema() *Schema
+}
+
+// NullStore is a Store for purely computational contexts (volatile-only
+// method calls, unit tests of predicates). Every database operation
+// fails.
+type NullStore struct{ Classes *Schema }
+
+// ErrNoDatabase is returned by NullStore operations.
+var ErrNoDatabase = errNoDatabase{}
+
+type errNoDatabase struct{}
+
+func (errNoDatabase) Error() string { return "core: no database in this context" }
+
+// Deref implements Store.
+func (NullStore) Deref(OID) (*Object, error) { return nil, ErrNoDatabase }
+
+// DerefVersion implements Store.
+func (NullStore) DerefVersion(VRef) (*Object, error) { return nil, ErrNoDatabase }
+
+// PNew implements Store.
+func (NullStore) PNew(*Class, *Object) (OID, error) { return NilOID, ErrNoDatabase }
+
+// Update implements Store.
+func (NullStore) Update(OID, *Object) error { return ErrNoDatabase }
+
+// PDelete implements Store.
+func (NullStore) PDelete(OID) error { return ErrNoDatabase }
+
+// Schema implements Store.
+func (n NullStore) Schema() *Schema { return n.Classes }

@@ -1,0 +1,150 @@
+package core
+
+import "fmt"
+
+// Type describes the declared type of a field, parameter, or set element.
+// O++ types are the C++ scalar types plus object references (typed by
+// class), version references, sets, and arrays.
+type Type struct {
+	Kind  Kind
+	Elem  *Type  // element type for KSet and KArray
+	Class string // target class name for KOID and KVRef; "" means any class
+}
+
+// Predeclared scalar types.
+var (
+	TInt    = &Type{Kind: KInt}
+	TFloat  = &Type{Kind: KFloat}
+	TBool   = &Type{Kind: KBool}
+	TChar   = &Type{Kind: KChar}
+	TString = &Type{Kind: KString}
+	TAnyRef = &Type{Kind: KOID}
+	TNull   = &Type{Kind: KNull}
+)
+
+// RefTo returns the type of generic references to objects of class name.
+func RefTo(class string) *Type { return &Type{Kind: KOID, Class: class} }
+
+// VRefTo returns the type of version references to objects of class name.
+func VRefTo(class string) *Type { return &Type{Kind: KVRef, Class: class} }
+
+// SetOfType returns the type set<elem>.
+func SetOfType(elem *Type) *Type { return &Type{Kind: KSet, Elem: elem} }
+
+// ArrayOfType returns the type array<elem>.
+func ArrayOfType(elem *Type) *Type { return &Type{Kind: KArray, Elem: elem} }
+
+// String renders the type in O++-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "any"
+	}
+	switch t.Kind {
+	case KOID:
+		if t.Class == "" {
+			return "ref"
+		}
+		return t.Class + " *"
+	case KVRef:
+		if t.Class == "" {
+			return "vref"
+		}
+		return t.Class + " vref"
+	case KSet:
+		return "set<" + t.Elem.String() + ">"
+	case KArray:
+		return "array<" + t.Elem.String() + ">"
+	}
+	return t.Kind.String()
+}
+
+// Zero returns the zero value of the type: 0, 0.0, false, '\0', "",
+// nil reference, empty set/array, or null.
+func (t *Type) Zero() Value {
+	if t == nil {
+		return Null
+	}
+	switch t.Kind {
+	case KInt:
+		return Int(0)
+	case KFloat:
+		return Float(0)
+	case KBool:
+		return Bool(false)
+	case KChar:
+		return Char(0)
+	case KString:
+		return Str("")
+	case KOID:
+		return Ref(NilOID)
+	case KVRef:
+		return VersionRef(VRef{})
+	case KSet:
+		return SetOf(NewSet())
+	case KArray:
+		return ArrayOf(NewArray())
+	}
+	return Null
+}
+
+// Accepts reports whether a value of kind k (shallowly) fits the type.
+// Ints are accepted where floats are expected (widening, as in C++);
+// null is accepted for reference kinds; version references are accepted
+// where generic references are expected (they identify an object).
+func (t *Type) Accepts(v Value) bool {
+	if t == nil {
+		return true
+	}
+	switch t.Kind {
+	case v.Kind():
+		return true
+	case KFloat:
+		return v.Kind() == KInt
+	case KOID:
+		return v.Kind() == KNull || v.Kind() == KVRef
+	case KVRef:
+		return v.Kind() == KNull
+	}
+	return v.Kind() == KNull && (t.Kind == KSet || t.Kind == KArray)
+}
+
+// Convert coerces v to the type, applying the numeric widening that
+// Accepts allows. It returns an error if v does not fit.
+func (t *Type) Convert(v Value) (Value, error) {
+	if t == nil {
+		return v, nil
+	}
+	if v.Kind() == t.Kind {
+		return v, nil
+	}
+	switch {
+	case t.Kind == KFloat && v.Kind() == KInt:
+		return Float(float64(v.Int())), nil
+	case t.Kind == KOID && v.Kind() == KNull:
+		return Ref(NilOID), nil
+	case t.Kind == KOID && v.Kind() == KVRef:
+		return v, nil // a pinned reference can stand where a generic one is expected
+	case t.Kind == KVRef && v.Kind() == KNull:
+		return VersionRef(VRef{}), nil
+	case (t.Kind == KSet || t.Kind == KArray) && v.Kind() == KNull:
+		return t.Zero(), nil
+	}
+	return Null, fmt.Errorf("core: cannot use %s value where %s is expected", v.Kind(), t)
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == nil || u == nil {
+		return t == u
+	}
+	if t.Kind != u.Kind || t.Class != u.Class {
+		return false
+	}
+	if t.Elem == nil && u.Elem == nil {
+		return true
+	}
+	if t.Elem == nil || u.Elem == nil {
+		return false
+	}
+	return t.Elem.Equal(u.Elem)
+}

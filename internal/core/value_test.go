@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue generates an arbitrary scalar-or-container value for
+// property tests. Depth limits container nesting.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := int(numKinds)
+	if depth <= 0 {
+		max = int(KSet) // exclude containers at the leaves
+	}
+	switch Kind(r.Intn(max)) {
+	case KNull:
+		return Null
+	case KInt:
+		return Int(r.Int63n(1<<40) - (1 << 39))
+	case KFloat:
+		return Float(r.NormFloat64() * 1e6)
+	case KBool:
+		return Bool(r.Intn(2) == 0)
+	case KChar:
+		return Char(rune(r.Intn(0x10000)))
+	case KString:
+		b := make([]byte, r.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return Str(string(b))
+	case KOID:
+		return Ref(OID(r.Uint64() >> 16))
+	case KVRef:
+		return VersionRef(VRef{OID: OID(r.Uint64() >> 16), Version: uint32(r.Intn(100))})
+	case KSet:
+		s := NewSet()
+		for i := 0; i < r.Intn(5); i++ {
+			s.Insert(randomValue(r, depth-1))
+		}
+		return SetOf(s)
+	case KArray:
+		a := NewArray()
+		for i := 0; i < r.Intn(5); i++ {
+			a.Append(randomValue(r, depth-1))
+		}
+		return ArrayOf(a)
+	}
+	return Null
+}
+
+// valueGen adapts randomValue to testing/quick.
+type valueGen struct{ V Value }
+
+// Generate implements quick.Generator.
+func (valueGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueGen{V: randomValue(r, 2)})
+}
+
+func TestValueZeroIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KNull {
+		t.Fatalf("zero Value should be null, got %s", v.Kind())
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Int(42).Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := Float(2.5).Float(); got != 2.5 {
+		t.Errorf("Float = %v", got)
+	}
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("Bool roundtrip failed")
+	}
+	if got := Char('x').Char(); got != 'x' {
+		t.Errorf("Char = %q", got)
+	}
+	if got := Str("ode").Str(); got != "ode" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := Ref(7).OID(); got != 7 {
+		t.Errorf("OID = %d", got)
+	}
+	r := VRef{OID: 9, Version: 3}
+	if got := VersionRef(r).VRef(); got != r {
+		t.Errorf("VRef = %+v", got)
+	}
+}
+
+func TestValueAccessorPanicsOnKindMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reading Int from a string value")
+		}
+	}()
+	_ = Str("no").Int()
+}
+
+func TestAnyOID(t *testing.T) {
+	if oid, ok := Ref(5).AnyOID(); !ok || oid != 5 {
+		t.Errorf("AnyOID(Ref) = %d,%v", oid, ok)
+	}
+	if oid, ok := VersionRef(VRef{OID: 6, Version: 1}).AnyOID(); !ok || oid != 6 {
+		t.Errorf("AnyOID(VRef) = %d,%v", oid, ok)
+	}
+	if _, ok := Int(1).AnyOID(); ok {
+		t.Error("AnyOID(Int) should be false")
+	}
+}
+
+func TestNumericCrossKindEquality(t *testing.T) {
+	if !Int(3).Equal(Float(3)) || !Float(3).Equal(Int(3)) {
+		t.Error("3 should equal 3.0 across kinds")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("3 should not equal 3.5")
+	}
+	if Int(3).Compare(Float(3)) != 0 {
+		t.Error("Compare(3, 3.0) != 0")
+	}
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("Compare(2, 2.5) != -1")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null, false},
+		{Int(0), false},
+		{Int(1), true},
+		{Float(0), false},
+		{Float(0.1), true},
+		{Bool(false), false},
+		{Bool(true), true},
+		{Str(""), true}, // strings are objects, not numbers: always truthy
+		{Ref(NilOID), false},
+		{Ref(1), true},
+		{SetOf(NewSet()), false},
+		{SetOf(NewSet(Int(1))), true},
+	}
+	for _, c := range cases {
+		if got := c.v.Truthy(); got != c.want {
+			t.Errorf("Truthy(%s) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqualImpliesEqualHash(t *testing.T) {
+	f := func(g valueGen) bool {
+		v := g.V
+		w := v.Copy()
+		return v.Equal(w) && v.Hash() == w.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntFloatHashAgree(t *testing.T) {
+	f := func(n int32) bool {
+		return Int(int64(n)).Hash() == Float(float64(n)).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(a, b, c valueGen) bool {
+		x, y, z := a.V, b.V, c.V
+		// Antisymmetry.
+		if x.Compare(y) != -y.Compare(x) {
+			return false
+		}
+		// Reflexivity via Equal: Compare(x,x) == 0.
+		if x.Compare(x) != 0 {
+			return false
+		}
+		// Transitivity (only check the ordered case).
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 && x.Compare(z) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	s := NewSet(Int(1))
+	v := SetOf(s)
+	w := v.Copy()
+	s.Insert(Int(2))
+	if w.Set().Len() != 1 {
+		t.Errorf("copy shares set: len=%d", w.Set().Len())
+	}
+
+	a := NewArray(Int(1))
+	av := ArrayOf(a)
+	aw := av.Copy()
+	a.Append(Int(2))
+	if aw.Array().Len() != 1 {
+		t.Errorf("copy shares array: len=%d", aw.Array().Len())
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{Int(-7), "-7"},
+		{Float(1.5), "1.5"},
+		{Bool(true), "true"},
+		{Str("hi"), `"hi"`},
+		{Ref(NilOID), "nil"},
+		{Ref(12), "@12"},
+		{VersionRef(VRef{OID: 12, Version: 4}), "@12:v4"},
+		{ArrayOf(NewArray(Int(1), Int(2))), "[1, 2]"},
+		{SetOf(NewSet(Int(2), Int(1))), "{1, 2}"}, // rendered sorted
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}

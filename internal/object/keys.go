@@ -1,0 +1,133 @@
+package object
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ode/internal/core"
+)
+
+// ErrNotIndexable is returned for values that cannot be index keys.
+var ErrNotIndexable = errors.New("object: value kind is not indexable")
+
+// EncodeKey appends an order-preserving encoding of v: for any two
+// encodable values a and b, bytes.Compare(EncodeKey(a), EncodeKey(b))
+// equals a.Compare(b). Sets and arrays are not encodable (they cannot
+// be index keys).
+//
+// The encoding leads with the comparison rank byte used by
+// core.Value.Compare, so mixed-kind index columns order identically to
+// the `by` clause. Numerics (int and float share a rank) use the
+// standard sign-flipped IEEE-754 image; note that like Compare itself,
+// this orders integers by their float64 image.
+func EncodeKey(buf []byte, v core.Value) ([]byte, error) {
+	switch v.Kind() {
+	case core.KNull:
+		return append(buf, 0x00), nil
+	case core.KBool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return append(append(buf, 0x01), b), nil
+	case core.KInt:
+		return appendOrderedFloat(append(buf, 0x02), float64(v.Int())), nil
+	case core.KFloat:
+		return appendOrderedFloat(append(buf, 0x02), v.Float()), nil
+	case core.KChar:
+		buf = append(buf, 0x03)
+		return binary.BigEndian.AppendUint32(buf, uint32(v.Char())), nil
+	case core.KString:
+		return appendEscapedString(append(buf, 0x04), v.Str()), nil
+	case core.KOID:
+		buf = append(buf, 0x05)
+		return binary.BigEndian.AppendUint64(buf, uint64(v.OID())), nil
+	case core.KVRef:
+		r := v.VRef()
+		buf = append(buf, 0x06)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.OID))
+		return binary.BigEndian.AppendUint32(buf, r.Version), nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotIndexable, v.Kind())
+}
+
+// appendOrderedFloat appends the 8-byte image of f whose unsigned byte
+// order matches numeric order: positive floats get the sign bit set,
+// negative floats are fully complemented.
+func appendOrderedFloat(buf []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	return binary.BigEndian.AppendUint64(buf, bits)
+}
+
+// appendEscapedString appends s with 0x00 bytes escaped as 0x00 0xFF
+// and a 0x00 0x01 terminator, preserving order under concatenation
+// (needed for composite keys).
+func appendEscapedString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			buf = append(buf, 0x00, 0xFF)
+		} else {
+			buf = append(buf, s[i])
+		}
+	}
+	return append(buf, 0x00, 0x01)
+}
+
+// Composite key builders for the manager's trees.
+
+func dirKey(oid core.OID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(oid))
+	return b[:]
+}
+
+func verKey(oid core.OID, ver uint32) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[:], uint64(oid))
+	binary.BigEndian.PutUint32(b[8:], ver)
+	return b[:]
+}
+
+func clusterKey(cid core.ClassID, oid core.OID) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[:], uint32(cid))
+	binary.BigEndian.PutUint64(b[4:], uint64(oid))
+	return b[:]
+}
+
+func clusterPrefix(cid core.ClassID) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(cid))
+	return b[:]
+}
+
+// indexPrefix builds the per-(class, field) prefix of the shared
+// secondary-index tree.
+func indexPrefix(cid core.ClassID, slot int) []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[:], uint32(cid))
+	binary.BigEndian.PutUint16(b[4:], uint16(slot))
+	return b[:]
+}
+
+// indexKey is indexPrefix + EncodeKey(value) + oid (to make entries
+// unique per object).
+func indexKey(cid core.ClassID, slot int, v core.Value, oid core.OID) ([]byte, error) {
+	buf, err := EncodeKey(indexPrefix(cid, slot), v)
+	if err != nil {
+		return nil, err
+	}
+	return binary.BigEndian.AppendUint64(buf, uint64(oid)), nil
+}
+
+// oidFromIndexKey extracts the trailing oid of an index entry.
+func oidFromIndexKey(key []byte) core.OID {
+	return core.OID(binary.BigEndian.Uint64(key[len(key)-8:]))
+}

@@ -1,0 +1,319 @@
+package oql
+
+// The abstract syntax of the O++ subset. Every node records its source
+// position for diagnostics.
+
+// Node is the common interface of AST nodes.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// ---- Types ----
+
+// TypeExpr is a surface type: scalar, Class*, set<T>, or array<T>.
+type TypeExpr struct {
+	pos
+	Name string    // "int", "float", "bool", "char", "string", class name
+	Ref  bool      // Class* (a reference)
+	Set  *TypeExpr // set<Elem>
+	Arr  *TypeExpr // array<Elem>
+}
+
+// ---- Declarations ----
+
+// ClassDecl is a class declaration with its sections.
+type ClassDecl struct {
+	pos
+	Name        string
+	Bases       []string
+	Fields      []FieldDecl
+	Methods     []MethodDecl
+	Constraints []ConstraintDecl
+	Triggers    []TriggerDecl
+}
+
+// FieldDecl is a data member.
+type FieldDecl struct {
+	pos
+	Name    string
+	Type    *TypeExpr
+	Private bool
+}
+
+// MethodDecl is a member function with a body.
+type MethodDecl struct {
+	pos
+	Name    string
+	Params  []ParamDecl
+	Result  *TypeExpr // nil for void
+	Body    *BlockStmt
+	Private bool
+}
+
+// ParamDecl is a parameter.
+type ParamDecl struct {
+	pos
+	Name string
+	Type *TypeExpr
+}
+
+// ConstraintDecl is one boolean condition in the constraint: section.
+type ConstraintDecl struct {
+	pos
+	Cond Expr
+	Src  string
+}
+
+// TriggerDecl is one trigger in the trigger: section:
+//
+//	[perpetual] name(params) : cond ==> { action }
+type TriggerDecl struct {
+	pos
+	Name      string
+	Perpetual bool
+	Params    []ParamDecl
+	Cond      Expr
+	Action    *BlockStmt
+	Src       string
+}
+
+// ---- Statements ----
+
+// Stmt is a statement.
+type Stmt interface{ Node }
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares a variable: `let x = e;`, `x := e;`, or a typed
+// declaration `int x;` / `set<int> s;`.
+type DeclStmt struct {
+	pos
+	Name string
+	Type *TypeExpr // nil for := declarations
+	Init Expr      // nil for bare typed declarations
+}
+
+// AssignStmt assigns to a variable or a field path: `x = e;`,
+// `p.f = e;`.
+type AssignStmt struct {
+	pos
+	Target Expr // IdentExpr or FieldExpr
+	Value  Expr
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	pos
+	E Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt or *IfStmt or nil
+}
+
+// WhileStmt is while (cond) { ... }.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForallStmt is the iterator (paper, section 3):
+//
+//	forall x in C[*] [suchthat (e)] [by (e) [desc]] [snapshot] { body }
+//	forall x in setExpr [suchthat (e)] { body }
+type ForallStmt struct {
+	pos
+	Var      string
+	Source   string // class name, or "" when Set is non-nil
+	SetExpr  Expr   // iterate a set value
+	Subtypes bool   // C*
+	Suchthat Expr
+	By       Expr
+	Desc     bool
+	Snapshot bool
+	Body     *BlockStmt
+}
+
+// PrintStmt prints comma-separated values.
+type PrintStmt struct {
+	pos
+	Args []Expr
+}
+
+// ReturnStmt returns from a method.
+type ReturnStmt struct {
+	pos
+	Value Expr // nil for bare return
+}
+
+// PDeleteStmt deletes a persistent object.
+type PDeleteStmt struct {
+	pos
+	Target Expr
+}
+
+// DeactivateStmt disarms a trigger activation by id.
+type DeactivateStmt struct {
+	pos
+	ID Expr
+}
+
+// CreateStmt is DDL: `create cluster C;` / `create index C on f;`.
+type CreateStmt struct {
+	pos
+	Destroy bool
+	Index   bool
+	Class   string
+	Field   string
+}
+
+// CommitStmt commits (and restarts) the ambient transaction; AbortStmt
+// aborts it.
+type CommitStmt struct{ pos }
+
+// AbortStmt aborts the ambient transaction.
+type AbortStmt struct{ pos }
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ pos }
+
+// ---- Expressions ----
+
+// Expr is an expression.
+type Expr interface{ Node }
+
+// IntLit, FloatLit, StrLit, CharLit, BoolLit, NullLit are literals.
+type IntLit struct {
+	pos
+	V int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	pos
+	V float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	pos
+	V string
+}
+
+// CharLit is a char literal.
+type CharLit struct {
+	pos
+	V rune
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	pos
+	V bool
+}
+
+// NullLit is null or nil.
+type NullLit struct{ pos }
+
+// SetLit is {e1, e2, ...}.
+type SetLit struct {
+	pos
+	Elems []Expr
+}
+
+// IdentExpr is a variable reference.
+type IdentExpr struct {
+	pos
+	Name string
+}
+
+// FieldExpr is target.field (or target->field).
+type FieldExpr struct {
+	pos
+	Target Expr
+	Name   string
+}
+
+// CallExpr is a builtin or method call: fn(args) or target.m(args).
+type CallExpr struct {
+	pos
+	Target Expr // nil for builtins
+	Name   string
+	Args   []Expr
+}
+
+// NewExpr allocates an object: [pnew|new] Class{field: e, ...}.
+type NewExpr struct {
+	pos
+	Class      string
+	Persistent bool
+	Inits      []FieldInit
+}
+
+// FieldInit is one field initializer of a NewExpr.
+type FieldInit struct {
+	pos
+	Name  string
+	Value Expr
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	pos
+	Op   TokKind
+	L, R Expr
+}
+
+// UnExpr is unary - or !.
+type UnExpr struct {
+	pos
+	Op TokKind
+	E  Expr
+}
+
+// IsExpr is the dynamic-type test `e is C[*]` (the * is accepted and
+// ignored: `is` always tests is-a).
+type IsExpr struct {
+	pos
+	E     Expr
+	Class string
+}
+
+// ActivateExpr arms a trigger: activate target.T(args), optionally
+// with a deadline (timed trigger): activate target.T(args) in e — not
+// in the subset; deadline via builtin instead.
+type ActivateExpr struct {
+	pos
+	Target  Expr
+	Trigger string
+	Args    []Expr
+}
+
+// VersionExpr is newversion(e), vprev(e), vnext(e).
+type VersionExpr struct {
+	pos
+	Op TokKind // TKNewversion, TKVprev, TKVnext
+	E  Expr
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+	Stmts   []Stmt
+}

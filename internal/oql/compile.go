@@ -1,0 +1,169 @@
+package oql
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ode/internal/core"
+)
+
+// RegisterClasses lowers class declarations into a schema: fields,
+// methods, constraints, and triggers become core declarations whose
+// bodies are interpreted closures. Classes must appear bases-first, as
+// in C++.
+func RegisterClasses(decls []*ClassDecl, schema *core.Schema) error {
+	for _, cd := range decls {
+		if _, exists := schema.ClassNamed(cd.Name); exists {
+			return errAt(cd.line, cd.col, "class %s already declared", cd.Name)
+		}
+		var bases []*core.Class
+		for _, bn := range cd.Bases {
+			base, ok := schema.ClassNamed(bn)
+			if !ok {
+				return errAt(cd.line, cd.col, "base class %s of %s is not declared", bn, cd.Name)
+			}
+			bases = append(bases, base)
+		}
+		b := core.NewClass(cd.Name, bases...)
+		for _, f := range cd.Fields {
+			t, err := lowerType(schema, f.Type)
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				return errAt(f.line, f.col, "field %s cannot be void", f.Name)
+			}
+			if f.Private {
+				b.PrivateField(f.Name, t)
+			} else {
+				b.Field(f.Name, t)
+			}
+		}
+		for i := range cd.Methods {
+			m := cd.Methods[i]
+			params, err := lowerParams(schema, m.Params)
+			if err != nil {
+				return err
+			}
+			var result *core.Type
+			if m.Result != nil {
+				result, err = lowerType(schema, m.Result)
+				if err != nil {
+					return err
+				}
+			}
+			body := m.Body
+			mpos := m.pos
+			b.Method(m.Name, params, result, func(st core.Store, self *core.Object, args []core.Value) (core.Value, error) {
+				return runBody(st, self, params, args, body, mpos)
+			})
+		}
+		for i := range cd.Constraints {
+			k := cd.Constraints[i]
+			cond := k.Cond
+			kpos := k.pos
+			b.Constraint(fmt.Sprintf("%s-constraint-%d", cd.Name, i+1), k.Src,
+				func(st core.Store, self *core.Object) (bool, error) {
+					ctx := bodyCtx(st, self, core.NilOID)
+					ok, err := ctx.evalTruthy(cond)
+					if err != nil {
+						return false, errAt(kpos.line, kpos.col, "constraint: %v", err)
+					}
+					return ok, nil
+				})
+		}
+		for i := range cd.Triggers {
+			td := cd.Triggers[i]
+			params, err := lowerParams(schema, td.Params)
+			if err != nil {
+				return err
+			}
+			cond := td.Cond
+			action := td.Action
+			b.Trigger(&core.TriggerDef{
+				Name:      td.Name,
+				Perpetual: td.Perpetual,
+				Params:    params,
+				Src:       td.Src,
+				Cond: func(st core.Store, self *core.Object, args []core.Value) (bool, error) {
+					ctx := bodyCtx(st, self, core.NilOID)
+					bindParams(ctx, params, args)
+					return ctx.evalTruthy(cond)
+				},
+				Action: func(st core.Store, self *core.Object, selfOID core.OID, args []core.Value) error {
+					ctx := bodyCtx(st, self, selfOID)
+					bindParams(ctx, params, args)
+					if err := ctx.execBlock(action); err != nil {
+						if _, isReturn := err.(returnSignal); isReturn {
+							err = nil
+						}
+						if err != nil {
+							return err
+						}
+					}
+					// Publish the target's mutations.
+					return st.Update(selfOID, self)
+				},
+			})
+		}
+		if err := schema.Register(b.Build()); err != nil {
+			return errAt(cd.line, cd.col, "%v", err)
+		}
+	}
+	return nil
+}
+
+func lowerParams(schema *core.Schema, ps []ParamDecl) ([]core.Param, error) {
+	var out []core.Param
+	for _, p := range ps {
+		t, err := lowerType(schema, p.Type)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Param{Name: p.Name, Type: t})
+	}
+	return out, nil
+}
+
+// bodyCtx builds the execution context for a compiled body: bare
+// identifiers resolve to self's fields.
+func bodyCtx(st core.Store, self *core.Object, selfOID core.OID) *execCtx {
+	e := newEnv(nil)
+	e.self = self
+	e.selfOID = selfOID
+	e.vars["this"] = rval{obj: self}
+	if selfOID != core.NilOID {
+		e.vars["self"] = fromValue(core.Ref(selfOID))
+	} else {
+		e.vars["self"] = rval{obj: self}
+	}
+	return &execCtx{st: st, out: io.Discard, env: newEnv(e)}
+}
+
+func bindParams(ctx *execCtx, params []core.Param, args []core.Value) {
+	for i, p := range params {
+		if i < len(args) {
+			ctx.env.declare(p.Name, fromValue(args[i]))
+		}
+	}
+}
+
+// runBody executes a method body with params bound and returns its
+// return value (Null for falling off the end).
+func runBody(st core.Store, self *core.Object, params []core.Param, args []core.Value, body *BlockStmt, mpos pos) (core.Value, error) {
+	ctx := bodyCtx(st, self, core.NilOID)
+	ctx.out = os.Stdout // print inside methods goes to stdout
+	bindParams(ctx, params, args)
+	err := ctx.execBlock(body)
+	if err == nil {
+		return core.Null, nil
+	}
+	if ret, ok := err.(returnSignal); ok {
+		if ret.v.isVolatile() {
+			return core.Null, errAt(mpos.line, mpos.col, "methods cannot return volatile objects")
+		}
+		return ret.v.v, nil
+	}
+	return core.Null, err
+}

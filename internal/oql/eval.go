@@ -1,0 +1,713 @@
+package oql
+
+import (
+	"errors"
+
+	"ode/internal/core"
+	"ode/internal/object"
+)
+
+func (c *execCtx) evalTruthy(e Expr) (bool, error) {
+	v, err := c.eval(e)
+	if err != nil {
+		return false, err
+	}
+	if v.isVolatile() {
+		return true, nil
+	}
+	return v.v.Truthy(), nil
+}
+
+func (c *execCtx) eval(e Expr) (rval, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return fromValue(core.Int(e.V)), nil
+	case *FloatLit:
+		return fromValue(core.Float(e.V)), nil
+	case *StrLit:
+		return fromValue(core.Str(e.V)), nil
+	case *CharLit:
+		return fromValue(core.Char(e.V)), nil
+	case *BoolLit:
+		return fromValue(core.Bool(e.V)), nil
+	case *NullLit:
+		return fromValue(core.Null), nil
+	case *SetLit:
+		s := core.NewSet()
+		for _, el := range e.Elems {
+			v, err := c.eval(el)
+			if err != nil {
+				return rval{}, err
+			}
+			if v.isVolatile() {
+				line, col := el.Pos()
+				return rval{}, errAt(line, col, "volatile objects cannot be set elements")
+			}
+			s.Insert(v.v)
+		}
+		return fromValue(core.SetOf(s)), nil
+	case *IdentExpr:
+		v, _, ok := c.env.lookup(e.Name)
+		if !ok {
+			line, col := e.Pos()
+			return rval{}, errAt(line, col, "undefined: %s", e.Name)
+		}
+		return v, nil
+	case *FieldExpr:
+		return c.evalField(e)
+	case *CallExpr:
+		return c.evalCall(e)
+	case *NewExpr:
+		return c.evalNew(e)
+	case *BinExpr:
+		return c.evalBin(e)
+	case *UnExpr:
+		v, err := c.eval(e.E)
+		if err != nil {
+			return rval{}, err
+		}
+		line, col := e.Pos()
+		if e.Op == TBang {
+			if v.isVolatile() {
+				return fromValue(core.Bool(false)), nil
+			}
+			return fromValue(core.Bool(!v.v.Truthy())), nil
+		}
+		switch {
+		case !v.isVolatile() && v.v.Kind() == core.KInt:
+			return fromValue(core.Int(-v.v.Int())), nil
+		case !v.isVolatile() && v.v.Kind() == core.KFloat:
+			return fromValue(core.Float(-v.v.Float())), nil
+		}
+		return rval{}, errAt(line, col, "unary - needs a number, got %s", v)
+	case *IsExpr:
+		return c.evalIs(e)
+	case *ActivateExpr:
+		return c.evalActivate(e)
+	case *VersionExpr:
+		return c.evalVersion(e)
+	}
+	line, col := e.Pos()
+	return rval{}, errAt(line, col, "unhandled expression %T", e)
+}
+
+// objectOf materializes the object an expression value denotes: the
+// volatile object itself, or the transaction-visible state behind a
+// reference. It reports the oid for persistent objects.
+func (c *execCtx) objectOf(line, col int, v rval) (*core.Object, core.OID, error) {
+	if v.isVolatile() {
+		return v.obj, core.NilOID, nil
+	}
+	switch v.v.Kind() {
+	case core.KOID:
+		oid := v.v.OID()
+		if oid == core.NilOID {
+			return nil, 0, errAt(line, col, "nil dereference")
+		}
+		tx, err := c.tx()
+		if err != nil {
+			return nil, 0, errAt(line, col, "%v", err)
+		}
+		o, err := tx.Deref(oid)
+		if err != nil {
+			return nil, 0, errAt(line, col, "%v", err)
+		}
+		return o, oid, nil
+	case core.KVRef:
+		ref := v.v.VRef()
+		if ref.OID == core.NilOID {
+			return nil, 0, errAt(line, col, "nil dereference")
+		}
+		tx, err := c.tx()
+		if err != nil {
+			return nil, 0, errAt(line, col, "%v", err)
+		}
+		o, err := tx.DerefVersion(ref)
+		if err != nil {
+			return nil, 0, errAt(line, col, "%v", err)
+		}
+		return o, ref.OID, nil
+	}
+	return nil, 0, errAt(line, col, "expected an object, got %s", v)
+}
+
+func (c *execCtx) evalField(e *FieldExpr) (rval, error) {
+	base, err := c.eval(e.Target)
+	if err != nil {
+		return rval{}, err
+	}
+	line, col := e.Pos()
+	o, _, err := c.objectOf(line, col, base)
+	if err != nil {
+		return rval{}, err
+	}
+	v, err := o.Get(e.Name)
+	if err != nil {
+		return rval{}, errAt(line, col, "%v", err)
+	}
+	return fromValue(v), nil
+}
+
+func (c *execCtx) evalNew(e *NewExpr) (rval, error) {
+	line, col := e.Pos()
+	cl, err := c.classNamed(line, col, e.Class)
+	if err != nil {
+		return rval{}, err
+	}
+	o := core.NewObject(cl)
+	for _, init := range e.Inits {
+		v, err := c.eval(init.Value)
+		if err != nil {
+			return rval{}, err
+		}
+		if v.isVolatile() {
+			return rval{}, errAt(init.line, init.col, "volatile objects cannot initialize fields")
+		}
+		if err := o.Set(init.Name, v.v); err != nil {
+			return rval{}, errAt(init.line, init.col, "%v", err)
+		}
+	}
+	if !e.Persistent {
+		return rval{obj: o}, nil
+	}
+	tx, err := c.tx()
+	if err != nil {
+		return rval{}, errAt(line, col, "%v", err)
+	}
+	oid, err := tx.PNew(cl, o)
+	if err != nil {
+		return rval{}, errAt(line, col, "%v", err)
+	}
+	return fromValue(core.Ref(oid)), nil
+}
+
+func (c *execCtx) evalIs(e *IsExpr) (rval, error) {
+	base, err := c.eval(e.E)
+	if err != nil {
+		return rval{}, err
+	}
+	line, col := e.Pos()
+	cl, err := c.classNamed(line, col, e.Class)
+	if err != nil {
+		return rval{}, err
+	}
+	// `nil is C` is false, not an error.
+	if !base.isVolatile() {
+		if oid, ok := base.v.AnyOID(); ok && oid == core.NilOID {
+			return fromValue(core.Bool(false)), nil
+		}
+		if base.v.IsNull() {
+			return fromValue(core.Bool(false)), nil
+		}
+	}
+	o, _, err := c.objectOf(line, col, base)
+	if err != nil {
+		return rval{}, err
+	}
+	return fromValue(core.Bool(o.Class().IsA(cl))), nil
+}
+
+func (c *execCtx) evalActivate(e *ActivateExpr) (rval, error) {
+	line, col := e.Pos()
+	if c.sess == nil {
+		return rval{}, errAt(line, col, "activate is only available at session level")
+	}
+	base, err := c.eval(e.Target)
+	if err != nil {
+		return rval{}, err
+	}
+	oid, ok := core.NilOID, false
+	if !base.isVolatile() {
+		oid, ok = base.v.AnyOID()
+	}
+	if !ok || oid == core.NilOID {
+		return rval{}, errAt(line, col, "activate needs a persistent object")
+	}
+	args := make([]core.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := c.eval(a)
+		if err != nil {
+			return rval{}, err
+		}
+		if v.isVolatile() {
+			return rval{}, errAt(line, col, "volatile objects cannot be trigger arguments")
+		}
+		args[i] = v.v
+	}
+	tx, err := c.tx()
+	if err != nil {
+		return rval{}, errAt(line, col, "%v", err)
+	}
+	id, err := c.sess.db.Triggers().Activate(tx, oid, e.Trigger, args...)
+	if err != nil {
+		return rval{}, errAt(line, col, "%v", err)
+	}
+	return fromValue(core.Ref(id)), nil
+}
+
+func (c *execCtx) evalVersion(e *VersionExpr) (rval, error) {
+	line, col := e.Pos()
+	base, err := c.eval(e.E)
+	if err != nil {
+		return rval{}, err
+	}
+	if base.isVolatile() {
+		return rval{}, errAt(line, col, "versions apply to persistent objects only")
+	}
+	tx, err := c.tx()
+	if err != nil {
+		return rval{}, errAt(line, col, "%v", err)
+	}
+	switch e.Op {
+	case TKNewversion:
+		oid, ok := base.v.AnyOID()
+		if !ok || oid == core.NilOID {
+			return rval{}, errAt(line, col, "newversion needs a persistent object")
+		}
+		ref, err := tx.NewVersion(oid)
+		if err != nil {
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		return fromValue(core.VersionRef(ref)), nil
+	case TKVprev, TKVnext:
+		var oid core.OID
+		var ver uint32
+		switch base.v.Kind() {
+		case core.KOID:
+			oid = base.v.OID()
+			cur, err := tx.CurrentVersion(oid)
+			if err != nil {
+				return rval{}, errAt(line, col, "%v", err)
+			}
+			ver = cur
+		case core.KVRef:
+			ref := base.v.VRef()
+			oid, ver = ref.OID, ref.Version
+		default:
+			return rval{}, errAt(line, col, "vprev/vnext need an object or version reference")
+		}
+		if e.Op == TKVprev {
+			// The previous existing frozen version below ver.
+			vs, err := tx.Versions(oid)
+			if err != nil {
+				return rval{}, errAt(line, col, "%v", err)
+			}
+			var best int64 = -1
+			for _, v := range vs {
+				if v < ver && int64(v) > best {
+					best = int64(v)
+				}
+			}
+			if best < 0 {
+				return fromValue(core.Null), nil
+			}
+			return fromValue(core.VersionRef(core.VRef{OID: oid, Version: uint32(best)})), nil
+		}
+		// vnext: the next version above ver (frozen or current).
+		cur, err := tx.CurrentVersion(oid)
+		if err != nil {
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		vs, err := tx.Versions(oid)
+		if err != nil {
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		var best int64 = -1
+		for _, v := range vs {
+			if v > ver && (best < 0 || int64(v) < best) {
+				best = int64(v)
+			}
+		}
+		if best < 0 {
+			if cur > ver {
+				return fromValue(core.VersionRef(core.VRef{OID: oid, Version: cur})), nil
+			}
+			return fromValue(core.Null), nil
+		}
+		return fromValue(core.VersionRef(core.VRef{OID: oid, Version: uint32(best)})), nil
+	}
+	return rval{}, errAt(line, col, "bad version op")
+}
+
+func (c *execCtx) evalBin(e *BinExpr) (rval, error) {
+	line, col := e.Pos()
+	// Short-circuit logicals.
+	switch e.Op {
+	case TAndAnd:
+		l, err := c.evalTruthy(e.L)
+		if err != nil || !l {
+			return fromValue(core.Bool(false)), err
+		}
+		r, err := c.evalTruthy(e.R)
+		return fromValue(core.Bool(r)), err
+	case TOrOr:
+		l, err := c.evalTruthy(e.L)
+		if err != nil {
+			return rval{}, err
+		}
+		if l {
+			return fromValue(core.Bool(true)), nil
+		}
+		r, err := c.evalTruthy(e.R)
+		return fromValue(core.Bool(r)), err
+	}
+	l, err := c.eval(e.L)
+	if err != nil {
+		return rval{}, err
+	}
+	r, err := c.eval(e.R)
+	if err != nil {
+		return rval{}, err
+	}
+	if l.isVolatile() || r.isVolatile() {
+		if e.Op == TEq || e.Op == TNe {
+			same := l.obj != nil && l.obj == r.obj
+			if e.Op == TNe {
+				same = !same
+			}
+			return fromValue(core.Bool(same)), nil
+		}
+		return rval{}, errAt(line, col, "operator %s is not defined on volatile objects", e.Op)
+	}
+	lv, rv := l.v, r.v
+	switch e.Op {
+	case TEq:
+		return fromValue(core.Bool(lv.Equal(rv))), nil
+	case TNe:
+		return fromValue(core.Bool(!lv.Equal(rv))), nil
+	case TLt, TLe, TGt, TGe:
+		cmp := lv.Compare(rv)
+		var out bool
+		switch e.Op {
+		case TLt:
+			out = cmp < 0
+		case TLe:
+			out = cmp <= 0
+		case TGt:
+			out = cmp > 0
+		case TGe:
+			out = cmp >= 0
+		}
+		return fromValue(core.Bool(out)), nil
+	case TPlus:
+		if lv.Kind() == core.KString && rv.Kind() == core.KString {
+			return fromValue(core.Str(lv.Str() + rv.Str())), nil
+		}
+		fallthrough
+	case TMinus, TStar, TSlash, TPercent:
+		return c.arith(line, col, e.Op, lv, rv)
+	}
+	return rval{}, errAt(line, col, "bad operator %s", e.Op)
+}
+
+func (c *execCtx) arith(line, col int, op TokKind, l, r core.Value) (rval, error) {
+	if l.Kind() == core.KInt && r.Kind() == core.KInt {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case TPlus:
+			return fromValue(core.Int(a + b)), nil
+		case TMinus:
+			return fromValue(core.Int(a - b)), nil
+		case TStar:
+			return fromValue(core.Int(a * b)), nil
+		case TSlash:
+			if b == 0 {
+				return rval{}, errAt(line, col, "division by zero")
+			}
+			return fromValue(core.Int(a / b)), nil
+		case TPercent:
+			if b == 0 {
+				return rval{}, errAt(line, col, "division by zero")
+			}
+			return fromValue(core.Int(a % b)), nil
+		}
+	}
+	lf, lok := l.Numeric()
+	rf, rok := r.Numeric()
+	if !lok || !rok {
+		return rval{}, errAt(line, col, "operator %s needs numbers, got %s and %s", op, l.Kind(), r.Kind())
+	}
+	switch op {
+	case TPlus:
+		return fromValue(core.Float(lf + rf)), nil
+	case TMinus:
+		return fromValue(core.Float(lf - rf)), nil
+	case TStar:
+		return fromValue(core.Float(lf * rf)), nil
+	case TSlash:
+		if rf == 0 {
+			return rval{}, errAt(line, col, "division by zero")
+		}
+		return fromValue(core.Float(lf / rf)), nil
+	case TPercent:
+		return rval{}, errAt(line, col, "%% needs integers")
+	}
+	return rval{}, errAt(line, col, "bad arithmetic operator")
+}
+
+// evalCall dispatches builtins (no target) and method calls.
+func (c *execCtx) evalCall(e *CallExpr) (rval, error) {
+	line, col := e.Pos()
+	if e.Target == nil {
+		return c.evalBuiltin(e)
+	}
+	base, err := c.eval(e.Target)
+	if err != nil {
+		return rval{}, err
+	}
+	o, oid, err := c.objectOf(line, col, base)
+	if err != nil {
+		return rval{}, err
+	}
+	args := make([]core.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := c.eval(a)
+		if err != nil {
+			return rval{}, err
+		}
+		if v.isVolatile() {
+			return rval{}, errAt(line, col, "volatile objects cannot be method arguments")
+		}
+		args[i] = v.v
+	}
+	var st core.Store = core.NullStore{Classes: c.schema()}
+	if tx, err := c.tx(); err == nil {
+		st = tx
+	}
+	res, err := o.Call(st, e.Name, args...)
+	if err != nil {
+		return rval{}, errAt(line, col, "%v", err)
+	}
+	// Publish mutations of a persistent receiver (read-only version
+	// references are not published).
+	if oid != core.NilOID && !base.isVolatile() && base.v.Kind() == core.KOID {
+		tx, err := c.tx()
+		if err == nil {
+			if err := tx.Update(oid, o); err != nil {
+				return rval{}, errAt(line, col, "%v", err)
+			}
+		}
+	}
+	return fromValue(res), nil
+}
+
+func (c *execCtx) evalBuiltin(e *CallExpr) (rval, error) {
+	line, col := e.Pos()
+	args := make([]rval, len(e.Args))
+	for i, a := range e.Args {
+		v, err := c.eval(a)
+		if err != nil {
+			return rval{}, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return errAt(line, col, "%s expects %d argument(s), got %d", e.Name, n, len(args))
+		}
+		return nil
+	}
+	scalar := func(i int) (core.Value, error) {
+		if args[i].isVolatile() {
+			return core.Null, errAt(line, col, "%s: argument %d must be a value", e.Name, i+1)
+		}
+		return args[i].v, nil
+	}
+	switch e.Name {
+	case "len":
+		if err := need(1); err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		switch v.Kind() {
+		case core.KSet:
+			return fromValue(core.Int(int64(v.Set().Len()))), nil
+		case core.KArray:
+			return fromValue(core.Int(int64(v.Array().Len()))), nil
+		case core.KString:
+			return fromValue(core.Int(int64(len(v.Str())))), nil
+		}
+		return rval{}, errAt(line, col, "len needs a set, array, or string")
+	case "insert":
+		if err := need(2); err != nil {
+			return rval{}, err
+		}
+		s, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(1)
+		if err != nil {
+			return rval{}, err
+		}
+		if s.Kind() != core.KSet {
+			return rval{}, errAt(line, col, "insert needs a set")
+		}
+		return fromValue(core.Bool(s.Set().Insert(v))), nil
+	case "remove":
+		if err := need(2); err != nil {
+			return rval{}, err
+		}
+		s, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(1)
+		if err != nil {
+			return rval{}, err
+		}
+		if s.Kind() != core.KSet {
+			return rval{}, errAt(line, col, "remove needs a set")
+		}
+		return fromValue(core.Bool(s.Set().Remove(v))), nil
+	case "member":
+		if err := need(2); err != nil {
+			return rval{}, err
+		}
+		s, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(1)
+		if err != nil {
+			return rval{}, err
+		}
+		if s.Kind() != core.KSet {
+			return rval{}, errAt(line, col, "member needs a set")
+		}
+		return fromValue(core.Bool(s.Set().Contains(v))), nil
+	case "exists":
+		if err := need(1); err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		oid, ok := v.AnyOID()
+		if !ok {
+			return fromValue(core.Bool(false)), nil
+		}
+		tx, err := c.tx()
+		if err != nil {
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		if _, err := tx.Deref(oid); err != nil {
+			if errors.Is(err, object.ErrNoObject) {
+				return fromValue(core.Bool(false)), nil
+			}
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		return fromValue(core.Bool(true)), nil
+	case "version":
+		if err := need(1); err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		if v.Kind() == core.KVRef {
+			return fromValue(core.Int(int64(v.VRef().Version))), nil
+		}
+		oid, ok := v.AnyOID()
+		if !ok {
+			return rval{}, errAt(line, col, "version needs an object reference")
+		}
+		tx, err := c.tx()
+		if err != nil {
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		cur, err := tx.CurrentVersion(oid)
+		if err != nil {
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		return fromValue(core.Int(int64(cur))), nil
+	case "abs":
+		if err := need(1); err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		switch v.Kind() {
+		case core.KInt:
+			if v.Int() < 0 {
+				return fromValue(core.Int(-v.Int())), nil
+			}
+			return fromValue(v), nil
+		case core.KFloat:
+			if v.Float() < 0 {
+				return fromValue(core.Float(-v.Float())), nil
+			}
+			return fromValue(v), nil
+		}
+		return rval{}, errAt(line, col, "abs needs a number")
+	case "min", "max":
+		if err := need(2); err != nil {
+			return rval{}, err
+		}
+		a, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		b, err := scalar(1)
+		if err != nil {
+			return rval{}, err
+		}
+		cmp := a.Compare(b)
+		if (e.Name == "min") == (cmp <= 0) {
+			return fromValue(a), nil
+		}
+		return fromValue(b), nil
+	case "str":
+		if err := need(1); err != nil {
+			return rval{}, err
+		}
+		return fromValue(core.Str(args[0].display())), nil
+	case "oid":
+		// oid(e): the numeric object id of a reference (diagnostics).
+		if err := need(1); err != nil {
+			return rval{}, err
+		}
+		v, err := scalar(0)
+		if err != nil {
+			return rval{}, err
+		}
+		if o, ok := v.AnyOID(); ok {
+			return fromValue(core.Int(int64(o))), nil
+		}
+		return rval{}, errAt(line, col, "oid needs a reference")
+	}
+	// Inside a method or trigger body, a bare call dispatches on self
+	// (C++ implicit this).
+	for s := c.env; s != nil; s = s.parent {
+		if s.self == nil {
+			continue
+		}
+		if _, ok := s.self.Class().MethodNamed(e.Name); !ok {
+			break
+		}
+		vals := make([]core.Value, len(args))
+		for i, a := range args {
+			if a.isVolatile() {
+				return rval{}, errAt(line, col, "volatile objects cannot be method arguments")
+			}
+			vals[i] = a.v
+		}
+		var st core.Store = core.NullStore{Classes: c.schema()}
+		if c.st != nil {
+			st = c.st
+		}
+		res, err := s.self.Call(st, e.Name, vals...)
+		if err != nil {
+			return rval{}, errAt(line, col, "%v", err)
+		}
+		return fromValue(res), nil
+	}
+	return rval{}, errAt(line, col, "unknown function %s", e.Name)
+}

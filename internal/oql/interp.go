@@ -1,0 +1,581 @@
+package oql
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"ode"
+	"ode/internal/core"
+	"ode/internal/query"
+)
+
+// rval is an interpreter value: either a core.Value or a volatile
+// object (which has no core.Value representation — persistence is a
+// property of instances, and volatile instances live only in the
+// interpreter).
+type rval struct {
+	v   core.Value
+	obj *core.Object // non-nil for volatile objects
+}
+
+func fromValue(v core.Value) rval { return rval{v: v} }
+
+func (r rval) isVolatile() bool { return r.obj != nil }
+
+func (r rval) String() string {
+	if r.obj != nil {
+		return r.obj.String()
+	}
+	return r.v.String()
+}
+
+// display renders for print: strings unquoted, chars unquoted.
+func (r rval) display() string {
+	if r.obj != nil {
+		return r.obj.String()
+	}
+	switch r.v.Kind() {
+	case core.KString:
+		return r.v.Str()
+	case core.KChar:
+		return string(r.v.Char())
+	}
+	return r.v.String()
+}
+
+// env is a lexical scope chain. The self scope (for method bodies)
+// resolves bare identifiers against an object's fields.
+type env struct {
+	parent  *env
+	vars    map[string]rval
+	self    *core.Object // when set, field names of self resolve here
+	selfOID core.OID     // OID of self when the receiver is persistent
+}
+
+func newEnv(parent *env) *env {
+	return &env{parent: parent, vars: make(map[string]rval)}
+}
+
+func (e *env) lookup(name string) (rval, *env, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, s, true
+		}
+		if s.self != nil && s.self.Class().SlotIndex(name) >= 0 {
+			v, _ := s.self.Get(name)
+			return fromValue(v), s, true
+		}
+	}
+	return rval{}, nil, false
+}
+
+func (e *env) declare(name string, v rval) { e.vars[name] = v }
+
+// assign sets an existing binding (variable or self field); it reports
+// whether the name was found.
+func (e *env) assign(name string, v rval) (bool, error) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true, nil
+		}
+		if s.self != nil && s.self.Class().SlotIndex(name) >= 0 {
+			if v.isVolatile() {
+				return true, fmt.Errorf("cannot store a volatile object into field %s", name)
+			}
+			if err := s.self.Set(name, v.v); err != nil {
+				return true, err
+			}
+			s.selfDirty()
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// selfDirty marks the innermost self as mutated (publication happens at
+// method/trigger return by the caller holding the OID).
+func (e *env) selfDirty() {}
+
+// Control-flow sentinels.
+var (
+	errBreak    = errors.New("oql: break outside a loop")
+	errContinue = errors.New("oql: continue outside a loop")
+)
+
+type returnSignal struct{ v rval }
+
+func (returnSignal) Error() string { return "oql: return outside a method" }
+
+// execCtx carries everything statement execution needs.
+type execCtx struct {
+	sess *Session // nil inside compiled method/constraint/trigger bodies
+	st   core.Store
+	out  io.Writer
+	env  *env
+}
+
+func (c *execCtx) child() *execCtx {
+	out := *c
+	out.env = newEnv(c.env)
+	return &out
+}
+
+func (c *execCtx) tx() (*ode.Tx, error) {
+	if c.sess != nil {
+		return c.sess.tx()
+	}
+	if tx, ok := c.st.(*ode.Tx); ok {
+		return tx, nil
+	}
+	return nil, fmt.Errorf("no transaction in this context")
+}
+
+// schema resolves the ambient schema.
+func (c *execCtx) schema() *core.Schema {
+	if c.sess != nil {
+		return c.sess.db.Schema()
+	}
+	if c.st != nil {
+		return c.st.Schema()
+	}
+	return nil
+}
+
+func (c *execCtx) classNamed(line, col int, name string) (*core.Class, error) {
+	s := c.schema()
+	if s == nil {
+		return nil, errAt(line, col, "no schema in this context")
+	}
+	cl, ok := s.ClassNamed(name)
+	if !ok {
+		return nil, errAt(line, col, "unknown class %s", name)
+	}
+	return cl, nil
+}
+
+// ---- Statement execution ----
+
+func (c *execCtx) execBlock(b *BlockStmt) error {
+	cc := c.child()
+	for _, s := range b.Stmts {
+		if err := cc.exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *execCtx) exec(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.execBlock(s)
+	case *DeclStmt:
+		return c.execDecl(s)
+	case *AssignStmt:
+		return c.execAssign(s)
+	case *ExprStmt:
+		_, err := c.eval(s.E)
+		return err
+	case *IfStmt:
+		cond, err := c.evalTruthy(s.Cond)
+		if err != nil {
+			return err
+		}
+		if cond {
+			return c.execBlock(s.Then)
+		}
+		if s.Else != nil {
+			return c.exec(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		for {
+			cond, err := c.evalTruthy(s.Cond)
+			if err != nil {
+				return err
+			}
+			if !cond {
+				return nil
+			}
+			err = c.execBlock(s.Body)
+			if err == errBreak {
+				return nil
+			}
+			if err != nil && err != errContinue {
+				return err
+			}
+		}
+	case *ForallStmt:
+		return c.execForall(s)
+	case *PrintStmt:
+		parts := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			v, err := c.eval(a)
+			if err != nil {
+				return err
+			}
+			parts[i] = v.display()
+		}
+		fmt.Fprintln(c.out, strings.Join(parts, " "))
+		return nil
+	case *ReturnStmt:
+		var v rval
+		if s.Value != nil {
+			var err error
+			v, err = c.eval(s.Value)
+			if err != nil {
+				return err
+			}
+		}
+		return returnSignal{v: v}
+	case *PDeleteStmt:
+		v, err := c.eval(s.Target)
+		if err != nil {
+			return err
+		}
+		oid, ok := v.v.AnyOID()
+		if !ok {
+			line, col := s.Pos()
+			return errAt(line, col, "pdelete needs a persistent object reference, got %s", v)
+		}
+		tx, err := c.tx()
+		if err != nil {
+			return err
+		}
+		return tx.PDelete(oid)
+	case *DeactivateStmt:
+		if c.sess == nil {
+			line, col := s.Pos()
+			return errAt(line, col, "deactivate is only available at session level")
+		}
+		v, err := c.eval(s.ID)
+		if err != nil {
+			return err
+		}
+		oid, ok := v.v.AnyOID()
+		if !ok {
+			line, col := s.Pos()
+			return errAt(line, col, "deactivate needs a trigger id")
+		}
+		tx, err := c.tx()
+		if err != nil {
+			return err
+		}
+		return c.sess.db.Triggers().Deactivate(tx, oid)
+	case *CreateStmt:
+		return c.execCreate(s)
+	case *CommitStmt:
+		if c.sess == nil {
+			line, col := s.Pos()
+			return errAt(line, col, "commit is only available at session level")
+		}
+		return c.sess.Commit()
+	case *AbortStmt:
+		if c.sess == nil {
+			line, col := s.Pos()
+			return errAt(line, col, "abort is only available at session level")
+		}
+		c.sess.AbortTx()
+		return nil
+	case *BreakStmt:
+		return errBreak
+	case *ContinueStmt:
+		return errContinue
+	}
+	line, col := s.Pos()
+	return errAt(line, col, "unhandled statement %T", s)
+}
+
+func (c *execCtx) execDecl(s *DeclStmt) error {
+	var v rval
+	if s.Init != nil {
+		var err error
+		v, err = c.eval(s.Init)
+		if err != nil {
+			return err
+		}
+		if s.Type != nil {
+			t, err := c.goType(s.Type)
+			if err != nil {
+				return err
+			}
+			if !v.isVolatile() {
+				cv, err := t.Convert(v.v)
+				if err != nil {
+					line, col := s.Pos()
+					return errAt(line, col, "%v", err)
+				}
+				v.v = cv
+			}
+		}
+	} else if s.Type != nil {
+		t, err := c.goType(s.Type)
+		if err != nil {
+			return err
+		}
+		v = fromValue(t.Zero())
+	}
+	c.env.declare(s.Name, v)
+	return nil
+}
+
+func (c *execCtx) execAssign(s *AssignStmt) error {
+	v, err := c.eval(s.Value)
+	if err != nil {
+		return err
+	}
+	switch target := s.Target.(type) {
+	case *IdentExpr:
+		found, err := c.env.assign(target.Name, v)
+		if err != nil {
+			return err
+		}
+		if !found {
+			line, col := s.Pos()
+			return errAt(line, col, "undeclared variable %s (use := to declare)", target.Name)
+		}
+		// Publishing self mutations in method bodies is handled by the
+		// method-call wrapper; bare-field assignment needs no more here.
+		return nil
+	case *FieldExpr:
+		base, err := c.eval(target.Target)
+		if err != nil {
+			return err
+		}
+		if v.isVolatile() {
+			line, col := s.Pos()
+			return errAt(line, col, "cannot store a volatile object into a field; use pnew")
+		}
+		return c.setField(target, base, v.v)
+	}
+	line, col := s.Pos()
+	return errAt(line, col, "cannot assign to this expression")
+}
+
+// setField writes base.name = v, publishing persistent updates.
+func (c *execCtx) setField(f *FieldExpr, base rval, v core.Value) error {
+	line, col := f.Pos()
+	if base.isVolatile() {
+		if err := base.obj.Set(f.Name, v); err != nil {
+			return errAt(line, col, "%v", err)
+		}
+		return nil
+	}
+	oid, ok := base.v.AnyOID()
+	if !ok || oid == core.NilOID {
+		return errAt(line, col, "field assignment needs an object, got %s", base)
+	}
+	if base.v.Kind() == core.KVRef {
+		return errAt(line, col, "old versions are read-only")
+	}
+	tx, err := c.tx()
+	if err != nil {
+		return errAt(line, col, "%v", err)
+	}
+	o, err := tx.Deref(oid)
+	if err != nil {
+		return errAt(line, col, "%v", err)
+	}
+	if err := o.Set(f.Name, v); err != nil {
+		return errAt(line, col, "%v", err)
+	}
+	return tx.Update(oid, o)
+}
+
+func (c *execCtx) execCreate(s *CreateStmt) error {
+	if c.sess == nil {
+		line, col := s.Pos()
+		return errAt(line, col, "DDL is only available at session level")
+	}
+	line, col := s.Pos()
+	cl, err := c.classNamed(line, col, s.Class)
+	if err != nil {
+		return err
+	}
+	// DDL implies a checkpoint; the ambient transaction must not hold
+	// uncommitted work that the checkpoint would miss — commit it.
+	if err := c.sess.Commit(); err != nil {
+		return err
+	}
+	switch {
+	case s.Index:
+		return c.sess.db.CreateIndex(cl, s.Field)
+	case s.Destroy:
+		return c.sess.db.DestroyCluster(cl)
+	default:
+		return c.sess.db.CreateCluster(cl)
+	}
+}
+
+func (c *execCtx) execForall(s *ForallStmt) error {
+	if s.SetExpr != nil {
+		return c.execForallSet(s)
+	}
+	line, col := s.Pos()
+	cl, err := c.classNamed(line, col, s.Source)
+	if err != nil {
+		return err
+	}
+	tx, err := c.tx()
+	if err != nil {
+		return errAt(line, col, "%v", err)
+	}
+	q := query.Forall(tx, cl)
+	if s.Subtypes {
+		q = q.Subtypes()
+	}
+	if s.Snapshot {
+		q = q.Snapshot()
+	}
+	loopCtx := c.child()
+	bindOID := func(oid core.OID) {
+		loopCtx.env.vars[s.Var] = fromValue(core.Ref(oid))
+	}
+	if s.Suchthat != nil {
+		q = q.SuchThat(query.Fn(func(_ core.Store, it query.Item) (bool, error) {
+			bindOID(it.OID)
+			return loopCtx.evalTruthy(s.Suchthat)
+		}))
+	}
+	if s.By != nil {
+		q = q.ByKey(func(it query.Item) (core.Value, error) {
+			bindOID(it.OID)
+			v, err := loopCtx.eval(s.By)
+			if err != nil {
+				return core.Null, err
+			}
+			if v.isVolatile() {
+				return core.Null, errAt(line, col, "by key must be a value")
+			}
+			return v.v, nil
+		})
+		if s.Desc {
+			q = q.Desc()
+		}
+	}
+	err = q.Do(func(it query.Item) (bool, error) {
+		bindOID(it.OID)
+		err := loopCtx.execBlock(s.Body)
+		if err == errBreak {
+			return false, nil
+		}
+		if err == errContinue {
+			return true, nil
+		}
+		return err == nil, err
+	})
+	return err
+}
+
+func (c *execCtx) execForallSet(s *ForallStmt) error {
+	base, err := c.eval(s.SetExpr)
+	if err != nil {
+		return err
+	}
+	line, col := s.Pos()
+	if base.isVolatile() || base.v.Kind() != core.KSet {
+		return errAt(line, col, "forall ... in (e) needs a set, got %s", base)
+	}
+	loopCtx := c.child()
+	var pred func(core.Value) (bool, error)
+	if s.Suchthat != nil {
+		pred = func(v core.Value) (bool, error) {
+			loopCtx.env.vars[s.Var] = fromValue(v)
+			return loopCtx.evalTruthy(s.Suchthat)
+		}
+	}
+	if s.By != nil {
+		// Ordered set iteration: snapshot, sort, visit.
+		var items []core.Value
+		if err := query.ForallValues(base.v.Set(), pred, false, func(v core.Value) (bool, error) {
+			items = append(items, v)
+			return true, nil
+		}); err != nil {
+			return err
+		}
+		keys := make([]core.Value, len(items))
+		for i, v := range items {
+			loopCtx.env.vars[s.Var] = fromValue(v)
+			kv, err := loopCtx.eval(s.By)
+			if err != nil {
+				return err
+			}
+			keys[i] = kv.v
+		}
+		// Insertion sort by key (stable, small sets).
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0; j-- {
+				cmp := keys[j-1].Compare(keys[j])
+				if (s.Desc && cmp >= 0) || (!s.Desc && cmp <= 0) {
+					break
+				}
+				keys[j-1], keys[j] = keys[j], keys[j-1]
+				items[j-1], items[j] = items[j], items[j-1]
+			}
+		}
+		for _, v := range items {
+			loopCtx.env.vars[s.Var] = fromValue(v)
+			err := loopCtx.execBlock(s.Body)
+			if err == errBreak {
+				return nil
+			}
+			if err != nil && err != errContinue {
+				return err
+			}
+		}
+		return nil
+	}
+	fixpoint := !s.Snapshot
+	return query.ForallValues(base.v.Set(), pred, fixpoint, func(v core.Value) (bool, error) {
+		loopCtx.env.vars[s.Var] = fromValue(v)
+		err := loopCtx.execBlock(s.Body)
+		if err == errBreak {
+			return false, nil
+		}
+		if err == errContinue {
+			return true, nil
+		}
+		return err == nil, err
+	})
+}
+
+// goType lowers a surface type to a core.Type.
+func (c *execCtx) goType(t *TypeExpr) (*core.Type, error) {
+	return lowerType(c.schema(), t)
+}
+
+func lowerType(schema *core.Schema, t *TypeExpr) (*core.Type, error) {
+	switch t.Name {
+	case "int":
+		return core.TInt, nil
+	case "float":
+		return core.TFloat, nil
+	case "bool":
+		return core.TBool, nil
+	case "char":
+		return core.TChar, nil
+	case "string":
+		return core.TString, nil
+	case "void":
+		return nil, nil
+	case "set":
+		elem, err := lowerType(schema, t.Set)
+		if err != nil {
+			return nil, err
+		}
+		return core.SetOfType(elem), nil
+	case "array":
+		elem, err := lowerType(schema, t.Arr)
+		if err != nil {
+			return nil, err
+		}
+		return core.ArrayOfType(elem), nil
+	}
+	// A class reference. The class may be declared later in the same
+	// program (mutual references), so unknown names are still lowered
+	// to references by name.
+	return core.RefTo(t.Name), nil
+}

@@ -1,0 +1,340 @@
+package oql
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns O++ source into tokens. Comments are // to end of line
+// and /* ... */.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	if l.pos+w >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos+w:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TEOF
+		return tok, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			r := l.peek()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if kw, ok := keywords[word]; ok {
+			tok.Kind = kw
+			tok.Text = word
+			return tok, nil
+		}
+		tok.Kind = TIdent
+		tok.Text = word
+		return tok, nil
+	case unicode.IsDigit(r):
+		return l.number(tok)
+	case r == '"':
+		return l.stringLit(tok)
+	case r == '\'':
+		return l.charLit(tok)
+	}
+	l.advance()
+	two := func(next rune, k2, k1 TokKind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			tok.Kind = k2
+		} else {
+			tok.Kind = k1
+		}
+		return tok, nil
+	}
+	switch r {
+	case '(':
+		tok.Kind = TLParen
+	case ')':
+		tok.Kind = TRParen
+	case '{':
+		tok.Kind = TLBrace
+	case '}':
+		tok.Kind = TRBrace
+	case '[':
+		tok.Kind = TLBracket
+	case ']':
+		tok.Kind = TRBracket
+	case ',':
+		tok.Kind = TComma
+	case ';':
+		tok.Kind = TSemi
+	case ':':
+		return two('=', TDeclare, TColon)
+	case '.':
+		tok.Kind = TDot
+	case '+':
+		tok.Kind = TPlus
+	case '-':
+		return two('>', TArrow, TMinus)
+	case '*':
+		tok.Kind = TStar
+	case '/':
+		tok.Kind = TSlash
+	case '%':
+		tok.Kind = TPercent
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			if l.peek() == '>' {
+				l.advance()
+				tok.Kind = TImplies
+			} else {
+				tok.Kind = TEq
+			}
+			return tok, nil
+		}
+		tok.Kind = TAssign
+	case '!':
+		return two('=', TNe, TBang)
+	case '<':
+		return two('=', TLe, TLt)
+	case '>':
+		return two('=', TGe, TGt)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			tok.Kind = TAndAnd
+			return tok, nil
+		}
+		return tok, errAt(tok.Line, tok.Col, "unexpected '&' (did you mean '&&'?)")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			tok.Kind = TOrOr
+			return tok, nil
+		}
+		return tok, errAt(tok.Line, tok.Col, "unexpected '|' (did you mean '||'?)")
+	default:
+		return tok, errAt(tok.Line, tok.Col, "unexpected character %q", r)
+	}
+	return tok, nil
+}
+
+func (l *Lexer) number(tok Token) (Token, error) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsDigit(r) {
+			l.advance()
+			continue
+		}
+		if r == '.' && !isFloat && unicode.IsDigit(l.peek2()) {
+			isFloat = true
+			l.advance()
+			continue
+		}
+		if (r == 'e' || r == 'E') && l.pos > start {
+			// Exponent: e[+/-]digits.
+			save := l.pos
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if !unicode.IsDigit(l.peek()) {
+				l.pos = save
+				break
+			}
+			isFloat = true
+			for unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return tok, errAt(tok.Line, tok.Col, "bad float literal %q", text)
+		}
+		tok.Kind = TFloat
+		tok.Flt = f
+		return tok, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return tok, errAt(tok.Line, tok.Col, "bad int literal %q", text)
+	}
+	tok.Kind = TInt
+	tok.Int = n
+	return tok, nil
+}
+
+func (l *Lexer) stringLit(tok Token) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return tok, errAt(tok.Line, tok.Col, "unterminated string literal")
+		}
+		r := l.advance()
+		switch r {
+		case '"':
+			tok.Kind = TString
+			tok.Text = b.String()
+			return tok, nil
+		case '\\':
+			esc, err := l.escape(tok)
+			if err != nil {
+				return tok, err
+			}
+			b.WriteRune(esc)
+		case '\n':
+			return tok, errAt(tok.Line, tok.Col, "newline in string literal")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *Lexer) charLit(tok Token) (Token, error) {
+	l.advance() // opening quote
+	if l.pos >= len(l.src) {
+		return tok, errAt(tok.Line, tok.Col, "unterminated char literal")
+	}
+	r := l.advance()
+	if r == '\\' {
+		esc, err := l.escape(tok)
+		if err != nil {
+			return tok, err
+		}
+		r = esc
+	}
+	if l.pos >= len(l.src) || l.advance() != '\'' {
+		return tok, errAt(tok.Line, tok.Col, "unterminated char literal")
+	}
+	tok.Kind = TChar
+	tok.Rune = r
+	return tok, nil
+}
+
+func (l *Lexer) escape(tok Token) (rune, error) {
+	if l.pos >= len(l.src) {
+		return 0, errAt(tok.Line, tok.Col, "unterminated escape")
+	}
+	r := l.advance()
+	switch r {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return r, nil
+	}
+	return 0, errAt(tok.Line, tok.Col, "unknown escape \\%c", r)
+}
+
+// Tokenize lexes the whole input (test helper).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TEOF {
+			return out, nil
+		}
+	}
+}

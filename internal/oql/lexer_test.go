@@ -1,0 +1,298 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []TokKind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]TokKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kinds(t, `x := pnew stockitem{qty: 42};`)
+	want := []TokKind{TIdent, TDeclare, TKPnew, TIdent, TLBrace, TIdent, TColon, TInt, TRBrace, TSemi, TEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kinds(t, `== != <= >= < > = := -> ==> && || ! + - * / %`)
+	want := []TokKind{TEq, TNe, TLe, TGe, TLt, TGt, TAssign, TDeclare, TArrow, TImplies,
+		TAndAnd, TOrOr, TBang, TPlus, TMinus, TStar, TSlash, TPercent, TEOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexLiterals(t *testing.T) {
+	toks, err := Tokenize(`42 3.14 1e3 "hi\n" 'x' '\n' true false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TInt || toks[0].Int != 42 {
+		t.Errorf("int: %v", toks[0])
+	}
+	if toks[1].Kind != TFloat || toks[1].Flt != 3.14 {
+		t.Errorf("float: %v", toks[1])
+	}
+	if toks[2].Kind != TFloat || toks[2].Flt != 1000 {
+		t.Errorf("exp float: %v", toks[2])
+	}
+	if toks[3].Kind != TString || toks[3].Text != "hi\n" {
+		t.Errorf("string: %v", toks[3])
+	}
+	if toks[4].Kind != TChar || toks[4].Rune != 'x' {
+		t.Errorf("char: %v", toks[4])
+	}
+	if toks[5].Kind != TChar || toks[5].Rune != '\n' {
+		t.Errorf("escaped char: %v", toks[5])
+	}
+	if toks[6].Kind != TKTrue || toks[7].Kind != TKFalse {
+		t.Errorf("bools: %v %v", toks[6], toks[7])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := kinds(t, `a // line comment
+	/* block
+	comment */ b`)
+	want := []TokKind{TIdent, TIdent, TEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `'a`, `/* open`, `@`, `&x`, `|y`} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestParseClassDecl(t *testing.T) {
+	src := `
+class person {
+  public:
+    string name;
+    int income;
+    int tax(int rate) { return income / rate; }
+  private:
+    int secret;
+  constraint:
+    income >= 0;
+  trigger:
+    alarm(int limit) : income > limit ==> { income = limit; }
+    perpetual watch() : income > 0 ==> { secret = 1; }
+};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes) != 1 {
+		t.Fatalf("classes = %d", len(prog.Classes))
+	}
+	cd := prog.Classes[0]
+	if cd.Name != "person" || len(cd.Fields) != 3 || len(cd.Methods) != 1 {
+		t.Fatalf("decl shape: %+v", cd)
+	}
+	if !cd.Fields[2].Private {
+		t.Error("secret should be private")
+	}
+	if len(cd.Constraints) != 1 || !strings.Contains(cd.Constraints[0].Src, "income >= 0") {
+		t.Errorf("constraints: %+v", cd.Constraints)
+	}
+	if len(cd.Triggers) != 2 {
+		t.Fatalf("triggers: %d", len(cd.Triggers))
+	}
+	if cd.Triggers[0].Perpetual || !cd.Triggers[1].Perpetual {
+		t.Error("perpetual flags wrong")
+	}
+	if len(cd.Triggers[0].Params) != 1 || cd.Triggers[0].Params[0].Name != "limit" {
+		t.Errorf("trigger params: %+v", cd.Triggers[0].Params)
+	}
+}
+
+func TestParseInheritance(t *testing.T) {
+	prog, err := Parse(`class student : public person, visitor { public: string school; };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := prog.Classes[0]
+	if len(cd.Bases) != 2 || cd.Bases[0] != "person" || cd.Bases[1] != "visitor" {
+		t.Fatalf("bases: %v", cd.Bases)
+	}
+}
+
+func TestParseForallForms(t *testing.T) {
+	src := `
+forall p in person { print(p.name); }
+forall p in person* suchthat (p.income > 10) by (p.name) desc { print(p); }
+forall x in (s) suchthat (x > 1) { insert(t, x); }
+forall p in person snapshot { pdelete p; }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 4 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	f1 := prog.Stmts[1].(*ForallStmt)
+	if !f1.Subtypes || f1.Suchthat == nil || f1.By == nil || !f1.Desc {
+		t.Errorf("forall 2 flags wrong: %+v", f1)
+	}
+	f2 := prog.Stmts[2].(*ForallStmt)
+	if f2.SetExpr == nil || f2.Suchthat == nil {
+		t.Error("set forall wrong")
+	}
+	f3 := prog.Stmts[3].(*ForallStmt)
+	if !f3.Snapshot {
+		t.Error("snapshot flag lost")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`x := 1 + 2 * 3 == 7 && !false;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Stmts[0].(*DeclStmt)
+	and, ok := d.Init.(*BinExpr)
+	if !ok || and.Op != TAndAnd {
+		t.Fatalf("top is %T", d.Init)
+	}
+	eq, ok := and.L.(*BinExpr)
+	if !ok || eq.Op != TEq {
+		t.Fatalf("left of && is %T", and.L)
+	}
+	plus, ok := eq.L.(*BinExpr)
+	if !ok || plus.Op != TPlus {
+		t.Fatalf("left of == is %T", eq.L)
+	}
+	if mul, ok := plus.R.(*BinExpr); !ok || mul.Op != TStar {
+		t.Fatal("* does not bind tighter than +")
+	}
+}
+
+func TestParseIsExpr(t *testing.T) {
+	prog, err := Parse(`b := p is persistent student *; c := p is faculty;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is1 := prog.Stmts[0].(*DeclStmt).Init.(*IsExpr)
+	if is1.Class != "student" {
+		t.Errorf("is class = %s", is1.Class)
+	}
+	is2 := prog.Stmts[1].(*DeclStmt).Init.(*IsExpr)
+	if is2.Class != "faculty" {
+		t.Errorf("is class = %s", is2.Class)
+	}
+}
+
+func TestParseActivateAndVersions(t *testing.T) {
+	prog, err := Parse(`
+tid := activate item.reorder(10, 100);
+deactivate tid;
+v := newversion(p);
+q := vprev(v);
+r := vnext(p);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := prog.Stmts[0].(*DeclStmt).Init.(*ActivateExpr)
+	if act.Trigger != "reorder" || len(act.Args) != 2 {
+		t.Errorf("activate: %+v", act)
+	}
+	if _, ok := prog.Stmts[1].(*DeactivateStmt); !ok {
+		t.Error("deactivate not parsed")
+	}
+	nv := prog.Stmts[2].(*DeclStmt).Init.(*VersionExpr)
+	if nv.Op != TKNewversion {
+		t.Error("newversion op wrong")
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	prog, err := Parse(`create cluster person; destroy cluster person; create index person on income;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := prog.Stmts[0].(*CreateStmt)
+	if c0.Destroy || c0.Index || c0.Class != "person" {
+		t.Errorf("create: %+v", c0)
+	}
+	c1 := prog.Stmts[1].(*CreateStmt)
+	if !c1.Destroy {
+		t.Error("destroy flag lost")
+	}
+	c2 := prog.Stmts[2].(*CreateStmt)
+	if !c2.Index || c2.Field != "income" {
+		t.Errorf("index: %+v", c2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`class {};`,                         // missing name
+		`x := ;`,                            // missing expr
+		`1 + 2`,                             // missing semicolon
+		`forall in person { }`,              // missing variable
+		`p.f.g := 1;`,                       // := needs identifier
+		`destroy index person on f;`,        // unsupported
+		`class c { trigger: t() : x { } };`, // missing ==>
+		`activate 3;`,                       // not a call
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseNestedControlFlow(t *testing.T) {
+	src := `
+if (x > 1) { y = 1; } else if (x > 0) { y = 2; } else { y = 3; }
+while (y < 10) { y = y + 1; if (y == 5) { break; } else { continue; } }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Stmts[0].(*IfStmt)
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Error("else-if chain not parsed")
+	}
+}

@@ -1,0 +1,1149 @@
+package oql
+
+import (
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the O++ subset.
+type Parser struct {
+	lex  *Lexer
+	tok  Token
+	prev Token
+	src  string
+}
+
+// NewParser returns a parser over src.
+func NewParser(src string) (*Parser, error) {
+	p := &Parser{lex: NewLexer(src), src: src}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Parse parses a whole program.
+func Parse(src string) (*Program, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Program()
+}
+
+func (p *Parser) next() error {
+	p.prev = p.tok
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) at(k TokKind) bool { return p.tok.Kind == k }
+
+func (p *Parser) accept(k TokKind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.next()
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return p.tok, errAt(p.tok.Line, p.tok.Col, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+func (p *Parser) here() pos { return pos{line: p.tok.Line, col: p.tok.Col} }
+
+// Program := (ClassDecl | Stmt)* EOF
+func (p *Parser) Program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TEOF) {
+		if p.at(TKClass) {
+			cd, err := p.classDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Classes = append(prog.Classes, cd)
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+// classDecl := "class" Ident [":" bases] "{" sections "}" ";"
+func (p *Parser) classDecl() (*ClassDecl, error) {
+	cd := &ClassDecl{pos: p.here()}
+	if _, err := p.expect(TKClass); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	cd.Name = name.Text
+	if ok, err := p.accept(TColon); err != nil {
+		return nil, err
+	} else if ok {
+		for {
+			// "public" qualifier on bases is accepted and ignored.
+			if _, err := p.accept(TKPublic); err != nil {
+				return nil, err
+			}
+			b, err := p.expect(TIdent)
+			if err != nil {
+				return nil, err
+			}
+			cd.Bases = append(cd.Bases, b.Text)
+			if ok, err := p.accept(TComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	private := false
+	for !p.at(TRBrace) {
+		switch p.tok.Kind {
+		case TKPublic:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			private = false
+		case TKPrivate:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			private = true
+		case TKConstraint:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			for !p.at(TRBrace) && !p.sectionStart() {
+				start := p.tok
+				cond, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TSemi); err != nil {
+					return nil, err
+				}
+				cd.Constraints = append(cd.Constraints, ConstraintDecl{
+					pos:  pos{line: start.Line, col: start.Col},
+					Cond: cond,
+					Src:  p.slice(start, p.prev),
+				})
+			}
+		case TKTrigger:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			for !p.at(TRBrace) && !p.sectionStart() {
+				td, err := p.triggerDecl()
+				if err != nil {
+					return nil, err
+				}
+				cd.Triggers = append(cd.Triggers, *td)
+			}
+		default:
+			// A member: type name (field) or type name(params){body}.
+			if err := p.member(cd, private); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TRBrace); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return cd, nil
+}
+
+func (p *Parser) sectionStart() bool {
+	switch p.tok.Kind {
+	case TKPublic, TKPrivate, TKConstraint, TKTrigger:
+		return true
+	}
+	return false
+}
+
+// slice recovers the raw source between two tokens (inclusive of the
+// first, exclusive of trailing semicolons) for Src fields.
+func (p *Parser) slice(from, to Token) string {
+	// Re-lex positions are 1-based; walk the raw source lines.
+	lines := strings.Split(p.src, "\n")
+	if from.Line == to.Line {
+		if from.Line-1 < len(lines) {
+			line := lines[from.Line-1]
+			start := from.Col - 1
+			end := to.Col - 1
+			if start < 0 || start > len(line) {
+				return ""
+			}
+			if end > len(line) {
+				end = len(line)
+			}
+			if end < start {
+				end = start
+			}
+			return strings.TrimRight(strings.TrimSpace(line[start:end]), ";")
+		}
+		return ""
+	}
+	var b strings.Builder
+	for ln := from.Line; ln <= to.Line && ln-1 < len(lines); ln++ {
+		line := lines[ln-1]
+		switch ln {
+		case from.Line:
+			if from.Col-1 <= len(line) {
+				b.WriteString(line[from.Col-1:])
+			}
+		case to.Line:
+			end := to.Col - 1
+			if end > len(line) {
+				end = len(line)
+			}
+			b.WriteString(" ")
+			b.WriteString(line[:end])
+		default:
+			b.WriteString(" ")
+			b.WriteString(line)
+		}
+	}
+	return strings.TrimRight(strings.TrimSpace(b.String()), ";")
+}
+
+// member := Type Ident ";" | Type Ident "(" params ")" Block
+func (p *Parser) member(cd *ClassDecl, private bool) error {
+	startPos := p.here()
+	t, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return err
+	}
+	if p.at(TLParen) {
+		m := MethodDecl{pos: startPos, Name: name.Text, Private: private}
+		if t.Name != "void" {
+			m.Result = t
+		}
+		params, err := p.params()
+		if err != nil {
+			return err
+		}
+		m.Params = params
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		m.Body = body
+		cd.Methods = append(cd.Methods, m)
+		return nil
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return err
+	}
+	cd.Fields = append(cd.Fields, FieldDecl{pos: startPos, Name: name.Text, Type: t, Private: private})
+	return nil
+}
+
+// triggerDecl := ["perpetual"] Ident "(" params ")" ":" expr "==>" Block
+func (p *Parser) triggerDecl() (*TriggerDecl, error) {
+	td := &TriggerDecl{pos: p.here()}
+	if ok, err := p.accept(TKPerpetual); err != nil {
+		return nil, err
+	} else if ok {
+		td.Perpetual = true
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	td.Name = name.Text
+	params, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	td.Params = params
+	if _, err := p.expect(TColon); err != nil {
+		return nil, err
+	}
+	start := p.tok
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	td.Cond = cond
+	td.Src = p.slice(start, p.prev)
+	if _, err := p.expect(TImplies); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	td.Action = body
+	return td, nil
+}
+
+// params := "(" [Type Ident ("," Type Ident)*] ")"
+func (p *Parser) params() ([]ParamDecl, error) {
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	var out []ParamDecl
+	for !p.at(TRParen) {
+		startPos := p.here()
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParamDecl{pos: startPos, Name: name.Text, Type: t})
+		if ok, err := p.accept(TComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// typeExpr := scalar | Ident ["*"] | "set" "<" typeExpr ">" | "array" "<" typeExpr ">" | "void"
+func (p *Parser) typeExpr() (*TypeExpr, error) {
+	t := &TypeExpr{pos: p.here()}
+	switch p.tok.Kind {
+	case TKInt, TKFloat, TKBool, TKChar, TKString, TKVoid:
+		t.Name = p.tok.Kind.String()
+		return t, p.next()
+	case TKSet, TKArray:
+		isSet := p.tok.Kind == TKSet
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TLt); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TGt); err != nil {
+			return nil, err
+		}
+		if isSet {
+			t.Name = "set"
+			t.Set = elem
+		} else {
+			t.Name = "array"
+			t.Arr = elem
+		}
+		return t, nil
+	case TIdent:
+		t.Name = p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(TStar); err != nil {
+			return nil, err
+		} else if ok {
+			t.Ref = true
+		} else {
+			t.Ref = true // class names denote references in the subset
+		}
+		return t, nil
+	}
+	return nil, errAt(p.tok.Line, p.tok.Col, "expected a type, found %s", p.tok)
+}
+
+// block := "{" stmt* "}"
+func (p *Parser) block() (*BlockStmt, error) {
+	b := &BlockStmt{pos: p.here()}
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TRBrace) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.next() // consume }
+}
+
+// stmt dispatches on the leading token.
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case TLBrace:
+		return p.block()
+	case TKIf:
+		return p.ifStmt()
+	case TKWhile:
+		return p.whileStmt()
+	case TKForall:
+		return p.forallStmt()
+	case TKPrint:
+		return p.printStmt()
+	case TKReturn:
+		s := &ReturnStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if !p.at(TSemi) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = e
+		}
+		_, err := p.expect(TSemi)
+		return s, err
+	case TKPdelete:
+		s := &PDeleteStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Target = e
+		_, err = p.expect(TSemi)
+		return s, err
+	case TKDeactivate:
+		s := &DeactivateStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.ID = e
+		_, err = p.expect(TSemi)
+		return s, err
+	case TKCreate, TKDestroy:
+		return p.createStmt()
+	case TKCommit:
+		s := &CommitStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TSemi)
+		return s, err
+	case TKAbort:
+		s := &AbortStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TSemi)
+		return s, err
+	case TKBreak:
+		s := &BreakStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TSemi)
+		return s, err
+	case TKContinue:
+		s := &ContinueStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TSemi)
+		return s, err
+	case TKLet:
+		s := &DeclStmt{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		s.Name = name.Text
+		if _, err := p.expect(TAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = e
+		_, err = p.expect(TSemi)
+		return s, err
+	case TKInt, TKFloat, TKBool, TKChar, TKString, TKSet, TKArray:
+		// Typed declaration: type name [= init];
+		startPos := p.here()
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		s := &DeclStmt{pos: startPos, Name: name.Text, Type: t}
+		if ok, err := p.accept(TAssign); err != nil {
+			return nil, err
+		} else if ok {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = e
+		}
+		_, err = p.expect(TSemi)
+		return s, err
+	}
+	// Expression-led statement: decl (x := e), assignment (lv = e), or
+	// expression statement.
+	startPos := p.here()
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TDeclare:
+		id, ok := e.(*IdentExpr)
+		if !ok {
+			return nil, errAt(p.tok.Line, p.tok.Col, ":= requires a plain identifier on the left")
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{pos: startPos, Name: id.Name, Init: init}, nil
+	case TAssign:
+		switch e.(type) {
+		case *IdentExpr, *FieldExpr:
+		default:
+			return nil, errAt(p.tok.Line, p.tok.Col, "cannot assign to this expression")
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos: startPos, Target: e, Value: v}, nil
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{pos: startPos, E: e}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	s := &IfStmt{pos: p.here()}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	s.Cond = cond
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Then = then
+	if ok, err := p.accept(TKElse); err != nil {
+		return nil, err
+	} else if ok {
+		if p.at(TKIf) {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	s := &WhileStmt{pos: p.here()}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	s.Cond = cond
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// forallStmt := "forall" Ident "in" source [suchthat...] [by...] [snapshot] Block
+// source := Ident ["*"] | "(" expr ")"
+func (p *Parser) forallStmt() (Stmt, error) {
+	s := &ForallStmt{pos: p.here()}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	s.Var = v.Text
+	if _, err := p.expect(TKIn); err != nil {
+		return nil, err
+	}
+	if p.at(TLParen) {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.SetExpr = e
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+	} else {
+		src, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		s.Source = src.Text
+		if ok, err := p.accept(TStar); err != nil {
+			return nil, err
+		} else if ok {
+			s.Subtypes = true
+		}
+	}
+	if ok, err := p.accept(TKSuchthat); err != nil {
+		return nil, err
+	} else if ok {
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Suchthat = e
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.accept(TKBy); err != nil {
+		return nil, err
+	} else if ok {
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.By = e
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(TKDesc); err != nil {
+			return nil, err
+		} else if ok {
+			s.Desc = true
+		}
+	}
+	if ok, err := p.accept(TKSnapshot); err != nil {
+		return nil, err
+	} else if ok {
+		s.Snapshot = true
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *Parser) printStmt() (Stmt, error) {
+	s := &PrintStmt{pos: p.here()}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	for !p.at(TRParen) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Args = append(s.Args, e)
+		if ok, err := p.accept(TComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	_, err := p.expect(TSemi)
+	return s, err
+}
+
+// createStmt := ("create"|"destroy") "cluster" Ident ";"
+//
+//	| "create" "index" Ident "on" Ident ";"
+func (p *Parser) createStmt() (Stmt, error) {
+	s := &CreateStmt{pos: p.here(), Destroy: p.at(TKDestroy)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TKCluster:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		c, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		s.Class = c.Text
+	case TKIndex:
+		if s.Destroy {
+			return nil, errAt(p.tok.Line, p.tok.Col, "destroy index is not supported; use drop via the Go API")
+		}
+		s.Index = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		c, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		s.Class = c.Text
+		if _, err := p.expect(TKOn); err != nil {
+			return nil, err
+		}
+		f, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		s.Field = f.Text
+	default:
+		return nil, errAt(p.tok.Line, p.tok.Col, "expected 'cluster' or 'index'")
+	}
+	_, err := p.expect(TSemi)
+	return s, err
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr     := orExpr
+//	orExpr   := andExpr ("||" andExpr)*
+//	andExpr  := cmpExpr ("&&" cmpExpr)*
+//	cmpExpr  := addExpr (("=="|"!="|"<"|"<="|">"|">=") addExpr)? | addExpr "is" Ident["*"]
+//	addExpr  := mulExpr (("+"|"-") mulExpr)*
+//	mulExpr  := unary (("*"|"/"|"%") unary)*
+//	unary    := ("-"|"!") unary | postfix
+//	postfix  := primary (("." | "->") Ident [callArgs])*
+//	primary  := literal | Ident | "(" expr ")" | newExpr | setLit |
+//	            builtinCall | activate | newversion/vprev/vnext
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TOrOr) {
+		op := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{pos: op, Op: TOrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TAndAnd) {
+		op := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{pos: op, Op: TAndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TEq, TNe, TLt, TLe, TGt, TGe:
+		op := p.tok.Kind
+		opPos := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{pos: opPos, Op: op, L: l, R: r}, nil
+	case TKIs:
+		opPos := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		// Accept the paper's `p is persistent student *` form loosely:
+		// an optional "persistent" identifier, then the class name,
+		// then an optional *.
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		cls := name.Text
+		if cls == "persistent" {
+			name, err = p.expect(TIdent)
+			if err != nil {
+				return nil, err
+			}
+			cls = name.Text
+		}
+		if _, err := p.accept(TStar); err != nil {
+			return nil, err
+		}
+		return &IsExpr{pos: opPos, E: l, Class: cls}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TPlus) || p.at(TMinus) {
+		op := p.tok.Kind
+		opPos := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{pos: opPos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TStar) || p.at(TSlash) || p.at(TPercent) {
+		op := p.tok.Kind
+		opPos := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{pos: opPos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) unary() (Expr, error) {
+	if p.at(TMinus) || p.at(TBang) {
+		op := p.tok.Kind
+		opPos := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{pos: opPos, Op: op, E: e}, nil
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TDot) || p.at(TArrow) {
+		opPos := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TLParen) {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &CallExpr{pos: opPos, Target: e, Name: name.Text, Args: args}
+		} else {
+			e = &FieldExpr{pos: opPos, Target: e, Name: name.Text}
+		}
+	}
+	return e, nil
+}
+
+func (p *Parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for !p.at(TRParen) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if ok, err := p.accept(TComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	_, err := p.expect(TRParen)
+	return out, err
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.tok
+	switch t.Kind {
+	case TInt:
+		return &IntLit{pos: p.here(), V: t.Int}, p.next()
+	case TFloat:
+		return &FloatLit{pos: p.here(), V: t.Flt}, p.next()
+	case TString:
+		return &StrLit{pos: p.here(), V: t.Text}, p.next()
+	case TChar:
+		return &CharLit{pos: p.here(), V: t.Rune}, p.next()
+	case TKTrue:
+		return &BoolLit{pos: p.here(), V: true}, p.next()
+	case TKFalse:
+		return &BoolLit{pos: p.here(), V: false}, p.next()
+	case TKNull, TKNil:
+		return &NullLit{pos: p.here()}, p.next()
+	case TLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TRParen)
+		return e, err
+	case TLBrace:
+		// Set literal.
+		lit := &SetLit{pos: p.here()}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		for !p.at(TRBrace) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lit.Elems = append(lit.Elems, e)
+			if ok, err := p.accept(TComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		_, err := p.expect(TRBrace)
+		return lit, err
+	case TKNew, TKPnew:
+		return p.newExpr()
+	case TKActivate:
+		return p.activateExpr()
+	case TKNewversion, TKVprev, TKVnext:
+		op := t.Kind
+		ve := &VersionExpr{pos: p.here(), Op: op}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ve.E = e
+		_, err = p.expect(TRParen)
+		return ve, err
+	case TIdent:
+		idPos := p.here()
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.at(TLParen) {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{pos: idPos, Name: t.Text, Args: args}, nil
+		}
+		return &IdentExpr{pos: idPos, Name: t.Text}, nil
+	}
+	return nil, errAt(t.Line, t.Col, "unexpected %s in expression", t)
+}
+
+// newExpr := ("new"|"pnew") Ident ["{" [init ("," init)*] "}"]
+func (p *Parser) newExpr() (Expr, error) {
+	ne := &NewExpr{pos: p.here(), Persistent: p.at(TKPnew)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	cls, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	ne.Class = cls.Text
+	if ok, err := p.accept(TLBrace); err != nil {
+		return nil, err
+	} else if ok {
+		for !p.at(TRBrace) {
+			fp := p.here()
+			name, err := p.expect(TIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			ne.Inits = append(ne.Inits, FieldInit{pos: fp, Name: name.Text, Value: v})
+			if ok, err := p.accept(TComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TRBrace); err != nil {
+			return nil, err
+		}
+	}
+	return ne, nil
+}
+
+// activateExpr := "activate" postfix-with-call — we parse a postfix and
+// require its outermost node to be a method call.
+func (p *Parser) activateExpr() (Expr, error) {
+	aPos := p.here()
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	e, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	call, ok := e.(*CallExpr)
+	if !ok || call.Target == nil {
+		return nil, errAt(aPos.line, aPos.col, "activate requires object.trigger(args)")
+	}
+	return &ActivateExpr{pos: aPos, Target: call.Target, Trigger: call.Name, Args: call.Args}, nil
+}

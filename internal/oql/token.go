@@ -1,0 +1,237 @@
+// Package oql implements an interpreter for a subset of O++, the
+// database programming language of Ode (paper, sections 2-6). The
+// subset covers the paper's linguistic facilities:
+//
+//	class stockitem {
+//	  public:
+//	    string name;
+//	    float price;
+//	    int qty;
+//	    int value() { return qty; }
+//	  constraint:
+//	    qty >= 0;
+//	  trigger:
+//	    reorder(int threshold) : qty < threshold ==> { qty = qty + 100; }
+//	};
+//
+//	create cluster stockitem;
+//	p := pnew stockitem{name: "512k dram", price: 0.05, qty: 7500};
+//	forall s in stockitem suchthat (s.qty < 100) by (s.name) { print(s.name); }
+//	v := newversion(p);
+//	tid := activate p.reorder(50);
+//	deactivate tid;
+//	pdelete p;
+//
+// plus expressions, if/while/for, sets (`set<int> s; insert(s, 3);`),
+// volatile objects (`new`), `is` dynamic-type tests, and fixpoint
+// forall loops over sets and clusters.
+package oql
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TInt
+	TFloat
+	TString
+	TChar
+
+	// Punctuation and operators.
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBracket
+	TRBracket
+	TComma
+	TSemi
+	TColon
+	TDot
+	TArrow   // ->
+	TAssign  // =
+	TDeclare // :=
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TEq // ==
+	TNe // !=
+	TLt
+	TLe
+	TGt
+	TGe
+	TAndAnd
+	TOrOr
+	TBang
+	TImplies // ==> (trigger condition/action separator)
+	TLtLt    // << (unused; reserved)
+
+	// Keywords.
+	TKClass
+	TKPublic
+	TKPrivate
+	TKConstraint
+	TKTrigger
+	TKPerpetual
+	TKCreate
+	TKDestroy
+	TKCluster
+	TKIndex
+	TKOn
+	TKNew
+	TKPnew
+	TKPdelete
+	TKForall
+	TKIn
+	TKSuchthat
+	TKBy
+	TKDesc
+	TKIf
+	TKElse
+	TKWhile
+	TKFor
+	TKReturn
+	TKPrint
+	TKIs
+	TKInt
+	TKFloat
+	TKBool
+	TKChar
+	TKString
+	TKSet
+	TKArray
+	TKTrue
+	TKFalse
+	TKNull
+	TKNil
+	TKActivate
+	TKDeactivate
+	TKNewversion
+	TKVprev
+	TKVnext
+	TKCommit
+	TKAbort
+	TKLet
+	TKBreak
+	TKContinue
+	TKSnapshot
+	TKVoid
+)
+
+var keywords = map[string]TokKind{
+	"class":      TKClass,
+	"public":     TKPublic,
+	"private":    TKPrivate,
+	"constraint": TKConstraint,
+	"trigger":    TKTrigger,
+	"perpetual":  TKPerpetual,
+	"create":     TKCreate,
+	"destroy":    TKDestroy,
+	"cluster":    TKCluster,
+	"index":      TKIndex,
+	"on":         TKOn,
+	"new":        TKNew,
+	"pnew":       TKPnew,
+	"pdelete":    TKPdelete,
+	"forall":     TKForall,
+	"in":         TKIn,
+	"suchthat":   TKSuchthat,
+	"by":         TKBy,
+	"desc":       TKDesc,
+	"if":         TKIf,
+	"else":       TKElse,
+	"while":      TKWhile,
+	"for":        TKFor,
+	"return":     TKReturn,
+	"print":      TKPrint,
+	"is":         TKIs,
+	"int":        TKInt,
+	"float":      TKFloat,
+	"bool":       TKBool,
+	"char":       TKChar,
+	"string":     TKString,
+	"set":        TKSet,
+	"array":      TKArray,
+	"true":       TKTrue,
+	"false":      TKFalse,
+	"null":       TKNull,
+	"nil":        TKNil,
+	"activate":   TKActivate,
+	"deactivate": TKDeactivate,
+	"newversion": TKNewversion,
+	"vprev":      TKVprev,
+	"vnext":      TKVnext,
+	"commit":     TKCommit,
+	"abort":      TKAbort,
+	"let":        TKLet,
+	"break":      TKBreak,
+	"continue":   TKContinue,
+	"snapshot":   TKSnapshot,
+	"void":       TKVoid,
+}
+
+var tokenNames = map[TokKind]string{
+	TEOF: "end of input", TIdent: "identifier", TInt: "int literal",
+	TFloat: "float literal", TString: "string literal", TChar: "char literal",
+	TLParen: "(", TRParen: ")", TLBrace: "{", TRBrace: "}",
+	TLBracket: "[", TRBracket: "]", TComma: ",", TSemi: ";",
+	TColon: ":", TDot: ".", TArrow: "->", TAssign: "=", TDeclare: ":=",
+	TPlus: "+", TMinus: "-", TStar: "*", TSlash: "/", TPercent: "%",
+	TEq: "==", TNe: "!=", TLt: "<", TLe: "<=", TGt: ">", TGe: ">=",
+	TAndAnd: "&&", TOrOr: "||", TBang: "!", TImplies: "==>",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	for kw, kk := range keywords {
+		if kk == k {
+			return kw
+		}
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Flt  float64
+	Rune rune
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TIdent, TString:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case TInt:
+		return fmt.Sprintf("int %d", t.Int)
+	case TFloat:
+		return fmt.Sprintf("float %g", t.Flt)
+	}
+	return t.Kind.String()
+}
+
+// Error is a positioned syntax or runtime error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("oql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,109 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ode/internal/core"
+)
+
+// TestIndexedAndScanAgree is the optimizer's correctness property: for
+// random data and random range predicates, the indexed access path
+// must return exactly the extent-scan result.
+func TestIndexedAndScanAgree(t *testing.T) {
+	u := newUniversity(t)
+	r := rand.New(rand.NewSource(21))
+	// Load 400 persons with random incomes (duplicates included).
+	tx0 := u.engine.Begin()
+	for i := 0; i < 400; i++ {
+		o := core.NewObject(u.person)
+		o.MustSet("name", core.Str(fmt.Sprintf("p%03d", i)))
+		o.MustSet("income", core.Int(int64(r.Intn(100))))
+		if _, err := tx0.PNew(u.person, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx0.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.engine.Manager().CreateIndex(u.person, "income"); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := u.engine.Begin()
+	defer tx.Abort()
+	ops := []func(FieldBuilder, core.Value) FieldPred{
+		FieldBuilder.Eq, FieldBuilder.Ne, FieldBuilder.Lt,
+		FieldBuilder.Le, FieldBuilder.Gt, FieldBuilder.Ge,
+	}
+	for trial := 0; trial < 60; trial++ {
+		pred := ops[r.Intn(len(ops))](Field("income"), core.Int(int64(r.Intn(110)-5)))
+		collect := func(noIndex bool) map[core.OID]bool {
+			q := Forall(tx, u.person).SuchThat(pred)
+			if noIndex {
+				q = q.NoIndex()
+			}
+			out := map[core.OID]bool{}
+			if err := q.Do(func(it Item) (bool, error) {
+				out[it.OID] = true
+				return true, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		indexed := collect(false)
+		scanned := collect(true)
+		if len(indexed) != len(scanned) {
+			t.Fatalf("trial %d (%s): indexed %d vs scanned %d", trial, pred, len(indexed), len(scanned))
+		}
+		for oid := range scanned {
+			if !indexed[oid] {
+				t.Fatalf("trial %d (%s): indexed path missed @%d", trial, pred, oid)
+			}
+		}
+	}
+}
+
+// TestByOrderingMatchesSort verifies the by clause against an explicit
+// sort of the collected values for random keys.
+func TestByOrderingMatchesSort(t *testing.T) {
+	u := newUniversity(t)
+	r := rand.New(rand.NewSource(33))
+	tx0 := u.engine.Begin()
+	for i := 0; i < 200; i++ {
+		o := core.NewObject(u.person)
+		o.MustSet("name", core.Str(fmt.Sprintf("n%02d", r.Intn(50))))
+		o.MustSet("income", core.Int(int64(r.Intn(40))))
+		tx0.PNew(u.person, o)
+	}
+	tx0.Commit()
+
+	tx := u.engine.Begin()
+	defer tx.Abort()
+	for _, desc := range []bool{false, true} {
+		q := Forall(tx, u.person).By("income")
+		if desc {
+			q = q.Desc()
+		}
+		var keys []int64
+		if err := q.Do(func(it Item) (bool, error) {
+			keys = append(keys, it.Obj.MustGet("income").Int())
+			return true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != 200 {
+			t.Fatalf("visited %d", len(keys))
+		}
+		for i := 1; i < len(keys); i++ {
+			if !desc && keys[i-1] > keys[i] {
+				t.Fatalf("asc order violated at %d", i)
+			}
+			if desc && keys[i-1] < keys[i] {
+				t.Fatalf("desc order violated at %d", i)
+			}
+		}
+	}
+}

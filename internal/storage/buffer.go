@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// FlushLSNFunc is the WAL hook: before a dirty page with page-LSN n is
+// written back, the buffer pool calls the hook to ensure the log is
+// durable up to n (the write-ahead rule).
+type FlushLSNFunc func(lsn uint64) error
+
+// Pool is the buffer pool: a fixed set of frames caching pages, with
+// LRU replacement over unpinned frames and write-back of dirty pages.
+type Pool struct {
+	fs       *FileStore
+	dw       *DoubleWriter // optional: atomic in-place page writes
+	flushLSN FlushLSNFunc
+
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	lru    *list.List // of *frame; front = most recently used
+	cap    int
+
+	// stats
+	hits, misses, evictions uint64
+}
+
+type frame struct {
+	page  Page
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// ErrPoolFull is returned when every frame is pinned.
+var ErrPoolFull = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// NewPool creates a pool of capacity frames over fs. flushLSN may be nil
+// when no WAL is attached, and dw may be nil to write pages in place
+// without torn-page protection (e.g. unit tests).
+func NewPool(fs *FileStore, capacity int, dw *DoubleWriter, flushLSN FlushLSNFunc) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		fs:       fs,
+		dw:       dw,
+		flushLSN: flushLSN,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+		cap:      capacity,
+	}
+}
+
+// Stats returns (hits, misses, evictions).
+func (bp *Pool) Stats() (hits, misses, evictions uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses, bp.evictions
+}
+
+// Fetch pins page id and returns it. The caller must Unpin it exactly
+// once, passing dirty=true if it modified the page.
+func (bp *Pool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		fr.pins++
+		bp.lru.MoveToFront(fr.elem)
+		bp.hits++
+		return &fr.page, nil
+	}
+	bp.misses++
+	fr, err := bp.victim()
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.fs.ReadPage(id, &fr.page); err != nil {
+		bp.recycle(fr)
+		return nil, err
+	}
+	bp.install(id, fr)
+	return &fr.page, nil
+}
+
+// NewPage allocates a fresh page, pins it, and returns it zeroed. The
+// caller must Unpin with dirty=true.
+func (bp *Pool) NewPage() (*Page, error) {
+	id, err := bp.fs.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, err := bp.victim()
+	if err != nil {
+		return nil, err
+	}
+	fr.page.reset()
+	fr.page.id = id
+	fr.dirty = true
+	bp.install(id, fr)
+	return &fr.page, nil
+}
+
+// victim returns a free frame, evicting the least recently used
+// unpinned page if the pool is at capacity. Caller holds bp.mu.
+func (bp *Pool) victim() (*frame, error) {
+	if len(bp.frames) < bp.cap {
+		return &frame{pins: 0}, nil
+	}
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*frame)
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.dirty {
+			if err := bp.writeBack(fr); err != nil {
+				return nil, err
+			}
+		}
+		delete(bp.frames, fr.page.id)
+		bp.lru.Remove(e)
+		fr.elem = nil
+		bp.evictions++
+		return fr, nil
+	}
+	return nil, ErrPoolFull
+}
+
+// recycle returns an uninstalled frame obtained from victim; nothing to
+// do because victim already detached it.
+func (bp *Pool) recycle(*frame) {}
+
+// install registers the frame in the map and LRU. Caller holds bp.mu.
+func (bp *Pool) install(id PageID, fr *frame) {
+	fr.pins = 1
+	fr.elem = bp.lru.PushFront(fr)
+	bp.frames[id] = fr
+}
+
+// Unpin releases one pin; dirty records that the caller changed the
+// page.
+func (bp *Pool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("storage: Unpin of unpinned page %d", id))
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// writeBack flushes one dirty frame, honoring the WAL rule and staging
+// the page in the double-write buffer when one is attached. Caller
+// holds bp.mu.
+func (bp *Pool) writeBack(fr *frame) error {
+	if bp.flushLSN != nil {
+		if err := bp.flushLSN(fr.page.LSN()); err != nil {
+			return err
+		}
+	}
+	if bp.dw != nil {
+		if err := bp.dw.Stage([]*Page{&fr.page}); err != nil {
+			return err
+		}
+	}
+	if err := bp.fs.WritePage(&fr.page); err != nil {
+		return err
+	}
+	fr.dirty = false
+	return nil
+}
+
+// FlushAll writes back every dirty page (pinned or not) and syncs the
+// file; the whole batch is staged in the double-write buffer first so a
+// crash mid-flush tears no page. Used at checkpoints and on close.
+func (bp *Pool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var dirty []*frame
+	var maxLSN uint64
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			dirty = append(dirty, fr)
+			if l := fr.page.LSN(); l > maxLSN {
+				maxLSN = l
+			}
+		}
+	}
+	if len(dirty) == 0 {
+		return bp.fs.Sync()
+	}
+	if bp.flushLSN != nil {
+		if err := bp.flushLSN(maxLSN); err != nil {
+			return err
+		}
+	}
+	if bp.dw != nil {
+		// Stage in bounded batches.
+		for i := 0; i < len(dirty); i += dwMaxBatch {
+			end := i + dwMaxBatch
+			if end > len(dirty) {
+				end = len(dirty)
+			}
+			batch := make([]*Page, 0, end-i)
+			for _, fr := range dirty[i:end] {
+				batch = append(batch, &fr.page)
+			}
+			if err := bp.dw.Stage(batch); err != nil {
+				return err
+			}
+			for _, fr := range dirty[i:end] {
+				if err := bp.fs.WritePage(&fr.page); err != nil {
+					return err
+				}
+				fr.dirty = false
+			}
+			if err := bp.fs.Sync(); err != nil {
+				return err
+			}
+			if err := bp.dw.Clear(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, fr := range dirty {
+		if err := bp.fs.WritePage(&fr.page); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	return bp.fs.Sync()
+}
+
+// FreePage drops the page from the pool (it must be unpinned) and
+// returns it to the file's free list.
+func (bp *Pool) FreePage(id PageID) error {
+	bp.mu.Lock()
+	if fr, ok := bp.frames[id]; ok {
+		if fr.pins > 0 {
+			bp.mu.Unlock()
+			return fmt.Errorf("storage: FreePage(%d) while pinned", id)
+		}
+		delete(bp.frames, id)
+		bp.lru.Remove(fr.elem)
+	}
+	bp.mu.Unlock()
+	return bp.fs.Free(id)
+}
+
+// PinnedCount reports how many frames are currently pinned (test and
+// leak-check helper).
+func (bp *Pool) PinnedCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, fr := range bp.frames {
+		if fr.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// TestPoolConcurrentFetch hammers the pool from many goroutines, each
+// reading and occasionally writing its own page, under eviction
+// pressure. Run with -race.
+func TestPoolConcurrentFetch(t *testing.T) {
+	fs, bp := newTestPool(t, 8)
+	const pages = 32
+	ids := make([]PageID, pages)
+	for i := range ids {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetType(TypeHeap)
+		binary.LittleEndian.PutUint64(p.Payload(), uint64(i)<<32)
+		ids[i] = p.ID()
+		bp.Unpin(p.ID(), true)
+	}
+
+	const workers = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				idx := (w*rounds + r) % pages
+				p, err := bp.Fetch(ids[idx])
+				if err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+				hi := binary.LittleEndian.Uint64(p.Payload()) >> 32
+				if hi != uint64(idx) {
+					t.Errorf("page %d contains data for %d", idx, hi)
+					bp.Unpin(ids[idx], false)
+					return
+				}
+				dirty := false
+				if w == 0 { // one writer bumps a counter in its own pages
+					lo := binary.LittleEndian.Uint64(p.Payload()) & 0xFFFFFFFF
+					binary.LittleEndian.PutUint64(p.Payload(), uint64(idx)<<32|(lo+1))
+					dirty = true
+				}
+				bp.Unpin(ids[idx], dirty)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.PinnedCount() != 0 {
+		t.Errorf("leaked pins: %d", bp.PinnedCount())
+	}
+	// Verify the writer's increments survived the churn.
+	var total uint64
+	for i, id := range ids {
+		var p Page
+		if err := fs.ReadPage(id, &p); err != nil {
+			t.Fatal(err)
+		}
+		if hi := binary.LittleEndian.Uint64(p.Payload()) >> 32; hi != uint64(i) {
+			t.Fatalf("page %d corrupted", i)
+		}
+		total += binary.LittleEndian.Uint64(p.Payload()) & 0xFFFFFFFF
+	}
+	if total != rounds {
+		t.Errorf("writer increments = %d, want %d", total, rounds)
+	}
+}

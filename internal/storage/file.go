@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Magic identifies an Ode database file.
+var Magic = [8]byte{'O', 'D', 'E', 'D', 'B', '0', '0', '1'}
+
+// BootSize is the number of bytes of the meta page reserved for the
+// layers above storage (tree roots, OID counters, catalog pointers).
+const BootSize = 256
+
+// Meta page payload layout:
+//
+//	[0:8)    magic
+//	[8:12)   page count
+//	[12:16)  free list head
+//	[16:16+BootSize) boot record for higher layers
+const (
+	metaOffMagic    = 0
+	metaOffCount    = 8
+	metaOffFreeHead = 12
+	metaOffBoot     = 16
+)
+
+// ErrNotOdeFile reports a bad magic number.
+var ErrNotOdeFile = errors.New("storage: not an Ode database file")
+
+// FileStore is the paged file: it owns page allocation (with a free
+// list threaded through freed pages) and raw page I/O. All methods are
+// safe for concurrent use.
+type FileStore struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	pages     uint32 // number of pages including meta
+	freeHead  PageID
+	boot      [BootSize]byte
+	bootDirty bool
+}
+
+// CreateFile creates a new database file at path. It fails if the file
+// already exists.
+func CreateFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	fs := &FileStore{f: f, path: path, pages: 1, freeHead: InvalidPage}
+	if err := fs.writeMeta(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return fs, nil
+}
+
+// OpenFile opens an existing database file.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	fs := &FileStore{f: f, path: path}
+	if err := fs.readMeta(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Create opens path, creating the file when missing. The boolean result
+// reports whether the file was newly created.
+func Create(path string) (*FileStore, bool, error) {
+	if _, err := os.Stat(path); err == nil {
+		fs, err := OpenFile(path)
+		return fs, false, err
+	}
+	fs, err := CreateFile(path)
+	return fs, true, err
+}
+
+func (fs *FileStore) readMeta() error {
+	var p Page
+	p.id = 0
+	if _, err := fs.f.ReadAt(p.data[:], 0); err != nil {
+		return fmt.Errorf("storage: read meta: %w", err)
+	}
+	if err := p.verify(); err != nil {
+		return err
+	}
+	pl := p.Payload()
+	if [8]byte(pl[metaOffMagic:metaOffMagic+8]) != Magic {
+		return ErrNotOdeFile
+	}
+	fs.pages = binary.LittleEndian.Uint32(pl[metaOffCount:])
+	fs.freeHead = PageID(binary.LittleEndian.Uint32(pl[metaOffFreeHead:]))
+	copy(fs.boot[:], pl[metaOffBoot:metaOffBoot+BootSize])
+	return nil
+}
+
+// writeMeta persists the meta page. Caller holds fs.mu (or is the
+// constructor).
+func (fs *FileStore) writeMeta() error {
+	var p Page
+	p.id = 0
+	p.SetType(TypeMeta)
+	pl := p.Payload()
+	copy(pl[metaOffMagic:], Magic[:])
+	binary.LittleEndian.PutUint32(pl[metaOffCount:], fs.pages)
+	binary.LittleEndian.PutUint32(pl[metaOffFreeHead:], uint32(fs.freeHead))
+	copy(pl[metaOffBoot:], fs.boot[:])
+	p.seal()
+	if _, err := fs.f.WriteAt(p.data[:], 0); err != nil {
+		return fmt.Errorf("storage: write meta: %w", err)
+	}
+	fs.bootDirty = false
+	return nil
+}
+
+// Boot returns a copy of the boot record.
+func (fs *FileStore) Boot() [BootSize]byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.boot
+}
+
+// SetBoot replaces the boot record; it is persisted on the next Sync.
+func (fs *FileStore) SetBoot(b [BootSize]byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.boot = b
+	fs.bootDirty = true
+}
+
+// NumPages returns the current page count (including meta and free
+// pages).
+func (fs *FileStore) NumPages() uint32 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.pages
+}
+
+// Allocate returns a fresh page id, reusing the free list when
+// possible. The page content on disk is unspecified; callers initialize
+// it through the buffer pool.
+func (fs *FileStore) Allocate() (PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.freeHead != InvalidPage {
+		id := fs.freeHead
+		// The freed page stores the next free id in its payload.
+		var p Page
+		p.id = id
+		if _, err := fs.f.ReadAt(p.data[:], int64(id)*PageSize); err != nil {
+			return InvalidPage, fmt.Errorf("storage: read free page %d: %w", id, err)
+		}
+		fs.freeHead = PageID(binary.LittleEndian.Uint32(p.Payload()))
+		return id, nil
+	}
+	id := PageID(fs.pages)
+	fs.pages++
+	return id, nil
+}
+
+// Free returns a page to the free list.
+func (fs *FileStore) Free(id PageID) error {
+	if id == InvalidPage {
+		return errors.New("storage: Free(meta page)")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var p Page
+	p.id = id
+	p.SetType(TypeFree)
+	binary.LittleEndian.PutUint32(p.Payload(), uint32(fs.freeHead))
+	p.seal()
+	if _, err := fs.f.WriteAt(p.data[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: free page %d: %w", id, err)
+	}
+	fs.freeHead = id
+	return nil
+}
+
+// ReadPage fills p with the on-disk image of page id.
+func (fs *FileStore) ReadPage(id PageID, p *Page) error {
+	fs.mu.Lock()
+	inRange := uint32(id) < fs.pages
+	fs.mu.Unlock()
+	if !inRange {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	p.id = id
+	n, err := fs.f.ReadAt(p.data[:], int64(id)*PageSize)
+	if err == io.EOF && n == 0 {
+		// Allocated but never written (file not yet extended): a fresh
+		// zero page.
+		p.reset()
+		return nil
+	}
+	if err != nil && !(err == io.EOF && n == PageSize) {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return p.verify()
+}
+
+// WritePage seals p (id + checksum) and writes it at its position.
+func (fs *FileStore) WritePage(p *Page) error {
+	p.seal()
+	if _, err := fs.f.WriteAt(p.data[:], int64(p.id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", p.id, err)
+	}
+	return nil
+}
+
+// Sync flushes the meta page (if dirty) and fsyncs the file.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.writeMeta(); err != nil {
+		return err
+	}
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the file.
+func (fs *FileStore) Close() error {
+	if err := fs.Sync(); err != nil {
+		fs.f.Close()
+		return err
+	}
+	return fs.f.Close()
+}
+
+// Path returns the file path.
+func (fs *FileStore) Path() string { return fs.path }

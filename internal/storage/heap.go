@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RID addresses a record: page id plus slot number within the page.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// NilRID is the null record address.
+var NilRID = RID{}
+
+// IsNil reports whether the RID is null.
+func (r RID) IsNil() bool { return r.Page == InvalidPage }
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// Heap page payload layout (offsets within Payload()):
+//
+//	[0:2)  slot count
+//	[2:4)  free-space offset (start of the record area's unused prefix)
+//	[4:8)  next heap page (free-space chaining by the heap file layer)
+//	[8:..) slot directory: 4 bytes per slot (offset uint16, length uint16)
+//	records grow downward from the end of the payload
+//
+// A slot with offset 0 is a tombstone (record area offsets are always
+// > 0 because the directory occupies the payload prefix).
+const (
+	heapOffNSlots  = 0
+	heapOffFreePtr = 2
+	heapOffNext    = 4
+	heapDirStart   = 8
+	slotEntrySize  = 4
+)
+
+// ErrPageFull is returned when a record does not fit in a page.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrNoRecord is returned for reads of deleted or absent slots.
+var ErrNoRecord = errors.New("storage: no such record")
+
+// MaxRecordSize is the largest record a heap page can hold.
+const MaxRecordSize = PayloadSize - heapDirStart - slotEntrySize
+
+// Heap provides the slotted-record view over a page. It is a transient
+// facade: construct it around a pinned page, use it, drop it before
+// unpinning.
+type Heap struct {
+	p *Page
+}
+
+// AsHeap views p as a heap page, formatting it if it is fresh.
+func AsHeap(p *Page) Heap {
+	if p.Type() != TypeHeap {
+		p.SetType(TypeHeap)
+		pl := p.Payload()
+		binary.LittleEndian.PutUint16(pl[heapOffNSlots:], 0)
+		binary.LittleEndian.PutUint16(pl[heapOffFreePtr:], uint16(PayloadSize))
+		binary.LittleEndian.PutUint32(pl[heapOffNext:], uint32(InvalidPage))
+	}
+	return Heap{p: p}
+}
+
+func (h Heap) nslots() int {
+	return int(binary.LittleEndian.Uint16(h.p.Payload()[heapOffNSlots:]))
+}
+
+func (h Heap) setNSlots(n int) {
+	binary.LittleEndian.PutUint16(h.p.Payload()[heapOffNSlots:], uint16(n))
+}
+
+func (h Heap) freePtr() int {
+	return int(binary.LittleEndian.Uint16(h.p.Payload()[heapOffFreePtr:]))
+}
+
+func (h Heap) setFreePtr(n int) {
+	binary.LittleEndian.PutUint16(h.p.Payload()[heapOffFreePtr:], uint16(n))
+}
+
+// Next returns the next-page link used for free-space chaining.
+func (h Heap) Next() PageID {
+	return PageID(binary.LittleEndian.Uint32(h.p.Payload()[heapOffNext:]))
+}
+
+// SetNext sets the next-page link.
+func (h Heap) SetNext(id PageID) {
+	binary.LittleEndian.PutUint32(h.p.Payload()[heapOffNext:], uint32(id))
+}
+
+func (h Heap) slot(i int) (off, length int) {
+	pl := h.p.Payload()
+	base := heapDirStart + i*slotEntrySize
+	return int(binary.LittleEndian.Uint16(pl[base:])), int(binary.LittleEndian.Uint16(pl[base+2:]))
+}
+
+func (h Heap) setSlot(i, off, length int) {
+	pl := h.p.Payload()
+	base := heapDirStart + i*slotEntrySize
+	binary.LittleEndian.PutUint16(pl[base:], uint16(off))
+	binary.LittleEndian.PutUint16(pl[base+2:], uint16(length))
+}
+
+// FreeSpace returns the bytes available for a new record (including its
+// slot entry if a new slot would be needed).
+func (h Heap) FreeSpace() int {
+	dirEnd := heapDirStart + h.nslots()*slotEntrySize
+	free := h.freePtr() - dirEnd - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores rec in the page and returns its slot. It reuses
+// tombstoned slots. ErrPageFull is returned when the record does not
+// fit.
+func (h Heap) Insert(rec []byte) (uint16, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	n := h.nslots()
+	// Find a tombstoned slot to reuse.
+	slot := -1
+	for i := 0; i < n; i++ {
+		if off, _ := h.slot(i); off == 0 {
+			slot = i
+			break
+		}
+	}
+	need := len(rec)
+	dirEnd := heapDirStart + n*slotEntrySize
+	if slot == -1 {
+		dirEnd += slotEntrySize // a new directory entry
+	}
+	if h.freePtr()-dirEnd < need {
+		if h.compact(); h.freePtr()-dirEnd < need {
+			return 0, ErrPageFull
+		}
+	}
+	off := h.freePtr() - need
+	copy(h.p.Payload()[off:], rec)
+	h.setFreePtr(off)
+	if slot == -1 {
+		slot = n
+		h.setNSlots(n + 1)
+	}
+	h.setSlot(slot, off, need)
+	return uint16(slot), nil
+}
+
+// Get returns the record bytes in the given slot. The returned slice
+// aliases the page; callers must copy before unpinning.
+func (h Heap) Get(slot uint16) ([]byte, error) {
+	if int(slot) >= h.nslots() {
+		return nil, fmt.Errorf("%w: slot %d of page %d", ErrNoRecord, slot, h.p.id)
+	}
+	off, length := h.slot(int(slot))
+	if off == 0 {
+		return nil, fmt.Errorf("%w: slot %d of page %d (deleted)", ErrNoRecord, slot, h.p.id)
+	}
+	return h.p.Payload()[off : off+length], nil
+}
+
+// Update replaces the record in slot. If the new record fits in place
+// (or the page has room after compaction) it succeeds; otherwise it
+// returns ErrPageFull and the caller relocates the record.
+func (h Heap) Update(slot uint16, rec []byte) error {
+	if int(slot) >= h.nslots() {
+		return fmt.Errorf("%w: slot %d of page %d", ErrNoRecord, slot, h.p.id)
+	}
+	off, length := h.slot(int(slot))
+	if off == 0 {
+		return fmt.Errorf("%w: slot %d of page %d (deleted)", ErrNoRecord, slot, h.p.id)
+	}
+	if len(rec) <= length {
+		copy(h.p.Payload()[off:], rec)
+		h.setSlot(int(slot), off, len(rec))
+		return nil
+	}
+	// Delete then re-insert into the same slot.
+	h.setSlot(int(slot), 0, 0)
+	dirEnd := heapDirStart + h.nslots()*slotEntrySize
+	if h.freePtr()-dirEnd < len(rec) {
+		h.compact()
+	}
+	if h.freePtr()-dirEnd < len(rec) || len(rec) > MaxRecordSize {
+		h.setSlot(int(slot), off, length) // restore
+		return ErrPageFull
+	}
+	noff := h.freePtr() - len(rec)
+	copy(h.p.Payload()[noff:], rec)
+	h.setFreePtr(noff)
+	h.setSlot(int(slot), noff, len(rec))
+	return nil
+}
+
+// Delete tombstones the slot.
+func (h Heap) Delete(slot uint16) error {
+	if int(slot) >= h.nslots() {
+		return fmt.Errorf("%w: slot %d of page %d", ErrNoRecord, slot, h.p.id)
+	}
+	if off, _ := h.slot(int(slot)); off == 0 {
+		return fmt.Errorf("%w: slot %d of page %d (deleted)", ErrNoRecord, slot, h.p.id)
+	}
+	h.setSlot(int(slot), 0, 0)
+	return nil
+}
+
+// NumSlots returns the number of directory entries (including
+// tombstones).
+func (h Heap) NumSlots() int { return h.nslots() }
+
+// Live returns the number of live records.
+func (h Heap) Live() int {
+	live := 0
+	for i := 0; i < h.nslots(); i++ {
+		if off, _ := h.slot(i); off != 0 {
+			live++
+		}
+	}
+	return live
+}
+
+// compact rewrites the record area to squeeze out holes left by deletes
+// and shrinking updates. Slot numbers are stable.
+func (h Heap) compact() {
+	type rec struct {
+		slot, off, length int
+	}
+	var recs []rec
+	for i := 0; i < h.nslots(); i++ {
+		if off, length := h.slot(i); off != 0 {
+			recs = append(recs, rec{i, off, length})
+		}
+	}
+	// Copy records into a scratch area, then lay them back down from the
+	// end of the payload.
+	pl := h.p.Payload()
+	scratch := make([]byte, 0, PayloadSize)
+	for _, r := range recs {
+		scratch = append(scratch, pl[r.off:r.off+r.length]...)
+	}
+	writeEnd := PayloadSize
+	consumed := 0
+	for _, r := range recs {
+		writeEnd -= r.length
+		copy(pl[writeEnd:], scratch[consumed:consumed+r.length])
+		h.setSlot(r.slot, writeEnd, r.length)
+		consumed += r.length
+	}
+	h.setFreePtr(writeEnd)
+}

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RecordFile is a heap file: an unordered collection of variable-length
+// records spread over a chain of heap pages. The page chain (via the
+// heap Next link) makes the file enumerable from its head page, which
+// the caller persists (in the boot record).
+//
+// RecordFile keeps an in-memory list of pages believed to have free
+// space; it is an optimization only and is rebuilt lazily.
+type RecordFile struct {
+	pool *Pool
+	head PageID
+	// avail is a stack of pages to try for inserts.
+	avail []PageID
+}
+
+// NewRecordFile opens a record file whose first page is head
+// (InvalidPage for an empty file).
+func NewRecordFile(pool *Pool, head PageID) *RecordFile {
+	rf := &RecordFile{pool: pool, head: head}
+	if head != InvalidPage {
+		rf.avail = append(rf.avail, head)
+	}
+	return rf
+}
+
+// Head returns the current first page of the chain; callers persist it.
+func (rf *RecordFile) Head() PageID { return rf.head }
+
+// Insert stores rec and returns its address.
+func (rf *RecordFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > MaxRecordSize {
+		return NilRID, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	// Try remembered pages with space.
+	for len(rf.avail) > 0 {
+		id := rf.avail[len(rf.avail)-1]
+		p, err := rf.pool.Fetch(id)
+		if err != nil {
+			return NilRID, err
+		}
+		h := AsHeap(p)
+		slot, err := h.Insert(rec)
+		if err == nil {
+			rf.pool.Unpin(id, true)
+			return RID{Page: id, Slot: slot}, nil
+		}
+		rf.pool.Unpin(id, false)
+		if !errors.Is(err, ErrPageFull) {
+			return NilRID, err
+		}
+		rf.avail = rf.avail[:len(rf.avail)-1]
+	}
+	// Allocate a fresh page and link it at the head of the chain.
+	p, err := rf.pool.NewPage()
+	if err != nil {
+		return NilRID, err
+	}
+	id := p.ID()
+	h := AsHeap(p)
+	h.SetNext(rf.head)
+	slot, err := h.Insert(rec)
+	rf.pool.Unpin(id, true)
+	if err != nil {
+		return NilRID, err
+	}
+	rf.head = id
+	rf.avail = append(rf.avail, id)
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// Get returns a copy of the record at rid.
+func (rf *RecordFile) Get(rid RID) ([]byte, error) {
+	p, err := rf.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.pool.Unpin(rid.Page, false)
+	rec, err := AsHeap(p).Get(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Update replaces the record at rid. If it no longer fits in its page
+// the record is relocated and the new address returned; callers must
+// treat the returned RID as authoritative.
+func (rf *RecordFile) Update(rid RID, rec []byte) (RID, error) {
+	p, err := rf.pool.Fetch(rid.Page)
+	if err != nil {
+		return NilRID, err
+	}
+	h := AsHeap(p)
+	err = h.Update(rid.Slot, rec)
+	if err == nil {
+		rf.pool.Unpin(rid.Page, true)
+		return rid, nil
+	}
+	rf.pool.Unpin(rid.Page, false)
+	if !errors.Is(err, ErrPageFull) {
+		return NilRID, err
+	}
+	// Relocate: delete then insert elsewhere.
+	if err := rf.Delete(rid); err != nil {
+		return NilRID, err
+	}
+	return rf.Insert(rec)
+}
+
+// Delete removes the record at rid and remembers the page as having
+// space.
+func (rf *RecordFile) Delete(rid RID) error {
+	p, err := rf.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = AsHeap(p).Delete(rid.Slot)
+	rf.pool.Unpin(rid.Page, err == nil)
+	if err != nil {
+		return err
+	}
+	rf.noteSpace(rid.Page)
+	return nil
+}
+
+func (rf *RecordFile) noteSpace(id PageID) {
+	for _, a := range rf.avail {
+		if a == id {
+			return
+		}
+	}
+	rf.avail = append(rf.avail, id)
+}
+
+// Iterate visits every live record in the file. The rec slice passed to
+// fn aliases the page; fn must copy it to retain it. Iteration stops
+// early when fn returns false or an error.
+func (rf *RecordFile) Iterate(fn func(rid RID, rec []byte) (bool, error)) error {
+	for id := rf.head; id != InvalidPage; {
+		p, err := rf.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		h := AsHeap(p)
+		next := h.Next()
+		for s := 0; s < h.NumSlots(); s++ {
+			rec, err := h.Get(uint16(s))
+			if errors.Is(err, ErrNoRecord) {
+				continue
+			}
+			if err != nil {
+				rf.pool.Unpin(id, false)
+				return err
+			}
+			cont, err := fn(RID{Page: id, Slot: uint16(s)}, rec)
+			if err != nil || !cont {
+				rf.pool.Unpin(id, false)
+				return err
+			}
+		}
+		rf.pool.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// Pages returns the page ids of the chain in order (diagnostics).
+func (rf *RecordFile) Pages() ([]PageID, error) {
+	var out []PageID
+	for id := rf.head; id != InvalidPage; {
+		out = append(out, id)
+		p, err := rf.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		next := AsHeap(p).Next()
+		rf.pool.Unpin(id, false)
+		id = next
+	}
+	return out, nil
+}

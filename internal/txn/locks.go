@@ -1,0 +1,176 @@
+// Package txn implements transactions for an Ode database: strict
+// two-phase locking at object granularity with deadlock detection,
+// private write buffering (no-steal), and a commit that appends the
+// transaction's logical operations to the WAL and applies them to the
+// object manager.
+//
+// The paper sets transactions aside ("any O++ program that interacts
+// with the database will be considered to be a single transaction") but
+// its trigger semantics — independent weakly-coupled action
+// transactions, aborted with their triggering transaction — require a
+// real transaction mechanism, so this package provides one.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ode/internal/core"
+)
+
+// LockMode is shared (read) or exclusive (write).
+type LockMode uint8
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+func (m LockMode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrDeadlock is returned to a transaction chosen as deadlock victim;
+// the caller must abort it.
+var ErrDeadlock = errors.New("txn: deadlock detected; transaction chosen as victim")
+
+// LockManager implements strict 2PL over OIDs with waits-for-graph
+// deadlock detection (the victim is the requester that would close a
+// cycle).
+type LockManager struct {
+	mu       sync.Mutex
+	locks    map[core.OID]*lockState
+	waitsFor map[uint64]map[uint64]bool // txid -> the txids it waits on
+}
+
+type lockState struct {
+	cond    *sync.Cond
+	holders map[uint64]LockMode
+	waiting int
+}
+
+// NewLockManager returns an empty lock table.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks:    make(map[core.OID]*lockState),
+		waitsFor: make(map[uint64]map[uint64]bool),
+	}
+}
+
+// Acquire takes (or upgrades to) the given lock for tx on oid, blocking
+// until compatible or until the request would deadlock (ErrDeadlock).
+// Re-acquiring a held lock (same or weaker mode) is a no-op.
+func (lm *LockManager) Acquire(txid uint64, oid core.OID, mode LockMode) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	ls, ok := lm.locks[oid]
+	if !ok {
+		ls = &lockState{holders: make(map[uint64]LockMode)}
+		ls.cond = sync.NewCond(&lm.mu)
+		lm.locks[oid] = ls
+	}
+	for {
+		if held, ok := ls.holders[txid]; ok {
+			if held == Exclusive || mode == Shared {
+				return nil // already sufficient
+			}
+			// Upgrade S -> X: wait until we are the only holder.
+			if len(ls.holders) == 1 {
+				ls.holders[txid] = Exclusive
+				return nil
+			}
+		} else {
+			compatible := true
+			if mode == Exclusive && len(ls.holders) > 0 {
+				compatible = false
+			}
+			if mode == Shared {
+				for _, m := range ls.holders {
+					if m == Exclusive {
+						compatible = false
+						break
+					}
+				}
+			}
+			if compatible {
+				ls.holders[txid] = mode
+				return nil
+			}
+		}
+		// Must wait: record edges and check for a cycle.
+		blockers := make(map[uint64]bool)
+		for h := range ls.holders {
+			if h != txid {
+				blockers[h] = true
+			}
+		}
+		lm.waitsFor[txid] = blockers
+		if lm.cycleFrom(txid) {
+			delete(lm.waitsFor, txid)
+			return fmt.Errorf("%w (tx %d on @%d %s)", ErrDeadlock, txid, oid, mode)
+		}
+		ls.waiting++
+		ls.cond.Wait()
+		ls.waiting--
+		delete(lm.waitsFor, txid)
+	}
+}
+
+// cycleFrom reports whether following waits-for edges from start
+// returns to start. Caller holds lm.mu.
+func (lm *LockManager) cycleFrom(start uint64) bool {
+	seen := make(map[uint64]bool)
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		for v := range lm.waitsFor[u] {
+			if v == start {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// ReleaseAll drops every lock tx holds and wakes waiters. Called once
+// at commit or abort (strict 2PL: no early release).
+func (lm *LockManager) ReleaseAll(txid uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.waitsFor, txid)
+	for oid, ls := range lm.locks {
+		if _, ok := ls.holders[txid]; ok {
+			delete(ls.holders, txid)
+			if ls.waiting > 0 {
+				ls.cond.Broadcast()
+			}
+			if len(ls.holders) == 0 && ls.waiting == 0 {
+				delete(lm.locks, oid)
+			}
+		}
+	}
+}
+
+// HeldLocks reports the locks a transaction currently holds (tests).
+func (lm *LockManager) HeldLocks(txid uint64) map[core.OID]LockMode {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	out := make(map[core.OID]LockMode)
+	for oid, ls := range lm.locks {
+		if m, ok := ls.holders[txid]; ok {
+			out[oid] = m
+		}
+	}
+	return out
+}

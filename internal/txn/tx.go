@@ -1,0 +1,518 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ode/internal/core"
+	"ode/internal/object"
+	"ode/internal/wal"
+)
+
+// Tx states.
+const (
+	stateActive = iota
+	stateCommitted
+	stateAborted
+)
+
+// Sentinel errors.
+var (
+	// ErrTxDone is returned for operations on a finished transaction.
+	ErrTxDone = errors.New("txn: transaction already committed or aborted")
+	// ErrConstraintViolation aborts a commit whose objects violate a
+	// class constraint (paper, section 5: "Violation of a constraint
+	// will cause the transaction ... to be aborted and rolled back").
+	ErrConstraintViolation = errors.New("txn: constraint violation")
+)
+
+// Engine creates and commits transactions against one database. It
+// serializes commit application so the WAL order equals the apply
+// order.
+type Engine struct {
+	mgr    *object.Manager
+	log    *wal.Log
+	locks  *LockManager
+	nextID atomic.Uint64
+
+	commitMu sync.Mutex
+
+	// PreCommit, if set, runs inside Commit after constraint checking
+	// and before the WAL append; returning an error aborts. The
+	// database layer uses it for trigger-condition bookkeeping.
+	PreCommit func(tx *Tx) error
+	// PostCommit, if set, runs after a successful commit (locks still
+	// held released already). The database layer schedules fired
+	// trigger actions here (weak coupling).
+	PostCommit func(tx *Tx)
+	// PostAbort, if set, runs after an abort; the database layer
+	// cancels trigger actions scheduled by this transaction.
+	PostAbort func(tx *Tx)
+}
+
+// NewEngine builds a transaction engine over a manager and its WAL.
+func NewEngine(mgr *object.Manager, log *wal.Log) *Engine {
+	return &Engine{mgr: mgr, log: log, locks: NewLockManager()}
+}
+
+// Manager exposes the underlying object manager.
+func (e *Engine) Manager() *object.Manager { return e.mgr }
+
+// Locks exposes the lock manager (diagnostics and tests).
+func (e *Engine) Locks() *LockManager { return e.locks }
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Tx {
+	return &Tx{
+		engine:  e,
+		id:      e.nextID.Add(1),
+		writes:  make(map[core.OID]*txWrite),
+		frozen:  make(map[core.VRef]*core.Object),
+		current: make(map[core.OID]uint32),
+	}
+}
+
+// txWrite is the buffered state of one object in a transaction.
+type txWrite struct {
+	obj     *core.Object // nil => deleted
+	created bool
+	dirty   bool
+}
+
+// Tx is a transaction: a private view over the database that becomes
+// visible atomically at commit. Tx implements core.Store, so member
+// functions, constraints, and triggers run against the transactional
+// view.
+//
+// A Tx is not safe for concurrent use by multiple goroutines (as in
+// database/sql); concurrency comes from running many transactions.
+type Tx struct {
+	engine *Engine
+	id     uint64
+	state  int
+
+	writes  map[core.OID]*txWrite
+	ops     []wal.Op
+	frozen  map[core.VRef]*core.Object // buffered newversion snapshots
+	current map[core.OID]uint32        // buffered current-version numbers
+
+	// Touched is exported through accessors for the trigger layer.
+}
+
+// ID returns the transaction id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Manager exposes the object manager for read paths (extent and index
+// scans) of the query layer. Mutations must go through the Tx methods.
+func (tx *Tx) Manager() *object.Manager { return tx.engine.mgr }
+
+// Schema implements core.Store.
+func (tx *Tx) Schema() *core.Schema { return tx.engine.mgr.Schema() }
+
+func (tx *Tx) ensureActive() error {
+	if tx.state != stateActive {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// Deref implements core.Store: it returns a private copy of the current
+// state of the object. Mutations become part of the transaction only
+// via Update.
+func (tx *Tx) Deref(oid core.OID) (*core.Object, error) {
+	if err := tx.ensureActive(); err != nil {
+		return nil, err
+	}
+	if oid == core.NilOID {
+		return nil, fmt.Errorf("%w: nil reference", object.ErrNoObject)
+	}
+	if w, ok := tx.writes[oid]; ok {
+		if w.obj == nil {
+			return nil, fmt.Errorf("%w: @%d (deleted in this transaction)", object.ErrNoObject, oid)
+		}
+		return w.obj.Copy(), nil
+	}
+	if err := tx.lock(oid, Shared); err != nil {
+		return nil, err
+	}
+	o, _, err := tx.engine.mgr.Get(oid)
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// DerefVersion implements core.Store for pinned version references.
+func (tx *Tx) DerefVersion(ref core.VRef) (*core.Object, error) {
+	if err := tx.ensureActive(); err != nil {
+		return nil, err
+	}
+	if o, ok := tx.frozen[ref]; ok {
+		return o.Copy(), nil
+	}
+	cur, err := tx.CurrentVersion(ref.OID)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Version == cur {
+		return tx.Deref(ref.OID)
+	}
+	if err := tx.lock(ref.OID, Shared); err != nil {
+		return nil, err
+	}
+	return tx.engine.mgr.GetVersion(ref.OID, ref.Version)
+}
+
+// PNew implements core.Store: it creates a persistent object of class c
+// initialized from init (nil for a zero instance). The class's cluster
+// must exist.
+func (tx *Tx) PNew(c *core.Class, init *core.Object) (core.OID, error) {
+	if err := tx.ensureActive(); err != nil {
+		return core.NilOID, err
+	}
+	if err := tx.engine.mgr.RequireCluster(c); err != nil {
+		return core.NilOID, err
+	}
+	var o *core.Object
+	if init == nil {
+		o = core.NewObject(c)
+	} else {
+		if init.Class() != c {
+			return core.NilOID, fmt.Errorf("txn: PNew class %s does not match object class %s", c.Name, init.Class().Name)
+		}
+		o = init.Copy()
+	}
+	oid := tx.engine.mgr.AllocOID()
+	if err := tx.lock(oid, Exclusive); err != nil {
+		return core.NilOID, err
+	}
+	tx.writes[oid] = &txWrite{obj: o, created: true, dirty: true}
+	tx.current[oid] = 0
+	return oid, nil
+}
+
+// Update implements core.Store: it publishes the (mutated) state of a
+// persistent object into the transaction.
+func (tx *Tx) Update(oid core.OID, o *core.Object) error {
+	if err := tx.ensureActive(); err != nil {
+		return err
+	}
+	if err := tx.lock(oid, Exclusive); err != nil {
+		return err
+	}
+	if w, ok := tx.writes[oid]; ok {
+		if w.obj == nil {
+			return fmt.Errorf("%w: @%d (deleted in this transaction)", object.ErrNoObject, oid)
+		}
+		if w.obj.Class() != o.Class() {
+			return fmt.Errorf("txn: update changes class of @%d", oid)
+		}
+		w.obj = o.Copy()
+		w.dirty = true
+		return nil
+	}
+	// First write: validate existence and class.
+	old, cur, err := tx.engine.mgr.Get(oid)
+	if err != nil {
+		return err
+	}
+	if old.Class() != o.Class() {
+		return fmt.Errorf("txn: update changes class of @%d from %s to %s", oid, old.Class().Name, o.Class().Name)
+	}
+	tx.writes[oid] = &txWrite{obj: o.Copy(), dirty: true}
+	if _, ok := tx.current[oid]; !ok {
+		tx.current[oid] = cur
+	}
+	return nil
+}
+
+// PDelete implements core.Store: it removes a persistent object (and
+// all its versions) at commit.
+func (tx *Tx) PDelete(oid core.OID) error {
+	if err := tx.ensureActive(); err != nil {
+		return err
+	}
+	if err := tx.lock(oid, Exclusive); err != nil {
+		return err
+	}
+	if w, ok := tx.writes[oid]; ok {
+		if w.obj == nil {
+			return fmt.Errorf("%w: @%d", object.ErrNoObject, oid)
+		}
+		w.obj = nil
+		w.dirty = true
+		return nil
+	}
+	if ok, err := tx.engine.mgr.Exists(oid); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: @%d", object.ErrNoObject, oid)
+	}
+	tx.writes[oid] = &txWrite{dirty: true}
+	return nil
+}
+
+// CurrentVersion returns the current version number of an object as
+// seen by this transaction.
+func (tx *Tx) CurrentVersion(oid core.OID) (uint32, error) {
+	if err := tx.ensureActive(); err != nil {
+		return 0, err
+	}
+	if v, ok := tx.current[oid]; ok {
+		return v, nil
+	}
+	if w, ok := tx.writes[oid]; ok && w.obj == nil {
+		return 0, fmt.Errorf("%w: @%d", object.ErrNoObject, oid)
+	}
+	if err := tx.lock(oid, Shared); err != nil {
+		return 0, err
+	}
+	return tx.engine.mgr.CurrentVersion(oid)
+}
+
+// NewVersion freezes the current state of the object as a new immutable
+// version and returns a reference to that frozen version. Subsequent
+// updates apply to the (new) current version (paper, section 4: "A new
+// version is created explicitly by calling the macro newversion").
+func (tx *Tx) NewVersion(oid core.OID) (core.VRef, error) {
+	if err := tx.ensureActive(); err != nil {
+		return core.VRef{}, err
+	}
+	if err := tx.lock(oid, Exclusive); err != nil {
+		return core.VRef{}, err
+	}
+	cur, err := tx.CurrentVersion(oid)
+	if err != nil {
+		return core.VRef{}, err
+	}
+	state, err := tx.Deref(oid)
+	if err != nil {
+		return core.VRef{}, err
+	}
+	ref := core.VRef{OID: oid, Version: cur}
+	tx.frozen[ref] = state
+	tx.current[oid] = cur + 1
+	// Ensure the object is in the write set so the version bump lands.
+	if w, ok := tx.writes[oid]; ok {
+		w.dirty = true
+	} else {
+		tx.writes[oid] = &txWrite{obj: state.Copy(), dirty: true}
+	}
+	return ref, nil
+}
+
+// DeleteVersion removes one frozen version of an object.
+func (tx *Tx) DeleteVersion(ref core.VRef) error {
+	if err := tx.ensureActive(); err != nil {
+		return err
+	}
+	if err := tx.lock(ref.OID, Exclusive); err != nil {
+		return err
+	}
+	if _, ok := tx.frozen[ref]; ok {
+		delete(tx.frozen, ref)
+		return nil
+	}
+	if _, err := tx.engine.mgr.GetVersion(ref.OID, ref.Version); err != nil {
+		return err
+	}
+	tx.ops = append(tx.ops, wal.Op{Type: wal.OpDeleteVersion, OID: uint64(ref.OID), Version: ref.Version})
+	return nil
+}
+
+// Versions lists the frozen version numbers visible to this
+// transaction.
+func (tx *Tx) Versions(oid core.OID) ([]uint32, error) {
+	if err := tx.ensureActive(); err != nil {
+		return nil, err
+	}
+	if err := tx.lock(oid, Shared); err != nil {
+		return nil, err
+	}
+	vs, err := tx.engine.mgr.Versions(oid)
+	if err != nil {
+		return nil, err
+	}
+	for ref := range tx.frozen {
+		if ref.OID == oid {
+			vs = append(vs, ref.Version)
+		}
+	}
+	// Buffered DeleteVersion ops hide versions.
+	hidden := make(map[uint32]bool)
+	for _, op := range tx.ops {
+		if op.Type == wal.OpDeleteVersion && core.OID(op.OID) == oid {
+			hidden[op.Version] = true
+		}
+	}
+	out := vs[:0]
+	seen := make(map[uint32]bool)
+	for _, v := range vs {
+		if !hidden[v] && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sortUint32(out)
+	return out, nil
+}
+
+func sortUint32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// lock acquires a lock through the engine's lock manager.
+func (tx *Tx) lock(oid core.OID, mode LockMode) error {
+	return tx.engine.locks.Acquire(tx.id, oid, mode)
+}
+
+// WriteSet returns the OIDs this transaction created, updated, or
+// deleted (the trigger layer evaluates conditions over these).
+func (tx *Tx) WriteSet() []core.OID {
+	var out []core.OID
+	for oid, w := range tx.writes {
+		if w.dirty {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// IsDeleted reports whether the transaction deletes oid.
+func (tx *Tx) IsDeleted(oid core.OID) bool {
+	w, ok := tx.writes[oid]
+	return ok && w.obj == nil
+}
+
+// Created reports whether the transaction created oid.
+func (tx *Tx) Created(oid core.OID) bool {
+	w, ok := tx.writes[oid]
+	return ok && w.created
+}
+
+// Commit makes the transaction durable: constraints are checked, the
+// PreCommit hook runs, the logical operations are appended to the WAL
+// (fsync), applied to the object manager, and the locks released.
+func (tx *Tx) Commit() error {
+	if err := tx.ensureActive(); err != nil {
+		return err
+	}
+	// Constraint check over final buffered states (conceptually "at the
+	// end of each transaction").
+	for oid, w := range tx.writes {
+		if w.obj == nil || !w.dirty {
+			continue
+		}
+		violated, err := w.obj.CheckConstraints(tx)
+		if err != nil {
+			tx.Abort()
+			return fmt.Errorf("%w: %v", ErrConstraintViolation, err)
+		}
+		if violated != nil {
+			tx.Abort()
+			return fmt.Errorf("%w: object @%d of class %s violates %q (%s)",
+				ErrConstraintViolation, oid, w.obj.Class().Name, violated.Name, violated.Src)
+		}
+	}
+	if hook := tx.engine.PreCommit; hook != nil {
+		if err := hook(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	ops := tx.buildOps()
+	e := tx.engine
+	e.commitMu.Lock()
+	if len(ops) > 0 {
+		if err := e.log.Append(tx.id, ops); err != nil {
+			e.commitMu.Unlock()
+			tx.Abort()
+			return fmt.Errorf("txn: wal append: %w", err)
+		}
+		for i := range ops {
+			if err := e.mgr.Apply(&ops[i]); err != nil {
+				// The op is durable but not applied: the database is
+				// recoverable by replay, but this process's in-memory
+				// state may be inconsistent. Surface loudly.
+				e.commitMu.Unlock()
+				tx.finish(stateAborted)
+				return fmt.Errorf("txn: apply after logging (database needs recovery): %w", err)
+			}
+		}
+	}
+	e.commitMu.Unlock()
+	tx.finish(stateCommitted)
+	if hook := e.PostCommit; hook != nil {
+		hook(tx)
+	}
+	return nil
+}
+
+// buildOps lowers the buffered write set to WAL operations: frozen
+// version snapshots first, then puts/deletes, then any explicit
+// buffered ops (version deletions).
+func (tx *Tx) buildOps() []wal.Op {
+	var ops []wal.Op
+	for ref, obj := range tx.frozen {
+		// Skip snapshots of objects deleted later in the transaction.
+		if tx.IsDeleted(ref.OID) {
+			continue
+		}
+		ops = append(ops, wal.Op{
+			Type:    wal.OpPutVersion,
+			OID:     uint64(ref.OID),
+			Version: ref.Version,
+			ClassID: uint32(obj.Class().ID()),
+			Image:   object.Encode(obj),
+		})
+	}
+	for oid, w := range tx.writes {
+		if !w.dirty {
+			continue
+		}
+		if w.obj == nil {
+			if w.created {
+				continue // created and deleted in the same transaction
+			}
+			ops = append(ops, wal.Op{Type: wal.OpDelete, OID: uint64(oid)})
+			continue
+		}
+		ops = append(ops, wal.Op{
+			Type:    wal.OpPut,
+			OID:     uint64(oid),
+			Version: tx.current[oid],
+			ClassID: uint32(w.obj.Class().ID()),
+			Image:   object.Encode(w.obj),
+		})
+	}
+	return append(ops, tx.ops...)
+}
+
+// Abort rolls the transaction back: buffered writes are discarded and
+// locks released. Abort of a finished transaction is a no-op.
+func (tx *Tx) Abort() {
+	if tx.state != stateActive {
+		return
+	}
+	tx.finish(stateAborted)
+	if hook := tx.engine.PostAbort; hook != nil {
+		hook(tx)
+	}
+}
+
+func (tx *Tx) finish(state int) {
+	tx.state = state
+	tx.engine.locks.ReleaseAll(tx.id)
+}
+
+// Active reports whether the transaction can still be used.
+func (tx *Tx) Active() bool { return tx.state == stateActive }
+
+// Committed reports whether Commit succeeded.
+func (tx *Tx) Committed() bool { return tx.state == stateCommitted }

@@ -1,0 +1,253 @@
+package version
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ode/internal/core"
+	"ode/internal/object"
+	"ode/internal/storage"
+	"ode/internal/txn"
+	"ode/internal/wal"
+)
+
+func newFixture(t testing.TB) (*txn.Engine, *Service, *core.Class) {
+	t.Helper()
+	schema := core.NewSchema()
+	doc := core.NewClass("doc").
+		Field("text", core.TString).
+		Register(schema)
+	RegisterGraphClass(schema)
+
+	dir := t.TempDir()
+	fs, err := storage.CreateFile(filepath.Join(dir, "v.odb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	pool := storage.NewPool(fs, 128, nil, nil)
+	mgr, err := object.Create(schema, fs, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.CreateCluster(doc)
+	svc, err := NewService(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.CreateCluster(svc.Class())
+	log, err := wal.Open(filepath.Join(dir, "v.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	return txn.NewEngine(mgr, log), svc, doc
+}
+
+func mkDoc(t testing.TB, e *txn.Engine, doc *core.Class, text string) core.OID {
+	t.Helper()
+	tx := e.Begin()
+	o := core.NewObject(doc)
+	o.MustSet("text", core.Str(text))
+	oid, err := tx.PNew(doc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return oid
+}
+
+func setText(t testing.TB, e *txn.Engine, oid core.OID, text string) {
+	t.Helper()
+	tx := e.Begin()
+	o, err := tx.Deref(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.MustSet("text", core.Str(text))
+	if err := tx.Update(oid, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func text(t testing.TB, e *txn.Engine, oid core.OID, ref *core.VRef) string {
+	t.Helper()
+	tx := e.Begin()
+	defer tx.Abort()
+	var o *core.Object
+	var err error
+	if ref == nil {
+		o, err = tx.Deref(oid)
+	} else {
+		o, err = tx.DerefVersion(*ref)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o.MustGet("text").Str()
+}
+
+func TestLinearCheckpoints(t *testing.T) {
+	e, svc, doc := newFixture(t)
+	oid := mkDoc(t, e, doc, "a")
+
+	tx := e.Begin()
+	v0, err := svc.Checkpoint(tx, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	setText(t, e, oid, "b")
+	tx = e.Begin()
+	v1, err := svc.Checkpoint(tx, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	// Chain: v0 <- v1 <- current.
+	tx = e.Begin()
+	defer tx.Abort()
+	if p, ok, _ := svc.Parent(tx, v1); !ok || p.Version != v0.Version {
+		t.Errorf("parent(v1) = %v, %v", p, ok)
+	}
+	if _, ok, _ := svc.Parent(tx, v0); ok {
+		t.Error("v0 should be a root")
+	}
+	cur, _ := tx.CurrentVersion(oid)
+	if p, ok, _ := svc.Parent(tx, core.VRef{OID: oid, Version: cur}); !ok || p.Version != v1.Version {
+		t.Errorf("parent(current) = %v, %v", p, ok)
+	}
+	hist, err := svc.History(tx, core.VRef{OID: oid, Version: cur})
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history = %v, %v", hist, err)
+	}
+	if hist[0].Version != v1.Version || hist[1].Version != v0.Version {
+		t.Errorf("history order: %v", hist)
+	}
+}
+
+func TestDeriveBranches(t *testing.T) {
+	e, svc, doc := newFixture(t)
+	oid := mkDoc(t, e, doc, "base")
+
+	// Checkpoint base, evolve mainline, then branch from base.
+	tx := e.Begin()
+	base, err := svc.Checkpoint(tx, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	setText(t, e, oid, "mainline")
+
+	tx = e.Begin()
+	mainHead, err := svc.Derive(tx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The live state is back at the branch point.
+	if got := text(t, e, oid, nil); got != "base" {
+		t.Fatalf("live state after Derive = %q, want base", got)
+	}
+	// The frozen mainline head preserved "mainline".
+	if got := text(t, e, oid, &mainHead); got != "mainline" {
+		t.Fatalf("mainline head = %q", got)
+	}
+	// Evolve the branch.
+	setText(t, e, oid, "branch work")
+
+	tx = e.Begin()
+	defer tx.Abort()
+	cur, _ := tx.CurrentVersion(oid)
+	curRef := core.VRef{OID: oid, Version: cur}
+	// Parent of the live state is the branch point, not the mainline.
+	if p, ok, _ := svc.Parent(tx, curRef); !ok || p.Version != base.Version {
+		t.Errorf("parent(current) = %v, want base %d", p, base.Version)
+	}
+	// base has two children: the mainline head and the live branch.
+	kids, err := svc.Children(tx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 {
+		t.Fatalf("children(base) = %v", kids)
+	}
+	// Ancestry checks.
+	if ok, _ := svc.IsAncestor(tx, base, curRef); !ok {
+		t.Error("base should be an ancestor of the branch")
+	}
+	if ok, _ := svc.IsAncestor(tx, mainHead, curRef); ok {
+		t.Error("mainline head is not an ancestor of the branch")
+	}
+}
+
+func TestMultipleBranchesFromSameVersion(t *testing.T) {
+	e, svc, doc := newFixture(t)
+	oid := mkDoc(t, e, doc, "r")
+	tx := e.Begin()
+	root, _ := svc.Checkpoint(tx, oid)
+	tx.Commit()
+
+	for i := 0; i < 3; i++ {
+		setText(t, e, oid, "branch")
+		tx := e.Begin()
+		if _, err := svc.Derive(tx, root); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+	}
+	tx = e.Begin()
+	defer tx.Abort()
+	kids, err := svc.Children(tx, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 frozen branch heads + the live state = 4 children of root.
+	if len(kids) != 4 {
+		t.Fatalf("children(root) = %d, want 4", len(kids))
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	e, svc, doc := newFixture(t)
+	oid := mkDoc(t, e, doc, "x")
+	tx := e.Begin()
+	defer tx.Abort()
+	if _, _, err := svc.Parent(tx, core.VRef{OID: oid, Version: 0}); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("Parent without graph = %v", err)
+	}
+	// Derive from a nonexistent version fails.
+	if _, err := svc.Derive(tx, core.VRef{OID: oid, Version: 9}); err == nil {
+		t.Error("Derive from missing version should fail")
+	}
+}
+
+func TestGraphSurvivesAbort(t *testing.T) {
+	e, svc, doc := newFixture(t)
+	oid := mkDoc(t, e, doc, "x")
+	tx := e.Begin()
+	if _, err := svc.Checkpoint(tx, oid); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	if _, _, err := svc.graphOf(tx2, oid); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("aborted graph persisted: %v", err)
+	}
+	if vs, _ := tx2.Versions(oid); len(vs) != 0 {
+		t.Errorf("aborted checkpoint persisted: %v", vs)
+	}
+}

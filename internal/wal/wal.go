@@ -1,0 +1,265 @@
+// Package wal implements the write-ahead log of an Ode database.
+//
+// The logging discipline is deliberately simple and provably sound for
+// this system's concurrency design:
+//
+//   - Transactions buffer their writes privately (no-steal): nothing an
+//     uncommitted transaction does ever reaches the shared buffer pool,
+//     so the log never needs undo information.
+//   - At commit, the transaction's logical operations (object puts and
+//     deletes, with after-images) are appended as one batch terminated
+//     by a commit record, then fsynced (no-force for data pages).
+//   - A checkpoint flushes every dirty page (atomically, via the
+//     double-write buffer) and then truncates the log: everything in
+//     the log is always "since the last checkpoint".
+//   - Recovery therefore replays the whole log in order, applying the
+//     operations of batches that have a commit record and ignoring a
+//     torn tail. Replay is idempotent: operations are upserts/deletes
+//     keyed by object id and version.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// OpType enumerates logical redo operations.
+type OpType uint8
+
+// The operation types. OpCommit terminates a transaction's batch; a
+// batch without a trailing OpCommit is discarded at replay.
+const (
+	OpInvalid       OpType = iota
+	OpPut                  // set the current image of an object
+	OpPutVersion           // store a frozen version image
+	OpDelete               // remove an object and all its versions
+	OpDeleteVersion        // remove one frozen version
+	OpCommit
+)
+
+func (t OpType) String() string {
+	switch t {
+	case OpPut:
+		return "put"
+	case OpPutVersion:
+		return "put-version"
+	case OpDelete:
+		return "delete"
+	case OpDeleteVersion:
+		return "delete-version"
+	case OpCommit:
+		return "commit"
+	}
+	return "invalid"
+}
+
+// Op is one logical redo operation.
+type Op struct {
+	Type    OpType
+	TxID    uint64
+	OID     uint64
+	Version uint32 // current version for OpPut; frozen version for OpPutVersion/OpDeleteVersion
+	ClassID uint32
+	Image   []byte // serialized object state for the put ops
+}
+
+// Record framing on disk:
+//
+//	[0:4)  payload length
+//	[4:8)  CRC32C of payload
+//	[8:..) payload
+//
+// Payload: type(1) txid(8) oid(8) version(4) classid(4) image bytes.
+const (
+	frameHeader  = 8
+	payloadFixed = 1 + 8 + 8 + 4 + 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a malformed (non-torn-tail) log.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only write-ahead log file.
+type Log struct {
+	f    *os.File
+	path string
+	end  int64 // append position (after the last valid record)
+	sync bool  // fsync on commit (disabled only for benchmarks)
+}
+
+// Open opens (creating if absent) the log at path. The log is scanned
+// to find the end of the valid prefix; a torn tail is truncated away.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, sync: true}
+	end, err := l.scanEnd()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.end = end
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	return l, nil
+}
+
+// SetSync controls whether commits fsync. Disabling it surrenders
+// durability of recent commits on power failure; it exists for
+// benchmarking the fsync cost (and matches "group commit off").
+func (l *Log) SetSync(sync bool) { l.sync = sync }
+
+// scanEnd walks the record frames and returns the offset after the last
+// intact record.
+func (l *Log) scanEnd() (int64, error) {
+	var off int64
+	var hdr [frameHeader]byte
+	for {
+		_, err := l.f.ReadAt(hdr[:], off)
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return off, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("wal: scan: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n < payloadFixed || n > 1<<30 {
+			return off, nil // torn or garbage tail
+		}
+		buf := make([]byte, n)
+		if _, err := l.f.ReadAt(buf, off+frameHeader); err != nil {
+			return off, nil // torn tail
+		}
+		if crc32.Checksum(buf, crcTable) != crc {
+			return off, nil // torn tail
+		}
+		off += frameHeader + int64(n)
+	}
+}
+
+// Append writes the operations followed by a commit record for txid and
+// (when sync is enabled) fsyncs. This is the only writing entry point:
+// the log never contains uncommitted operations.
+func (l *Log) Append(txid uint64, ops []Op) error {
+	buf := make([]byte, 0, 256)
+	for i := range ops {
+		op := ops[i]
+		op.TxID = txid
+		buf = appendRecord(buf, &op)
+	}
+	buf = appendRecord(buf, &Op{Type: OpCommit, TxID: txid})
+	if _, err := l.f.WriteAt(buf, l.end); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.end += int64(len(buf))
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func appendRecord(buf []byte, op *Op) []byte {
+	plen := payloadFixed + len(op.Image)
+	var hdr [frameHeader]byte
+	payload := make([]byte, plen)
+	payload[0] = byte(op.Type)
+	binary.LittleEndian.PutUint64(payload[1:], op.TxID)
+	binary.LittleEndian.PutUint64(payload[9:], op.OID)
+	binary.LittleEndian.PutUint32(payload[17:], op.Version)
+	binary.LittleEndian.PutUint32(payload[21:], op.ClassID)
+	copy(payload[payloadFixed:], op.Image)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(plen))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Replay feeds every operation of every committed batch, in log order,
+// to fn. Batches lacking a commit record (a crash between WriteAt and
+// the full batch landing) are skipped.
+func (l *Log) Replay(fn func(op *Op) error) error {
+	var off int64
+	pending := make(map[uint64][]*Op)
+	var hdr [frameHeader]byte
+	for off < l.end {
+		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+			return fmt.Errorf("wal: replay read: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		buf := make([]byte, n)
+		if _, err := l.f.ReadAt(buf, off+frameHeader); err != nil {
+			return fmt.Errorf("wal: replay read payload: %w", err)
+		}
+		if crc32.Checksum(buf, crcTable) != crc {
+			return fmt.Errorf("%w at offset %d", ErrCorrupt, off)
+		}
+		op, err := decodeOp(buf)
+		if err != nil {
+			return err
+		}
+		off += frameHeader + int64(n)
+		if op.Type == OpCommit {
+			for _, p := range pending[op.TxID] {
+				if err := fn(p); err != nil {
+					return err
+				}
+			}
+			delete(pending, op.TxID)
+			continue
+		}
+		pending[op.TxID] = append(pending[op.TxID], op)
+	}
+	return nil
+}
+
+func decodeOp(buf []byte) (*Op, error) {
+	if len(buf) < payloadFixed {
+		return nil, ErrCorrupt
+	}
+	op := &Op{
+		Type:    OpType(buf[0]),
+		TxID:    binary.LittleEndian.Uint64(buf[1:]),
+		OID:     binary.LittleEndian.Uint64(buf[9:]),
+		Version: binary.LittleEndian.Uint32(buf[17:]),
+		ClassID: binary.LittleEndian.Uint32(buf[21:]),
+	}
+	if op.Type == OpInvalid || op.Type > OpCommit {
+		return nil, fmt.Errorf("%w: bad op type %d", ErrCorrupt, buf[0])
+	}
+	if len(buf) > payloadFixed {
+		op.Image = append([]byte(nil), buf[payloadFixed:]...)
+	}
+	return op, nil
+}
+
+// Truncate empties the log. Called after a checkpoint has made every
+// logged effect durable in the data file.
+func (l *Log) Truncate() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	l.end = 0
+	return l.f.Sync()
+}
+
+// Size returns the current log length in bytes.
+func (l *Log) Size() int64 { return l.end }
+
+// Empty reports whether the log holds no records.
+func (l *Log) Empty() bool { return l.end == 0 }
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }

@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestLog(t testing.TB) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func put(oid uint64, img string) Op {
+	return Op{Type: OpPut, OID: oid, ClassID: 1, Image: []byte(img)}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l, path := openTestLog(t)
+	if err := l.Append(1, []Op{put(10, "a"), put(11, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, []Op{{Type: OpDelete, OID: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	err = l2.Replay(func(op *Op) error {
+		got = append(got, fmt.Sprintf("%d:%s:%d:%s", op.TxID, op.Type, op.OID, op.Image))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1:put:10:a", "1:put:11:b", "2:delete:10:"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReplayPreservesVersionAndClass(t *testing.T) {
+	l, _ := openTestLog(t)
+	in := Op{Type: OpPutVersion, OID: 5, Version: 3, ClassID: 9, Image: []byte("vimg")}
+	if err := l.Append(7, []Op{in}); err != nil {
+		t.Fatal(err)
+	}
+	var out *Op
+	if err := l.Replay(func(op *Op) error { out = op; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || out.Version != 3 || out.ClassID != 9 || string(out.Image) != "vimg" || out.TxID != 7 {
+		t.Fatalf("round-trip lost fields: %+v", out)
+	}
+}
+
+func TestTornTailIsDiscarded(t *testing.T) {
+	l, path := openTestLog(t)
+	if err := l.Append(1, []Op{put(1, "keep")}); err != nil {
+		t.Fatal(err)
+	}
+	goodEnd := l.Size()
+	if err := l.Append(2, []Op{put(2, "lost")}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the file in the middle of the second batch.
+	if err := os.Truncate(path, goodEnd+5); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Size() != goodEnd {
+		t.Errorf("Size = %d, want %d (torn tail trimmed)", l2.Size(), goodEnd)
+	}
+	var oids []uint64
+	l2.Replay(func(op *Op) error { oids = append(oids, op.OID); return nil })
+	if len(oids) != 1 || oids[0] != 1 {
+		t.Errorf("replay after tear: %v", oids)
+	}
+}
+
+func TestBatchWithoutCommitIsSkipped(t *testing.T) {
+	l, path := openTestLog(t)
+	if err := l.Append(1, []Op{put(1, "x")}); err != nil {
+		t.Fatal(err)
+	}
+	committed := l.Size()
+	if err := l.Append(2, []Op{put(2, "y"), put(3, "z")}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Chop off the commit record of batch 2 only: keep its first op.
+	// The commit record is the last record; truncating a little past
+	// the committed prefix leaves a headerless fragment which scanEnd
+	// trims, so instead truncate to just after batch 2's first op by
+	// re-measuring: append sizes are deterministic, so compute from the
+	// file length. Simpler: truncate to committed + 60% of batch 2.
+	info, _ := os.Stat(path)
+	cut := committed + (info.Size()-committed)*3/5
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var oids []uint64
+	l2.Replay(func(op *Op) error { oids = append(oids, op.OID); return nil })
+	for _, o := range oids {
+		if o != 1 {
+			t.Errorf("uncommitted op for oid %d replayed", o)
+		}
+	}
+}
+
+func TestTruncateEmptiesLog(t *testing.T) {
+	l, _ := openTestLog(t)
+	l.Append(1, []Op{put(1, "x")})
+	if l.Empty() {
+		t.Fatal("log should not be empty")
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Empty() || l.Size() != 0 {
+		t.Error("log not empty after truncate")
+	}
+	n := 0
+	l.Replay(func(*Op) error { n++; return nil })
+	if n != 0 {
+		t.Errorf("replay after truncate visited %d ops", n)
+	}
+	// The log must still be appendable.
+	if err := l.Append(2, []Op{put(2, "y")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterReopenContinues(t *testing.T) {
+	l, path := openTestLog(t)
+	l.Append(1, []Op{put(1, "a")})
+	l.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Append(2, []Op{put(2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	l2.Replay(func(*Op) error { n++; return nil })
+	if n != 2 {
+		t.Errorf("replayed %d ops, want 2", n)
+	}
+}
+
+func TestReplayErrorPropagates(t *testing.T) {
+	l, _ := openTestLog(t)
+	l.Append(1, []Op{put(1, "a")})
+	boom := errors.New("boom")
+	if err := l.Replay(func(*Op) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestInterleavedCommitOrder(t *testing.T) {
+	// Two transactions committed in order 2 then 1: replay must emit
+	// tx2's ops before tx1's (commit order, not begin order).
+	l, _ := openTestLog(t)
+	l.Append(2, []Op{put(20, "t2")})
+	l.Append(1, []Op{put(10, "t1")})
+	var order []uint64
+	l.Replay(func(op *Op) error { order = append(order, op.TxID); return nil })
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("replay order = %v, want [2 1]", order)
+	}
+}
+
+func TestLargeImages(t *testing.T) {
+	l, path := openTestLog(t)
+	img := make([]byte, 1<<16)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	if err := l.Append(1, []Op{{Type: OpPut, OID: 1, Image: img}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []byte
+	l2.Replay(func(op *Op) error { got = op.Image; return nil })
+	if len(got) != len(img) {
+		t.Fatalf("image length %d, want %d", len(got), len(img))
+	}
+	for i := range img {
+		if got[i] != img[i] {
+			t.Fatalf("image corrupted at byte %d", i)
+		}
+	}
+}

@@ -1,0 +1,595 @@
+// Package ode is a Go reproduction of Ode, the object database and
+// environment of Agrawal and Gehani (AT&T Bell Laboratories, SIGMOD
+// 1989), whose database programming language O++ extended the C++
+// object model with persistence, clusters (type extents), sets,
+// declarative iterators, versions, constraints, and triggers.
+//
+// The package offers the same data model as a Go library:
+//
+//	schema := ode.NewSchema()
+//	stock := ode.NewClass("stockitem").
+//		Field("name", ode.TString).
+//		Field("qty", ode.TInt).
+//		Constraint("nonneg", "qty >= 0", func(_ ode.Store, o *ode.Object) (bool, error) {
+//			return o.MustGet("qty").Int() >= 0, nil
+//		}).
+//		Register(schema)
+//
+//	db, _ := ode.Open("inventory.odb", schema, nil)
+//	defer db.Close()
+//	db.CreateCluster(stock)
+//
+//	tx := db.Begin()
+//	item := ode.NewObject(stock)
+//	item.MustSet("name", ode.Str("512k dram"))
+//	item.MustSet("qty", ode.Int(7500))
+//	oid, _ := tx.PNew(stock, item)        // the paper's pnew
+//	_ = tx.Commit()
+//
+//	tx = db.Begin()
+//	ode.Forall(tx, stock).                 // forall x in stockitem
+//		SuchThat(ode.Field("qty").Lt(ode.Int(100))).
+//		By("name").
+//		Do(func(it ode.Item) (bool, error) { ...; return true, nil })
+//
+// An O++-subset interpreter (the oql package, surfaced by cmd/ode-sh)
+// executes the paper's actual syntax against the same engine.
+//
+// Durability design: committed transactions are logged (logical redo
+// records, fsynced at commit) in a write-ahead log; uncommitted work
+// never reaches shared pages (no-steal), so the log needs no undo; a
+// checkpoint flushes all dirty pages through a double-write buffer
+// (torn-page safe) and truncates the log; an unclean shutdown triggers
+// a repair-on-open rebuild from the heap records plus a log replay.
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"ode/internal/btree"
+	"ode/internal/core"
+	"ode/internal/object"
+	"ode/internal/storage"
+	"ode/internal/trigger"
+	"ode/internal/txn"
+	"ode/internal/version"
+	"ode/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// PoolPages is the buffer pool capacity in 4 KiB pages (default
+	// 1024 = 4 MiB).
+	PoolPages int
+	// NoSync disables the fsync at commit (durability of recent commits
+	// is lost on power failure; benchmarking only).
+	NoSync bool
+	// AsyncTriggers runs fired trigger actions on background goroutines
+	// instead of inline at commit. Use Triggers().Wait() to drain.
+	AsyncTriggers bool
+	// DisableRecovery refuses to open an unclean database instead of
+	// rebuilding it (diagnostics).
+	DisableRecovery bool
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.PoolPages <= 0 {
+		out.PoolPages = 1024
+	}
+	return out
+}
+
+// ErrNeedsRecovery is returned when DisableRecovery is set and the
+// database was not shut down cleanly.
+var ErrNeedsRecovery = errors.New("ode: database needs recovery")
+
+// DB is an open Ode database.
+type DB struct {
+	path     string
+	opts     Options
+	fs       *storage.FileStore
+	dw       *storage.DoubleWriter
+	pool     *storage.Pool
+	log      *wal.Log
+	mgr      *object.Manager
+	engine   *txn.Engine
+	triggers *trigger.Service
+	versions *version.Service
+	schema   *core.Schema
+	closed   bool
+}
+
+// Open opens (creating if missing) the database at path against the
+// registered schema. The schema must be registered identically (same
+// classes, same order) on every open of the same file; the catalog
+// verifies this. Side files path+".wal" and path+".dw" hold the log
+// and the double-write buffer.
+func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("ode: nil schema")
+	}
+	o := opts.withDefaults()
+	// The trigger activation and version-graph classes are part of
+	// every Ode schema.
+	trigger.RegisterActivationClass(schema)
+	version.RegisterGraphClass(schema)
+
+	_, statErr := os.Stat(path)
+	fresh := os.IsNotExist(statErr)
+
+	var fs *storage.FileStore
+	var err error
+	if fresh {
+		fs, err = storage.CreateFile(path)
+	} else {
+		fs, err = storage.OpenFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dw, err := storage.OpenDoubleWriter(path + ".dw")
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	if !fresh {
+		if _, err := dw.Recover(fs); err != nil {
+			dw.Close()
+			fs.Close()
+			return nil, fmt.Errorf("ode: double-write recovery: %w", err)
+		}
+	}
+	log, err := wal.Open(path + ".wal")
+	if err != nil {
+		dw.Close()
+		fs.Close()
+		return nil, err
+	}
+	log.SetSync(!o.NoSync)
+
+	needRebuild := !fresh && !object.WasCleanShutdown(fs) && !log.Empty()
+	if needRebuild {
+		if o.DisableRecovery {
+			log.Close()
+			dw.Close()
+			fs.Close()
+			return nil, ErrNeedsRecovery
+		}
+		fs, err = rebuild(path, fs, dw, log, schema, o)
+		if err != nil {
+			log.Close()
+			dw.Close()
+			return nil, fmt.Errorf("ode: recovery rebuild: %w", err)
+		}
+	}
+
+	pool := storage.NewPool(fs, o.PoolPages, dw, nil)
+	var mgr *object.Manager
+	if fresh {
+		mgr, err = object.Create(schema, fs, pool)
+	} else {
+		mgr, err = object.Open(schema, fs, pool)
+	}
+	if err != nil {
+		log.Close()
+		dw.Close()
+		fs.Close()
+		return nil, err
+	}
+	// Any crash from here on implies recovery at next open.
+	if err := mgr.MarkUnclean(); err != nil {
+		log.Close()
+		dw.Close()
+		fs.Close()
+		return nil, err
+	}
+	engine := txn.NewEngine(mgr, log)
+	svc, err := trigger.NewService(engine, !o.AsyncTriggers)
+	if err != nil {
+		log.Close()
+		dw.Close()
+		fs.Close()
+		return nil, err
+	}
+	versions, err := version.NewService(schema)
+	if err != nil {
+		log.Close()
+		dw.Close()
+		fs.Close()
+		return nil, err
+	}
+	if !mgr.HasCluster(versions.Class()) {
+		if err := mgr.CreateCluster(versions.Class()); err != nil {
+			log.Close()
+			dw.Close()
+			fs.Close()
+			return nil, err
+		}
+	}
+	return &DB{
+		path:     path,
+		opts:     o,
+		fs:       fs,
+		dw:       dw,
+		pool:     pool,
+		log:      log,
+		mgr:      mgr,
+		engine:   engine,
+		triggers: svc,
+		versions: versions,
+		schema:   schema,
+	}, nil
+}
+
+// Schema returns the database's class catalog.
+func (db *DB) Schema() *core.Schema { return db.schema }
+
+// Path returns the data file path.
+func (db *DB) Path() string { return db.path }
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx { return db.engine.Begin() }
+
+// RunTx runs fn inside a transaction, committing on nil return and
+// aborting otherwise. Transactions that lose a deadlock are retried
+// (up to a small bound), matching the abort-and-rerun discipline the
+// paper's single-program transactions imply.
+func (db *DB) RunTx(fn func(tx *Tx) error) error {
+	const maxRetries = 200
+	for attempt := 0; ; attempt++ {
+		tx := db.Begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, txn.ErrDeadlock) && attempt < maxRetries {
+			// Brief growing backoff so repeat victims under high
+			// contention stop colliding with the same winners.
+			backoff := time.Duration(attempt%8+1) * 100 * time.Microsecond
+			time.Sleep(backoff)
+			continue
+		}
+		return err
+	}
+}
+
+// View runs fn in a transaction that is always aborted (read-only use).
+func (db *DB) View(fn func(tx *Tx) error) error {
+	tx := db.Begin()
+	defer tx.Abort()
+	return fn(tx)
+}
+
+// Triggers exposes the trigger service (activation, deactivation,
+// expiry of timed triggers, draining of asynchronous actions).
+func (db *DB) Triggers() *trigger.Service { return db.triggers }
+
+// Versions exposes the tree-versioning service (branching version
+// graphs; the paper's reference [4] extension). Linear versioning
+// (tx.NewVersion) needs no service.
+func (db *DB) Versions() *version.Service { return db.versions }
+
+// Manager exposes the object manager (advanced use: index DDL is
+// wrapped below, scans are on the query package).
+func (db *DB) Manager() *object.Manager { return db.mgr }
+
+// CreateCluster creates the extent for class c. DDL is durable
+// immediately (the catalog is rewritten and a checkpoint taken).
+func (db *DB) CreateCluster(c *Class) error {
+	if err := db.mgr.CreateCluster(c); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// DestroyCluster removes an empty extent.
+func (db *DB) DestroyCluster(c *Class) error {
+	if err := db.mgr.DestroyCluster(c); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// HasCluster reports whether class c's extent exists.
+func (db *DB) HasCluster(c *Class) bool { return db.mgr.HasCluster(c) }
+
+// CreateIndex builds (and backfills) a secondary index on class.field,
+// accelerating suchthat and join clauses on that field.
+func (db *DB) CreateIndex(c *Class, field string) error {
+	if err := db.mgr.CreateIndex(c, field); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// DropIndex removes a secondary index.
+func (db *DB) DropIndex(c *Class, field string) error {
+	if err := db.mgr.DropIndex(c, field); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// Checkpoint makes all committed work durable in the data file and
+// truncates the WAL.
+func (db *DB) Checkpoint() error {
+	if err := db.mgr.Checkpoint(false); err != nil {
+		return err
+	}
+	return db.log.Truncate()
+}
+
+// ExpireTimedTriggers fires timeout actions for timed activations whose
+// deadline has passed. Call it periodically (Ode's clock process).
+func (db *DB) ExpireTimedTriggers() (int, error) {
+	return db.triggers.ExpireBefore(timeNow())
+}
+
+// Stats reports storage-level statistics.
+type Stats struct {
+	Pages      uint32
+	PoolHits   uint64
+	PoolMisses uint64
+	Evictions  uint64
+	WALBytes   int64
+}
+
+// Stats returns current storage statistics.
+func (db *DB) Stats() Stats {
+	h, m, e := db.pool.Stats()
+	return Stats{
+		Pages:      db.fs.NumPages(),
+		PoolHits:   h,
+		PoolMisses: m,
+		Evictions:  e,
+		WALBytes:   db.log.Size(),
+	}
+}
+
+// CrashForTesting closes the database's file handles without a
+// checkpoint, WAL truncation, or clean-shutdown mark — exactly the
+// state a process crash leaves behind. The next Open runs recovery.
+// For tests and benchmarks only.
+func (db *DB) CrashForTesting() {
+	if db.closed {
+		return
+	}
+	db.closed = true
+	db.triggers.Wait()
+	db.log.Close()
+	db.dw.Close()
+	db.fs.Close()
+}
+
+// Close drains trigger actions, checkpoints (marking a clean
+// shutdown), truncates the WAL, and closes the files.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	db.triggers.Wait()
+	if err := db.mgr.Checkpoint(true); err != nil {
+		return err
+	}
+	if err := db.log.Truncate(); err != nil {
+		return err
+	}
+	var first error
+	for _, fn := range []func() error{db.log.Close, db.dw.Close, db.fs.Close} {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// rebuild is repair-on-open: reconstruct a consistent data file from
+// the surviving heap records plus a replay of the committed WAL tail,
+// then atomically replace the original file.
+func rebuild(path string, fs *storage.FileStore, dw *storage.DoubleWriter, log *wal.Log, schema *core.Schema, o Options) (*storage.FileStore, error) {
+	scanPool := storage.NewPool(fs, o.PoolPages, nil, nil)
+	cat, err := object.ReadCatalogInfo(fs, scanPool)
+	if err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		oid core.OID
+		ver uint32
+		cur bool
+	}
+	type entry struct {
+		image []byte
+		ver   uint32 // current-version number for cur entries
+	}
+	state := make(map[key]entry)
+	var maxOID core.OID
+
+	// Pass 1: surviving heap records. Duplicates (from relocations whose
+	// tombstone did not flush) are resolved by the WAL replay below —
+	// every post-checkpoint change is in the log.
+	err = object.ScanAllRecords(fs, scanPool, func(kind byte, oid core.OID, ver uint32, image []byte) error {
+		switch kind {
+		case object.RecCurrent:
+			state[key{oid: oid, cur: true}] = entry{image: append([]byte(nil), image...), ver: ver}
+		case object.RecVersion:
+			state[key{oid: oid, ver: ver}] = entry{image: append([]byte(nil), image...)}
+		}
+		if oid > maxOID {
+			maxOID = oid
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: committed WAL operations override, in commit order.
+	err = log.Replay(func(op *wal.Op) error {
+		oid := core.OID(op.OID)
+		if oid > maxOID {
+			maxOID = oid
+		}
+		switch op.Type {
+		case wal.OpPut:
+			state[key{oid: oid, cur: true}] = entry{image: op.Image, ver: op.Version}
+		case wal.OpPutVersion:
+			state[key{oid: oid, ver: op.Version}] = entry{image: op.Image}
+		case wal.OpDelete:
+			delete(state, key{oid: oid, cur: true})
+			for k := range state {
+				if k.oid == oid {
+					delete(state, k)
+				}
+			}
+		case wal.OpDeleteVersion:
+			delete(state, key{oid: oid, ver: op.Version})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 3: build the fresh file.
+	tmpPath := path + ".rebuild"
+	os.Remove(tmpPath)
+	nfs, err := storage.CreateFile(tmpPath)
+	if err != nil {
+		return nil, err
+	}
+	npool := storage.NewPool(nfs, o.PoolPages, nil, nil)
+	nmgr, err := object.Create(schema, nfs, npool)
+	if err != nil {
+		nfs.Close()
+		return nil, err
+	}
+	// Recreate DDL state.
+	for _, cid := range cat.ClusterIDs {
+		c, ok := schema.ClassByID(core.ClassID(cid))
+		if !ok {
+			nfs.Close()
+			return nil, fmt.Errorf("ode: catalog cluster for unknown class id %d", cid)
+		}
+		if err := nmgr.CreateCluster(c); err != nil {
+			nfs.Close()
+			return nil, err
+		}
+	}
+	// Objects: currents first (they create directory and cluster
+	// entries), then frozen versions.
+	for k, e := range state {
+		if !k.cur {
+			continue
+		}
+		op := wal.Op{Type: wal.OpPut, OID: uint64(k.oid), Version: e.ver, Image: e.image}
+		if cid, err := classIDOfImage(e.image); err == nil {
+			op.ClassID = uint32(cid)
+		}
+		if err := nmgr.Apply(&op); err != nil {
+			nfs.Close()
+			return nil, err
+		}
+	}
+	for k, e := range state {
+		if k.cur {
+			continue
+		}
+		// Frozen versions of objects that no longer exist are dropped
+		// (their object was deleted).
+		if _, live := state[key{oid: k.oid, cur: true}]; !live {
+			continue
+		}
+		op := wal.Op{Type: wal.OpPutVersion, OID: uint64(k.oid), Version: k.ver, Image: e.image}
+		if err := nmgr.Apply(&op); err != nil {
+			nfs.Close()
+			return nil, err
+		}
+	}
+	nmgr.NoteOID(maxOID)
+	// Indexes after data (backfill covers everything).
+	for _, ix := range cat.Indexes {
+		c, field, ok := splitIndexName(schema, ix)
+		if !ok {
+			nfs.Close()
+			return nil, fmt.Errorf("ode: catalog index %q does not match schema", ix)
+		}
+		if err := nmgr.CreateIndex(c, field); err != nil {
+			nfs.Close()
+			return nil, err
+		}
+	}
+	if err := nmgr.Checkpoint(false); err != nil {
+		nfs.Close()
+		return nil, err
+	}
+	if err := nfs.Close(); err != nil {
+		return nil, err
+	}
+	// Swap files, then drop the (fully applied) log.
+	if err := fs.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return nil, err
+	}
+	if err := log.Truncate(); err != nil {
+		return nil, err
+	}
+	return storage.OpenFile(path)
+}
+
+// classIDOfImage peeks the class id of a serialized object.
+func classIDOfImage(image []byte) (core.ClassID, error) {
+	cid, n := uvarint(image)
+	if n <= 0 {
+		return 0, fmt.Errorf("ode: bad image")
+	}
+	return core.ClassID(cid), nil
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+		if s > 63 {
+			return 0, -1
+		}
+	}
+	return 0, 0
+}
+
+func splitIndexName(schema *core.Schema, s string) (*core.Class, string, bool) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			c, ok := schema.ClassNamed(s[:i])
+			if !ok {
+				return nil, "", false
+			}
+			return c, s[i+1:], true
+		}
+	}
+	return nil, "", false
+}
+
+// ensure btree error type is linked for callers matching ErrNotFound
+// through the facade.
+var _ = btree.ErrNotFound
