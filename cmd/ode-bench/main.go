@@ -6,14 +6,21 @@
 //
 // Usage:
 //
-//	ode-bench [-quick] [-run E3,E7]
+//	ode-bench [-quick] [-run E3,E7] [-http :8080]
+//
+// With -http, the engine metrics of the world currently under
+// measurement are published as expvar at /debug/vars (key "ode",
+// canonical metric names as in docs/OBSERVABILITY.md).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"strings"
 	"time"
@@ -24,9 +31,30 @@ import (
 
 var quick = flag.Bool("quick", false, "smaller workloads (CI-sized)")
 
+// liveDB is the most recently opened benchmark database; the expvar
+// bridge snapshots its registry on every scrape.
+var liveDB atomic.Pointer[ode.DB]
+
 func main() {
 	runFilter := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	httpAddr := flag.String("http", "", "serve expvar metrics (/debug/vars) on this address")
 	flag.Parse()
+	if *httpAddr != "" {
+		bench.OnOpen = func(db *ode.DB) { liveDB.Store(db) }
+		expvar.Publish("ode", expvar.Func(func() any {
+			db := liveDB.Load()
+			if db == nil {
+				return nil
+			}
+			return db.MetricsRegistry().Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ode-bench: metrics server:", err)
+			}
+		}()
+		fmt.Printf("serving expvar metrics on %s/debug/vars\n", *httpAddr)
+	}
 
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*runFilter, ",") {

@@ -96,6 +96,15 @@ func main() {
 		for _, ix := range cat.Indexes {
 			fmt.Printf("  index %s\n", ix)
 		}
+		// Access paths: what the optimizer can choose from (extent scans
+		// are always available; each index adds a range-scan path that
+		// indexable suchthat clauses and equi-joins on the field use —
+		// `explain` in ode-sh shows the choice for a concrete query).
+		fmt.Println("access paths:")
+		fmt.Printf("  extent-scan on every cluster (%d clusters)\n", len(cat.ClusterIDs))
+		for _, ix := range cat.Indexes {
+			fmt.Printf("  index-scan(%s in [lo, hi])\n", ix)
+		}
 	} else {
 		fmt.Printf("catalog:       unreadable: %v\n", err)
 	}

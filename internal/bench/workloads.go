@@ -15,6 +15,11 @@ import (
 	"ode"
 )
 
+// OnOpen, when set, is called with every database NewWorld opens.
+// ode-bench uses it to point its expvar metrics exposition at the
+// world currently under measurement.
+var OnOpen func(*ode.DB)
+
 // World is a database preloaded with the standard schema used across
 // experiments.
 type World struct {
@@ -94,6 +99,9 @@ func NewWorld(opts *ode.Options) (*World, error) {
 	}
 	w.DB = db
 	w.Dir = dir
+	if OnOpen != nil {
+		OnOpen(db)
+	}
 	for _, c := range []*ode.Class{w.Stock, w.Person, w.Student, w.Faculty, w.Part, w.Cell, w.Emp, w.Dept} {
 		if err := db.CreateCluster(c); err != nil {
 			db.Close()

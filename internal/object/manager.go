@@ -10,6 +10,7 @@ import (
 
 	"ode/internal/btree"
 	"ode/internal/core"
+	"ode/internal/obs"
 	"ode/internal/storage"
 )
 
@@ -79,6 +80,8 @@ type Manager struct {
 	clusters   map[core.ClassID]bool
 	indexes    map[indexID]bool
 	catalogRID storage.RID
+
+	met *obs.ObjectMetrics // never nil; SetMetrics swaps in the DB set
 }
 
 type indexID struct {
@@ -119,6 +122,7 @@ func Create(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Ma
 		nextOID:  1,
 		clusters: make(map[core.ClassID]bool),
 		indexes:  make(map[indexID]bool),
+		met:      &obs.ObjectMetrics{},
 	}
 	if err := m.writeCatalog(); err != nil {
 		return nil, err
@@ -145,6 +149,7 @@ func Open(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Mana
 		nextOID:  binary.LittleEndian.Uint64(boot[bootNextOID:]),
 		clusters: make(map[core.ClassID]bool),
 		indexes:  make(map[indexID]bool),
+		met:      &obs.ObjectMetrics{},
 		catalogRID: storage.RID{
 			Page: storage.PageID(binary.LittleEndian.Uint32(boot[bootCatPage:])),
 			Slot: binary.LittleEndian.Uint16(boot[bootCatSlot:]),
@@ -332,6 +337,10 @@ func decodeCatalog(rec []byte) (*catalog, error) {
 
 // Schema returns the schema the manager was opened with.
 func (m *Manager) Schema() *core.Schema { return m.schema }
+
+// SetMetrics attaches the object-manager metric set; om must be
+// non-nil.
+func (m *Manager) SetMetrics(om *obs.ObjectMetrics) { m.met = om }
 
 // AllocOID reserves a fresh object id. Ids burned by aborted
 // transactions are never reused.

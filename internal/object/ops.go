@@ -69,6 +69,7 @@ func (m *Manager) applyPut(op *wal.Op) error {
 		if err != nil {
 			return err
 		}
+		m.met.Updates.Inc()
 		return m.dir.Put(key, encodeDirEntry(cid, op.Version, nrid))
 	case errors.Is(err, btree.ErrNotFound):
 		// New object.
@@ -85,6 +86,7 @@ func (m *Manager) applyPut(op *wal.Op) error {
 		if uint64(oid) >= m.nextOID {
 			m.nextOID = uint64(oid) + 1
 		}
+		m.met.Creates.Inc()
 		return m.updateIndexEntries(cid, oid, nil, newObj)
 	default:
 		return err
@@ -179,6 +181,7 @@ func (m *Manager) applyDelete(oid core.OID) error {
 			return err
 		}
 	}
+	m.met.Deletes.Inc()
 	return nil
 }
 
@@ -248,11 +251,13 @@ func (m *Manager) updateIndexEntries(cid core.ClassID, oid core.OID, oldObj, new
 			if err := m.index.Delete(oldKey); err != nil && !errors.Is(err, btree.ErrNotFound) {
 				return err
 			}
+			m.met.IndexDeletes.Inc()
 		}
 		if newKey != nil {
 			if err := m.index.Put(newKey, nil); err != nil {
 				return err
 			}
+			m.met.IndexPuts.Inc()
 		}
 	}
 	return nil
@@ -531,6 +536,7 @@ func (m *Manager) CreateIndex(c *core.Class, field string) error {
 			if err != nil {
 				return err
 			}
+			m.met.IndexPuts.Inc()
 		}
 	}
 	return nil

@@ -147,6 +147,14 @@ type ForallStmt struct {
 	Body     *BlockStmt
 }
 
+// ExplainStmt prints the access path a forall query would use, without
+// running it: `explain forall s in student suchthat (s.gpa > 3);`. The
+// body is optional and ignored.
+type ExplainStmt struct {
+	pos
+	Forall *ForallStmt
+}
+
 // PrintStmt prints comma-separated values.
 type PrintStmt struct {
 	pos

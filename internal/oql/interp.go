@@ -210,6 +210,8 @@ func (c *execCtx) exec(s Stmt) error {
 		}
 	case *ForallStmt:
 		return c.execForall(s)
+	case *ExplainStmt:
+		return c.execExplain(s)
 	case *PrintStmt:
 		parts := make([]string, len(s.Args))
 		for i, a := range s.Args {
@@ -423,39 +425,11 @@ func (c *execCtx) execForall(s *ForallStmt) error {
 	if err != nil {
 		return errAt(line, col, "%v", err)
 	}
-	q := query.Forall(tx, cl)
-	if s.Subtypes {
-		q = q.Subtypes()
-	}
-	if s.Snapshot {
-		q = q.Snapshot()
-	}
 	loopCtx := c.child()
 	bindOID := func(oid core.OID) {
 		loopCtx.env.vars[s.Var] = fromValue(core.Ref(oid))
 	}
-	if s.Suchthat != nil {
-		q = q.SuchThat(query.Fn(func(_ core.Store, it query.Item) (bool, error) {
-			bindOID(it.OID)
-			return loopCtx.evalTruthy(s.Suchthat)
-		}))
-	}
-	if s.By != nil {
-		q = q.ByKey(func(it query.Item) (core.Value, error) {
-			bindOID(it.OID)
-			v, err := loopCtx.eval(s.By)
-			if err != nil {
-				return core.Null, err
-			}
-			if v.isVolatile() {
-				return core.Null, errAt(line, col, "by key must be a value")
-			}
-			return v.v, nil
-		})
-		if s.Desc {
-			q = q.Desc()
-		}
-	}
+	q := c.buildForall(s, tx, cl, loopCtx, bindOID)
 	err = q.Do(func(it query.Item) (bool, error) {
 		bindOID(it.OID)
 		err := loopCtx.execBlock(s.Body)
@@ -468,6 +442,81 @@ func (c *execCtx) execForall(s *ForallStmt) error {
 		return err == nil, err
 	})
 	return err
+}
+
+// buildForall assembles the query for a cluster forall loop. Suchthat
+// clauses in the compilable subset (literal comparisons on fields of
+// the loop variable) lower to structural predicates — indexable and
+// renderable by explain; others fall back to an interpreted closure.
+// The by clause likewise lowers to a plain field ordering when it is
+// `by (x.field)`.
+func (c *execCtx) buildForall(s *ForallStmt, tx *ode.Tx, cl *core.Class, loopCtx *execCtx, bindOID func(core.OID)) *query.Query {
+	line, col := s.Pos()
+	q := query.Forall(tx, cl)
+	if s.Subtypes {
+		q = q.Subtypes()
+	}
+	if s.Snapshot {
+		q = q.Snapshot()
+	}
+	if s.Suchthat != nil {
+		if p, ok := lowerPred(c.schema(), cl, s.Var, s.Suchthat); ok {
+			q = q.SuchThat(p)
+		} else {
+			q = q.SuchThat(query.Fn(func(_ core.Store, it query.Item) (bool, error) {
+				bindOID(it.OID)
+				return loopCtx.evalTruthy(s.Suchthat)
+			}))
+		}
+	}
+	if s.By != nil {
+		if field, ok := loopField(s.Var, s.By); ok {
+			q = q.By(field)
+		} else {
+			q = q.ByKey(func(it query.Item) (core.Value, error) {
+				bindOID(it.OID)
+				v, err := loopCtx.eval(s.By)
+				if err != nil {
+					return core.Null, err
+				}
+				if v.isVolatile() {
+					return core.Null, errAt(line, col, "by key must be a value")
+				}
+				return v.v, nil
+			})
+		}
+		if s.Desc {
+			q = q.Desc()
+		}
+	}
+	return q
+}
+
+// execExplain prints the access path the forall would use, without
+// running it.
+func (c *execCtx) execExplain(s *ExplainStmt) error {
+	f := s.Forall
+	line, col := s.Pos()
+	if f.SetExpr != nil {
+		// Set iteration has a single access path; report it directly.
+		fmt.Fprintln(c.out, "set-scan")
+		return nil
+	}
+	cl, err := c.classNamed(line, col, f.Source)
+	if err != nil {
+		return err
+	}
+	tx, err := c.tx()
+	if err != nil {
+		return errAt(line, col, "%v", err)
+	}
+	loopCtx := c.child()
+	bindOID := func(oid core.OID) {
+		loopCtx.env.vars[f.Var] = fromValue(core.Ref(oid))
+	}
+	q := c.buildForall(f, tx, cl, loopCtx, bindOID)
+	fmt.Fprintln(c.out, q.Explain())
+	return nil
 }
 
 func (c *execCtx) execForallSet(s *ForallStmt) error {

@@ -417,6 +417,8 @@ func (p *Parser) stmt() (Stmt, error) {
 		return p.whileStmt()
 	case TKForall:
 		return p.forallStmt()
+	case TKExplain:
+		return p.explainStmt()
 	case TKPrint:
 		return p.printStmt()
 	case TKReturn:
@@ -647,6 +649,49 @@ func (p *Parser) whileStmt() (Stmt, error) {
 // forallStmt := "forall" Ident "in" source [suchthat...] [by...] [snapshot] Block
 // source := Ident ["*"] | "(" expr ")"
 func (p *Parser) forallStmt() (Stmt, error) {
+	s, err := p.forallHeader()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// explainStmt := "explain" forallHeader [Block | ";"]
+func (p *Parser) explainStmt() (Stmt, error) {
+	s := &ExplainStmt{pos: p.here()}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if !p.at(TKForall) {
+		return nil, errAt(p.tok.Line, p.tok.Col, "explain expects a forall query, found %s", p.tok)
+	}
+	f, err := p.forallHeader()
+	if err != nil {
+		return nil, err
+	}
+	s.Forall = f
+	// The body is accepted (so any forall can be prefixed with explain)
+	// but never executed; a bare header ends with an optional semicolon.
+	if p.at(TLBrace) {
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+	}
+	if _, err := p.accept(TSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// forallHeader parses a forall loop up to (not including) its body.
+func (p *Parser) forallHeader() (*ForallStmt, error) {
 	s := &ForallStmt{pos: p.here()}
 	if err := p.next(); err != nil {
 		return nil, err
@@ -723,11 +768,6 @@ func (p *Parser) forallStmt() (Stmt, error) {
 	} else if ok {
 		s.Snapshot = true
 	}
-	body, err := p.block()
-	if err != nil {
-		return nil, err
-	}
-	s.Body = body
 	return s, nil
 }
 

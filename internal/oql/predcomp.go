@@ -1,0 +1,155 @@
+package oql
+
+import (
+	"ode/internal/core"
+	"ode/internal/query"
+)
+
+// The predicate compiler: suchthat clauses built from literal
+// comparisons on fields of the loop variable lower to structural
+// query predicates, which the optimizer can turn into index range
+// scans and explain can render symbolically. Anything else falls back
+// to an interpreted closure (correct, but an opaque full scan).
+
+// lowerPred compiles e into a structural query.Pred over loop variable
+// loopVar of class cl. ok=false means the expression is outside the
+// compilable subset and the caller must fall back to a closure.
+func lowerPred(schema *core.Schema, cl *core.Class, loopVar string, e Expr) (query.Pred, bool) {
+	switch e := e.(type) {
+	case *BinExpr:
+		switch e.Op {
+		case TAndAnd, TOrOr:
+			l, ok := lowerPred(schema, cl, loopVar, e.L)
+			if !ok {
+				return nil, false
+			}
+			r, ok := lowerPred(schema, cl, loopVar, e.R)
+			if !ok {
+				return nil, false
+			}
+			if e.Op == TAndAnd {
+				return query.And(l, r), true
+			}
+			return query.Or(l, r), true
+		case TEq, TNe, TLt, TLe, TGt, TGe:
+			return lowerCmp(cl, loopVar, e)
+		}
+	case *UnExpr:
+		if e.Op == TBang {
+			p, ok := lowerPred(schema, cl, loopVar, e.E)
+			if !ok {
+				return nil, false
+			}
+			return query.Not(p), true
+		}
+	case *IsExpr:
+		if id, ok := e.E.(*IdentExpr); ok && id.Name == loopVar && schema != nil {
+			if target, ok := schema.ClassNamed(e.Class); ok {
+				return query.Is(target), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// lowerCmp compiles `var.field OP literal` (either side order) into a
+// FieldPred, converting the literal to the field's declared type.
+func lowerCmp(cl *core.Class, loopVar string, e *BinExpr) (query.Pred, bool) {
+	field, lit, flipped := "", Expr(nil), false
+	if f, ok := loopField(loopVar, e.L); ok && isLiteral(e.R) {
+		field, lit = f, e.R
+	} else if f, ok := loopField(loopVar, e.R); ok && isLiteral(e.L) {
+		field, lit, flipped = f, e.L, true
+	} else {
+		return nil, false
+	}
+	decl, ok := cl.FieldNamed(field)
+	if !ok {
+		return nil, false
+	}
+	v, ok := litValue(lit)
+	if !ok {
+		return nil, false
+	}
+	if cv, err := decl.Type.Convert(v); err == nil {
+		v = cv
+	}
+	op, ok := cmpOp(e.Op, flipped)
+	if !ok {
+		return nil, false
+	}
+	return query.FieldPred{Name: field, Op: op, Value: v}, true
+}
+
+// loopField matches `var.field` / `var->field`.
+func loopField(loopVar string, e Expr) (string, bool) {
+	f, ok := e.(*FieldExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := f.Target.(*IdentExpr)
+	if !ok || id.Name != loopVar {
+		return "", false
+	}
+	return f.Name, true
+}
+
+func isLiteral(e Expr) bool {
+	_, ok := litValue(e)
+	return ok
+}
+
+// litValue evaluates a compile-time constant expression.
+func litValue(e Expr) (core.Value, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return core.Int(e.V), true
+	case *FloatLit:
+		return core.Float(e.V), true
+	case *StrLit:
+		return core.Str(e.V), true
+	case *CharLit:
+		return core.Char(e.V), true
+	case *BoolLit:
+		return core.Bool(e.V), true
+	case *NullLit:
+		return core.Null, true
+	case *UnExpr:
+		if e.Op == TMinus {
+			switch inner := e.E.(type) {
+			case *IntLit:
+				return core.Int(-inner.V), true
+			case *FloatLit:
+				return core.Float(-inner.V), true
+			}
+		}
+	}
+	return core.Null, false
+}
+
+// cmpOp maps a surface comparison token to the query operator, mirrored
+// when the field appeared on the right-hand side (3 < s.gpa == s.gpa > 3).
+func cmpOp(k TokKind, flipped bool) (query.CmpOp, bool) {
+	switch k {
+	case TEq:
+		return query.OpEq, true
+	case TNe:
+		return query.OpNe, true
+	case TLt:
+		return flipIf(query.OpLt, query.OpGt, flipped), true
+	case TLe:
+		return flipIf(query.OpLe, query.OpGe, flipped), true
+	case TGt:
+		return flipIf(query.OpGt, query.OpLt, flipped), true
+	case TGe:
+		return flipIf(query.OpGe, query.OpLe, flipped), true
+	}
+	return 0, false
+}
+
+func flipIf(op, mirror query.CmpOp, flipped bool) query.CmpOp {
+	if flipped {
+		return mirror
+	}
+	return op
+}

@@ -122,6 +122,7 @@ const (
 	TKContinue
 	TKSnapshot
 	TKVoid
+	TKExplain
 )
 
 var keywords = map[string]TokKind{
@@ -174,6 +175,7 @@ var keywords = map[string]TokKind{
 	"continue":   TKContinue,
 	"snapshot":   TKSnapshot,
 	"void":       TKVoid,
+	"explain":    TKExplain,
 }
 
 var tokenNames = map[TokKind]string{

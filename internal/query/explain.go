@@ -1,0 +1,173 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"ode/internal/core"
+)
+
+// Plan describes the access path a forall query will use, computed
+// without executing it. It is the EXPLAIN surface of the query layer:
+// ode.Explain, the ode-sh `explain` statement, and ode-inspect all
+// render it.
+type Plan struct {
+	Kind     string     // "extent-scan" or "index-scan"
+	Class    string     // iterated class
+	Subtypes bool       // whole cluster hierarchy (the C* form)
+	Field    string     // indexed field, for index scans
+	Lo, Hi   core.Value // inclusive index bounds (Null = open)
+	Residual bool       // predicate must still be re-checked per item
+	Filter   string     // rendered suchthat predicate ("" when none)
+	OrderBy  string     // by field ("" when unordered)
+	Desc     bool       // descending order
+}
+
+// Plan kinds.
+const (
+	PlanExtentScan = "extent-scan"
+	PlanIndexScan  = "index-scan"
+)
+
+// String renders the plan in the same notation Query.Plan reports
+// after a run, e.g.
+//
+//	index-scan(student.gpa in [3, +inf]) filter(gpa > 3)
+//	extent-scan(person*)
+func (p Plan) String() string {
+	var b strings.Builder
+	if p.Kind == PlanIndexScan {
+		fmt.Fprintf(&b, "%s(%s.%s in [%s, %s])", p.Kind, p.Class, p.Field, bound(p.Lo, "-inf"), bound(p.Hi, "+inf"))
+		if p.Residual {
+			b.WriteString(" + residual")
+		}
+	} else {
+		fmt.Fprintf(&b, "%s(%s%s)", PlanExtentScan, p.Class, starIf(p.Subtypes))
+	}
+	if p.Filter != "" {
+		fmt.Fprintf(&b, " filter(%s)", p.Filter)
+	}
+	if p.OrderBy != "" {
+		fmt.Fprintf(&b, " order-by(%s%s)", p.OrderBy, descIf(p.Desc))
+	}
+	return b.String()
+}
+
+func bound(v core.Value, open string) string {
+	if v.IsNull() {
+		return open
+	}
+	return v.String()
+}
+
+func descIf(desc bool) string {
+	if desc {
+		return " desc"
+	}
+	return ""
+}
+
+// Explain computes the access path the query would use, without
+// running it: the same index-selection logic as Do, minus execution.
+func (q *Query) Explain() Plan {
+	p := Plan{
+		Kind:     PlanExtentScan,
+		Class:    q.class.Name,
+		Subtypes: q.subtypes,
+		OrderBy:  q.byField,
+		Desc:     q.desc,
+	}
+	if q.pred != nil {
+		p.Filter = PredString(q.pred)
+	}
+	if lo, hi, field, residual := q.indexPath(); field != "" {
+		p.Kind = PlanIndexScan
+		p.Field = field
+		p.Lo, p.Hi = lo, hi
+		p.Residual = residual
+	}
+	return p
+}
+
+// PredString renders a predicate tree for plan display. Opaque Go
+// closures render as "<fn>".
+func PredString(p Pred) string {
+	switch v := p.(type) {
+	case FieldPred:
+		return v.String()
+	case AndPred:
+		parts := make([]string, len(v))
+		for i, sub := range v {
+			parts[i] = PredString(sub)
+		}
+		return "(" + strings.Join(parts, " && ") + ")"
+	case OrPred:
+		parts := make([]string, len(v))
+		for i, sub := range v {
+			parts[i] = PredString(sub)
+		}
+		return "(" + strings.Join(parts, " || ") + ")"
+	case NotPred:
+		return "!(" + PredString(v.P) + ")"
+	case IsClass:
+		return "is " + v.Class.Name
+	case nil:
+		return ""
+	default:
+		return "<fn>"
+	}
+}
+
+// JoinPlan describes the physical strategy a join will use and the
+// plans of both inputs.
+type JoinPlan struct {
+	Strategy   JoinStrategy
+	Theta      bool // arbitrary join condition (always nested loop)
+	Left       Plan
+	Right      Plan
+	LeftField  string
+	RightField string
+}
+
+// String renders the join plan, e.g.
+//
+//	index-nested-loop(emp.deptno = dept.deptno; outer extent-scan(emp))
+func (p JoinPlan) String() string {
+	if p.Theta {
+		return fmt.Sprintf("nested-loop(theta; outer %s, inner %s)", p.Left, p.Right)
+	}
+	return fmt.Sprintf("%s(%s.%s = %s.%s; outer %s)",
+		p.Strategy, p.Left.Class, p.LeftField, p.Right.Class, p.RightField, p.Left)
+}
+
+// Explain computes the strategy the join would use, without running
+// it.
+func (j *Join) Explain() JoinPlan {
+	p := JoinPlan{
+		Theta:      j.theta != nil,
+		Left:       j.left.Explain(),
+		Right:      j.right.Explain(),
+		LeftField:  j.leftField,
+		RightField: j.rightField,
+	}
+	p.Strategy = j.resolveStrategy()
+	return p
+}
+
+// resolveStrategy applies the Auto rule: index-nested-loop when the
+// right side has a usable index on the join field, hash join
+// otherwise; theta joins always run as nested loops.
+func (j *Join) resolveStrategy() JoinStrategy {
+	if j.theta != nil {
+		return NestedLoop
+	}
+	s := j.strategy
+	if s == Auto {
+		if j.right.tx.Manager().HasIndex(j.right.class, j.rightField) {
+			s = IndexNestedLoop
+		} else {
+			s = HashJoin
+		}
+	}
+	return s
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"ode/internal/core"
+	"ode/internal/obs"
 	"ode/internal/txn"
 )
 
@@ -25,8 +26,12 @@ type Query struct {
 	desc     bool
 	snapshot bool
 	noIndex  bool
+	internal bool // subquery of a join: excluded from forall/plan counters
 	plan     string
 }
+
+// met returns the query metric set of the owning engine (never nil).
+func (q *Query) met() *obs.QueryMetrics { return &q.tx.Metrics().Query }
 
 // Forall starts a forall loop over the extent of class c within tx.
 func Forall(tx *txn.Tx, c *core.Class) *Query {
@@ -95,6 +100,9 @@ func (q *Query) Plan() string { return q.plan }
 // queries) unless Snapshot or an ordering clause is in effect. Objects
 // deleted in the surrounding transaction are never visited.
 func (q *Query) Do(fn func(it Item) (bool, error)) error {
+	if !q.internal {
+		q.met().Foralls.Inc()
+	}
 	if q.byField != "" || q.byKey != nil {
 		return q.runOrdered(fn)
 	}
@@ -167,6 +175,7 @@ func (q *Query) gatherEach(fn func(Item) (bool, error)) error {
 		if !match {
 			return true, nil
 		}
+		q.met().RowsYielded.Inc()
 		cont, err := fn(it)
 		if !cont {
 			stopped = true
@@ -193,6 +202,9 @@ func (q *Query) gatherEach(fn func(Item) (bool, error)) error {
 		if residualOnly {
 			q.plan += " + residual"
 		}
+		if !q.internal {
+			q.met().PlanIndexRange.Inc()
+		}
 		return q.tx.Manager().IndexScan(q.class, field, lo, hi, func(oid core.OID) (bool, error) {
 			if dirty[oid] {
 				return true, nil // already handled from the write set
@@ -202,6 +214,9 @@ func (q *Query) gatherEach(fn func(Item) (bool, error)) error {
 	}
 
 	q.plan = fmt.Sprintf("extent-scan(%s%s)", q.class.Name, starIf(q.subtypes))
+	if !q.internal {
+		q.met().PlanExtentScan.Inc()
+	}
 	for _, c := range q.classes() {
 		err := q.tx.Manager().ScanCluster(c, func(oid core.OID) (bool, error) {
 			if dirty[oid] {
@@ -236,6 +251,7 @@ func starIf(b bool) string {
 // fetch loads the tx-visible state of oid and reports whether it binds
 // the loop variable (exists, not deleted, class matches).
 func (q *Query) fetch(oid core.OID) (Item, bool, error) {
+	q.met().RowsScanned.Inc()
 	if q.tx.IsDeleted(oid) {
 		return Item{}, false, nil
 	}
@@ -384,6 +400,7 @@ func (q *Query) runFixpoint(fn func(it Item) (bool, error)) error {
 				return err
 			}
 			if match {
+				q.met().RowsYielded.Inc()
 				delta = append(delta, it)
 			} else {
 				visited[oid] = true
@@ -392,6 +409,7 @@ func (q *Query) runFixpoint(fn func(it Item) (bool, error)) error {
 		if len(delta) == 0 {
 			return nil
 		}
+		q.met().FixpointRounds.Inc()
 		if err := visit(delta); err != nil || stopped {
 			return err
 		}

@@ -75,28 +75,33 @@ func (j *Join) Plan() string { return j.plan }
 // Do runs the join, invoking fn for every matching pair. Join loops use
 // snapshot semantics on both sides.
 func (j *Join) Do(fn func(a, b Item) (bool, error)) error {
+	// The sides run as internal subqueries: they do the scanning work
+	// (rows_scanned/rows_yielded) but only the join itself counts as a
+	// plan choice.
+	met := &j.left.tx.Metrics().Query
+	met.Joins.Inc()
+	leftInt, rightInt := j.left.internal, j.right.internal
+	j.left.internal, j.right.internal = true, true
+	defer func() { j.left.internal, j.right.internal = leftInt, rightInt }()
 	if j.theta != nil {
 		j.plan = "nested-loop(theta)"
+		met.PlanJoinNestedLoop.Inc()
 		return j.nestedLoopTheta(fn)
 	}
 	if j.leftField == "" || j.rightField == "" {
 		return fmt.Errorf("query: join requires OnEq or OnTheta")
 	}
-	s := j.strategy
-	if s == Auto {
-		if j.right.tx.Manager().HasIndex(j.right.class, j.rightField) {
-			s = IndexNestedLoop
-		} else {
-			s = HashJoin
-		}
-	}
+	s := j.resolveStrategy()
 	j.plan = s.String()
 	switch s {
 	case NestedLoop:
+		met.PlanJoinNestedLoop.Inc()
 		return j.nestedLoopEq(fn)
 	case IndexNestedLoop:
+		met.PlanJoinIndexNL.Inc()
 		return j.indexNestedLoop(fn)
 	case HashJoin:
+		met.PlanJoinHash.Inc()
 		return j.hashJoin(fn)
 	}
 	return fmt.Errorf("query: unknown join strategy %d", s)
@@ -169,6 +174,7 @@ func (j *Join) indexNestedLoop(fn func(a, b Item) (bool, error)) error {
 		}
 		// Clone the right query per probe so plans don't interfere.
 		probe := *j.right
+		probe.internal = true
 		probe.pred = nil
 		if j.right.pred != nil {
 			probe.pred = j.right.pred

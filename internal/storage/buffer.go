@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"ode/internal/obs"
 )
 
 // FlushLSNFunc is the WAL hook: before a dirty page with page-LSN n is
@@ -24,8 +26,11 @@ type Pool struct {
 	lru    *list.List // of *frame; front = most recently used
 	cap    int
 
-	// stats
-	hits, misses, evictions uint64
+	// met/smet are never nil: NewPool installs unregistered zero sets
+	// and SetMetrics swaps in the DB-wide ones. All counters are
+	// atomics, so Stats readers never race writers.
+	met  *obs.PoolMetrics
+	smet *obs.StorageMetrics
 }
 
 type frame struct {
@@ -52,14 +57,21 @@ func NewPool(fs *FileStore, capacity int, dw *DoubleWriter, flushLSN FlushLSNFun
 		frames:   make(map[PageID]*frame, capacity),
 		lru:      list.New(),
 		cap:      capacity,
+		met:      &obs.PoolMetrics{},
+		smet:     &obs.StorageMetrics{},
 	}
+}
+
+// SetMetrics attaches the pool and storage metric sets. Call before
+// serving traffic; both must be non-nil.
+func (bp *Pool) SetMetrics(pm *obs.PoolMetrics, sm *obs.StorageMetrics) {
+	bp.met = pm
+	bp.smet = sm
 }
 
 // Stats returns (hits, misses, evictions).
 func (bp *Pool) Stats() (hits, misses, evictions uint64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses, bp.evictions
+	return bp.met.Hits.Load(), bp.met.Misses.Load(), bp.met.Evictions.Load()
 }
 
 // Fetch pins page id and returns it. The caller must Unpin it exactly
@@ -70,10 +82,12 @@ func (bp *Pool) Fetch(id PageID) (*Page, error) {
 	if fr, ok := bp.frames[id]; ok {
 		fr.pins++
 		bp.lru.MoveToFront(fr.elem)
-		bp.hits++
+		bp.met.Hits.Inc()
+		bp.met.Pins.Inc()
+		bp.met.Pinned.Add(1)
 		return &fr.page, nil
 	}
-	bp.misses++
+	bp.met.Misses.Inc()
 	fr, err := bp.victim()
 	if err != nil {
 		return nil, err
@@ -82,6 +96,7 @@ func (bp *Pool) Fetch(id PageID) (*Page, error) {
 		bp.recycle(fr)
 		return nil, err
 	}
+	bp.smet.PageReads.Inc()
 	bp.install(id, fr)
 	return &fr.page, nil
 }
@@ -125,7 +140,7 @@ func (bp *Pool) victim() (*frame, error) {
 		delete(bp.frames, fr.page.id)
 		bp.lru.Remove(e)
 		fr.elem = nil
-		bp.evictions++
+		bp.met.Evictions.Inc()
 		return fr, nil
 	}
 	return nil, ErrPoolFull
@@ -140,6 +155,8 @@ func (bp *Pool) install(id PageID, fr *frame) {
 	fr.pins = 1
 	fr.elem = bp.lru.PushFront(fr)
 	bp.frames[id] = fr
+	bp.met.Pins.Inc()
+	bp.met.Pinned.Add(1)
 }
 
 // Unpin releases one pin; dirty records that the caller changed the
@@ -152,6 +169,7 @@ func (bp *Pool) Unpin(id PageID, dirty bool) {
 		panic(fmt.Sprintf("storage: Unpin of unpinned page %d", id))
 	}
 	fr.pins--
+	bp.met.Pinned.Add(-1)
 	if dirty {
 		fr.dirty = true
 	}
@@ -170,10 +188,12 @@ func (bp *Pool) writeBack(fr *frame) error {
 		if err := bp.dw.Stage([]*Page{&fr.page}); err != nil {
 			return err
 		}
+		bp.smet.DWFlushes.Inc()
 	}
 	if err := bp.fs.WritePage(&fr.page); err != nil {
 		return err
 	}
+	bp.smet.PageWrites.Inc()
 	fr.dirty = false
 	return nil
 }
@@ -216,10 +236,12 @@ func (bp *Pool) FlushAll() error {
 			if err := bp.dw.Stage(batch); err != nil {
 				return err
 			}
+			bp.smet.DWFlushes.Inc()
 			for _, fr := range dirty[i:end] {
 				if err := bp.fs.WritePage(&fr.page); err != nil {
 					return err
 				}
+				bp.smet.PageWrites.Inc()
 				fr.dirty = false
 			}
 			if err := bp.fs.Sync(); err != nil {
@@ -235,6 +257,7 @@ func (bp *Pool) FlushAll() error {
 		if err := bp.fs.WritePage(&fr.page); err != nil {
 			return err
 		}
+		bp.smet.PageWrites.Inc()
 		fr.dirty = false
 	}
 	return bp.fs.Sync()

@@ -26,6 +26,7 @@ import (
 
 	"ode/internal/core"
 	"ode/internal/object"
+	"ode/internal/obs"
 	"ode/internal/txn"
 )
 
@@ -88,6 +89,7 @@ type Service struct {
 	engine   *txn.Engine
 	actClass *core.Class
 	sync     bool // run actions inline in PostCommit (deterministic tests)
+	met      *obs.TriggerMetrics
 
 	mu       sync.Mutex
 	byTarget map[core.OID]map[core.OID]bool // target -> activation oids
@@ -111,6 +113,7 @@ func NewService(engine *txn.Engine, syncActions bool) (*Service, error) {
 		engine:   engine,
 		actClass: actClass,
 		sync:     syncActions,
+		met:      &obs.TriggerMetrics{},
 		byTarget: make(map[core.OID]map[core.OID]bool),
 		pending:  make(map[uint64][]firing),
 		suppress: make(map[uint64]core.OID),
@@ -128,6 +131,9 @@ func NewService(engine *txn.Engine, syncActions bool) (*Service, error) {
 	engine.PostAbort = s.postAbort
 	return s, nil
 }
+
+// SetMetrics attaches the trigger metric set; tm must be non-nil.
+func (s *Service) SetMetrics(tm *obs.TriggerMetrics) { s.met = tm }
 
 // loadActivations rebuilds the in-memory target index from the
 // activation extent (after open or recovery).
@@ -202,7 +208,11 @@ func (s *Service) activate(tx *txn.Tx, target core.OID, name string, deadline in
 	act.MustSet("perpetual", core.Bool(def.Perpetual))
 	act.MustSet("active", core.Bool(true))
 	act.MustSet("deadline", core.Int(deadline))
-	return tx.PNew(s.actClass, act)
+	oid, err := tx.PNew(s.actClass, act)
+	if err == nil {
+		s.met.Activations.Inc()
+	}
+	return oid, err
 }
 
 // Deactivate disarms a trigger activation by id, inside tx (the paper's
@@ -402,6 +412,7 @@ func (s *Service) postCommit(tx *txn.Tx) {
 	delete(s.pending, tx.ID())
 	s.mu.Unlock()
 	for _, f := range fired {
+		s.met.Firings.Inc()
 		s.schedule(f)
 	}
 }
@@ -419,6 +430,7 @@ func (s *Service) postAbort(tx *txn.Tx) {
 func (s *Service) schedule(f firing) {
 	run := func() {
 		if err := s.runAction(f); err != nil {
+			s.met.ActionErrors.Inc()
 			s.mu.Lock()
 			s.errs = append(s.errs, ActionError{
 				Activation: f.activation,
@@ -524,6 +536,7 @@ func (s *Service) ExpireBefore(now time.Time) (int, error) {
 			return n, err
 		}
 		n++
+		s.met.Timeouts.Inc()
 		s.schedule(firing{
 			activation:  actOID,
 			target:      target,

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"ode/internal/core"
+	"ode/internal/obs"
 )
 
 // LockMode is shared (read) or exclusive (write).
@@ -46,6 +47,7 @@ type LockManager struct {
 	mu       sync.Mutex
 	locks    map[core.OID]*lockState
 	waitsFor map[uint64]map[uint64]bool // txid -> the txids it waits on
+	met      *obs.TxnMetrics            // never nil; Engine.SetMetrics swaps it
 }
 
 type lockState struct {
@@ -59,6 +61,7 @@ func NewLockManager() *LockManager {
 	return &LockManager{
 		locks:    make(map[core.OID]*lockState),
 		waitsFor: make(map[uint64]map[uint64]bool),
+		met:      &obs.TxnMetrics{},
 	}
 }
 
@@ -112,8 +115,10 @@ func (lm *LockManager) Acquire(txid uint64, oid core.OID, mode LockMode) error {
 		lm.waitsFor[txid] = blockers
 		if lm.cycleFrom(txid) {
 			delete(lm.waitsFor, txid)
+			lm.met.Deadlocks.Inc()
 			return fmt.Errorf("%w (tx %d on @%d %s)", ErrDeadlock, txid, oid, mode)
 		}
+		lm.met.LockWaits.Inc()
 		ls.waiting++
 		ls.cond.Wait()
 		ls.waiting--

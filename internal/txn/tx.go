@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ode/internal/core"
 	"ode/internal/object"
+	"ode/internal/obs"
 	"ode/internal/wal"
 )
 
@@ -36,6 +38,7 @@ type Engine struct {
 	log    *wal.Log
 	locks  *LockManager
 	nextID atomic.Uint64
+	met    *obs.Metrics // full set: txn counters plus the query layer's
 
 	commitMu sync.Mutex
 
@@ -54,8 +57,21 @@ type Engine struct {
 
 // NewEngine builds a transaction engine over a manager and its WAL.
 func NewEngine(mgr *object.Manager, log *wal.Log) *Engine {
-	return &Engine{mgr: mgr, log: log, locks: NewLockManager()}
+	e := &Engine{mgr: mgr, log: log, locks: NewLockManager()}
+	e.SetMetrics(obs.NewMetrics(nil))
+	return e
 }
+
+// SetMetrics attaches the engine metric set (never nil after
+// NewEngine). The engine records into m.Txn and hands the whole set to
+// transactions so the query layer can reach m.Query through its Tx.
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	e.met = m
+	e.locks.met = &m.Txn
+}
+
+// Metrics returns the engine metric set.
+func (e *Engine) Metrics() *obs.Metrics { return e.met }
 
 // Manager exposes the underlying object manager.
 func (e *Engine) Manager() *object.Manager { return e.mgr }
@@ -65,6 +81,7 @@ func (e *Engine) Locks() *LockManager { return e.locks }
 
 // Begin starts a transaction.
 func (e *Engine) Begin() *Tx {
+	e.met.Txn.Begins.Inc()
 	return &Tx{
 		engine:  e,
 		id:      e.nextID.Add(1),
@@ -107,6 +124,10 @@ func (tx *Tx) ID() uint64 { return tx.id }
 // Manager exposes the object manager for read paths (extent and index
 // scans) of the query layer. Mutations must go through the Tx methods.
 func (tx *Tx) Manager() *object.Manager { return tx.engine.mgr }
+
+// Metrics returns the engine metric set; the query layer records plan
+// choices and row counts through it.
+func (tx *Tx) Metrics() *obs.Metrics { return tx.engine.met }
 
 // Schema implements core.Store.
 func (tx *Tx) Schema() *core.Schema { return tx.engine.mgr.Schema() }
@@ -403,6 +424,8 @@ func (tx *Tx) Commit() error {
 	if err := tx.ensureActive(); err != nil {
 		return err
 	}
+	met := &tx.engine.met.Txn
+	defer met.CommitNS.Since(time.Now())
 	// Constraint check over final buffered states (conceptually "at the
 	// end of each transaction").
 	for oid, w := range tx.writes {
@@ -411,10 +434,12 @@ func (tx *Tx) Commit() error {
 		}
 		violated, err := w.obj.CheckConstraints(tx)
 		if err != nil {
+			met.ConstraintViolations.Inc()
 			tx.Abort()
 			return fmt.Errorf("%w: %v", ErrConstraintViolation, err)
 		}
 		if violated != nil {
+			met.ConstraintViolations.Inc()
 			tx.Abort()
 			return fmt.Errorf("%w: object @%d of class %s violates %q (%s)",
 				ErrConstraintViolation, oid, w.obj.Class().Name, violated.Name, violated.Src)
@@ -508,6 +533,11 @@ func (tx *Tx) Abort() {
 
 func (tx *Tx) finish(state int) {
 	tx.state = state
+	if state == stateCommitted {
+		tx.engine.met.Txn.Commits.Inc()
+	} else {
+		tx.engine.met.Txn.Aborts.Inc()
+	}
 	tx.engine.locks.ReleaseAll(tx.id)
 }
 

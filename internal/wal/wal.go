@@ -25,6 +25,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"ode/internal/obs"
 )
 
 // OpType enumerates logical redo operations.
@@ -90,6 +93,7 @@ type Log struct {
 	path string
 	end  int64 // append position (after the last valid record)
 	sync bool  // fsync on commit (disabled only for benchmarks)
+	met  *obs.WALMetrics
 }
 
 // Open opens (creating if absent) the log at path. The log is scanned
@@ -99,7 +103,7 @@ func Open(path string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{f: f, path: path, sync: true}
+	l := &Log{f: f, path: path, sync: true, met: &obs.WALMetrics{}}
 	end, err := l.scanEnd()
 	if err != nil {
 		f.Close()
@@ -117,6 +121,9 @@ func Open(path string) (*Log, error) {
 // durability of recent commits on power failure; it exists for
 // benchmarking the fsync cost (and matches "group commit off").
 func (l *Log) SetSync(sync bool) { l.sync = sync }
+
+// SetMetrics attaches the WAL metric set; m must be non-nil.
+func (l *Log) SetMetrics(m *obs.WALMetrics) { l.met = m }
 
 // scanEnd walks the record frames and returns the offset after the last
 // intact record.
@@ -162,10 +169,15 @@ func (l *Log) Append(txid uint64, ops []Op) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.end += int64(len(buf))
+	l.met.Appends.Inc()
+	l.met.AppendBytes.Add(uint64(len(buf)))
 	if l.sync {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		l.met.Fsyncs.Inc()
+		l.met.FsyncNS.Since(start)
 	}
 	return nil
 }

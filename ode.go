@@ -52,6 +52,7 @@ import (
 	"ode/internal/btree"
 	"ode/internal/core"
 	"ode/internal/object"
+	"ode/internal/obs"
 	"ode/internal/storage"
 	"ode/internal/trigger"
 	"ode/internal/txn"
@@ -103,6 +104,8 @@ type DB struct {
 	triggers *trigger.Service
 	versions *version.Service
 	schema   *core.Schema
+	reg      *obs.Registry
+	met      *obs.Metrics
 	closed   bool
 }
 
@@ -213,6 +216,16 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	// Wire the metric set through every layer. Each layer defaults to an
+	// unregistered zero set, so recovery and catalog work done above is
+	// simply not counted.
+	reg := obs.NewRegistry()
+	met := obs.NewMetrics(reg)
+	pool.SetMetrics(&met.Pool, &met.Storage)
+	log.SetMetrics(&met.WAL)
+	mgr.SetMetrics(&met.Object)
+	engine.SetMetrics(met)
+	svc.SetMetrics(&met.Trigger)
 	return &DB{
 		path:     path,
 		opts:     o,
@@ -225,6 +238,8 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 		triggers: svc,
 		versions: versions,
 		schema:   schema,
+		reg:      reg,
+		met:      met,
 	}, nil
 }
 
@@ -337,26 +352,36 @@ func (db *DB) ExpireTimedTriggers() (int, error) {
 	return db.triggers.ExpireBefore(timeNow())
 }
 
-// Stats reports storage-level statistics.
+// Stats is a full point-in-time snapshot of the engine's metrics: the
+// embedded obs.Snapshot covers every layer (buffer pool, storage, WAL,
+// transactions, object manager, query planner, triggers), plus the two
+// file-level gauges Pages and WALBytes. docs/OBSERVABILITY.md documents
+// each counter.
 type Stats struct {
-	Pages      uint32
-	PoolHits   uint64
-	PoolMisses uint64
-	Evictions  uint64
-	WALBytes   int64
+	Pages    uint32 // data file size in 4 KiB pages
+	WALBytes int64  // current WAL size in bytes
+	obs.Snapshot
 }
 
-// Stats returns current storage statistics.
+// Stats captures the current value of every engine metric. Reads are
+// atomic per counter (the snapshot as a whole is not a consistent cut,
+// which is fine for monitoring).
 func (db *DB) Stats() Stats {
-	h, m, e := db.pool.Stats()
 	return Stats{
-		Pages:      db.fs.NumPages(),
-		PoolHits:   h,
-		PoolMisses: m,
-		Evictions:  e,
-		WALBytes:   db.log.Size(),
+		Pages:    db.fs.NumPages(),
+		WALBytes: db.log.Size(),
+		Snapshot: db.met.Stats(),
 	}
 }
+
+// Metrics exposes the live engine metric set (advanced use; most
+// callers want the Stats snapshot).
+func (db *DB) Metrics() *obs.Metrics { return db.met }
+
+// MetricsRegistry exposes the metric registry: the canonical name of
+// every engine metric and a generic snapshot, for exposition bridges
+// (expvar, Prometheus-style scrapers) and documentation checks.
+func (db *DB) MetricsRegistry() *obs.Registry { return db.reg }
 
 // CrashForTesting closes the database's file handles without a
 // checkpoint, WAL truncation, or clean-shutdown mark — exactly the

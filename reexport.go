@@ -89,7 +89,21 @@ type (
 	Worklist = query.Worklist
 	// SuccFunc produces successors for transitive closures.
 	SuccFunc = query.SuccFunc
+	// Plan is the access path a forall query would use (EXPLAIN).
+	Plan = query.Plan
+	// JoinPlan is the physical strategy a join would use (EXPLAIN).
+	JoinPlan = query.JoinPlan
 )
+
+// Explain computes the access path q would use, without running it:
+// index selection against the current schema, the rendered suchthat
+// filter, and any ordering clause. Shorthand for q.Explain(); the
+// ode-sh `explain` statement and ode-inspect render the same plans.
+func Explain(q *Query) Plan { return q.Explain() }
+
+// ExplainJoin computes the physical strategy j would use, without
+// running it. Shorthand for j.Explain().
+func ExplainJoin(j *JoinQuery) JoinPlan { return j.Explain() }
 
 // Triggers (internal/trigger).
 type (

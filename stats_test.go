@@ -1,0 +1,164 @@
+package ode
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestStatsSnapshot checks that normal work shows up in every layer of
+// the DB.Stats surface.
+func TestStatsSnapshot(t *testing.T) {
+	db, stock := openTestDB(t, nil)
+	for i := 0; i < 5; i++ {
+		addItem(t, db, stock, "item", int64(i*10), 1.5)
+	}
+	err := db.View(func(tx *Tx) error {
+		_, err := Forall(tx, stock).SuchThat(Field("qty").Ge(Int(20))).Count()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := db.Stats()
+	nonzero := map[string]uint64{
+		"txn.begins":         st.Txn.Begins,
+		"txn.commits":        st.Txn.Commits,
+		"wal.appends":        st.WAL.Appends,
+		"wal.append_bytes":   st.WAL.AppendBytes,
+		"wal.fsyncs":         st.WAL.Fsyncs,
+		"pool.hits":          st.Pool.Hits,
+		"object.creates":     st.Object.Creates,
+		"query.foralls":      st.Query.Foralls,
+		"query.plans":        st.Query.PlanExtentScan + st.Query.PlanIndexRange,
+		"query.rows_scanned": st.Query.RowsScanned,
+		"query.rows_yielded": st.Query.RowsYielded,
+		"commit_ns.count":    st.Txn.CommitNS.Count,
+		"fsync_ns.count":     st.WAL.FsyncNS.Count,
+	}
+	for name, v := range nonzero {
+		if v == 0 {
+			t.Errorf("%s = 0, want non-zero", name)
+		}
+	}
+	if st.Pages == 0 {
+		t.Error("Pages = 0")
+	}
+	if st.Txn.CommitNS.Sum <= 0 {
+		t.Errorf("CommitNS.Sum = %v, want positive", st.Txn.CommitNS.Sum)
+	}
+}
+
+// TestPlanCountersFlipWithIndex checks that the plan-choice counters
+// record the optimizer's decision: the same suchthat query counts as an
+// extent scan before an index exists and as an index range scan after.
+func TestPlanCountersFlipWithIndex(t *testing.T) {
+	db, stock := openTestDB(t, nil)
+	for i := 0; i < 10; i++ {
+		addItem(t, db, stock, "item", int64(i), 1.0)
+	}
+	count := func() {
+		t.Helper()
+		err := db.View(func(tx *Tx) error {
+			n, err := Forall(tx, stock).SuchThat(Field("qty").Ge(Int(5))).Count()
+			if err == nil && n != 5 {
+				t.Errorf("matched %d, want 5", n)
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	count()
+	st := db.Stats()
+	if st.Query.PlanExtentScan != 1 || st.Query.PlanIndexRange != 0 {
+		t.Fatalf("before index: extent=%d index=%d, want 1/0",
+			st.Query.PlanExtentScan, st.Query.PlanIndexRange)
+	}
+
+	if err := db.CreateIndex(stock, "qty"); err != nil {
+		t.Fatal(err)
+	}
+	count()
+	st = db.Stats()
+	if st.Query.PlanExtentScan != 1 || st.Query.PlanIndexRange != 1 {
+		t.Fatalf("after index: extent=%d index=%d, want 1/1",
+			st.Query.PlanExtentScan, st.Query.PlanIndexRange)
+	}
+}
+
+// TestExplainGolden pins the rendered plan strings.
+func TestExplainGolden(t *testing.T) {
+	db, stock := openTestDB(t, nil)
+	addItem(t, db, stock, "dram", 10, 0.5)
+
+	check := func(got, want string) {
+		t.Helper()
+		if got != want {
+			t.Errorf("plan = %q, want %q", got, want)
+		}
+	}
+	err := db.View(func(tx *Tx) error {
+		q := Forall(tx, stock).SuchThat(Field("qty").Ge(Int(100))).By("name")
+		check(Explain(q).String(),
+			"extent-scan(stockitem) filter(qty >= 100) order-by(name)")
+		j := Forall(tx, stock).JoinWith(Forall(tx, stock)).OnEq("qty", "qty")
+		check(ExplainJoin(j).String(),
+			"hash(stockitem.qty = stockitem.qty; outer extent-scan(stockitem))")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.CreateIndex(stock, "qty"); err != nil {
+		t.Fatal(err)
+	}
+	err = db.View(func(tx *Tx) error {
+		q := Forall(tx, stock).SuchThat(Field("qty").Gt(Int(100)))
+		check(Explain(q).String(),
+			"index-scan(stockitem.qty in [100, +inf]) + residual filter(qty > 100)")
+		j := Forall(tx, stock).JoinWith(Forall(tx, stock)).OnEq("qty", "qty")
+		check(ExplainJoin(j).String(),
+			"index-nested-loop(stockitem.qty = stockitem.qty; outer extent-scan(stockitem))")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObservabilityDocComplete diffs the live registry against
+// docs/OBSERVABILITY.md: every registered metric must be documented by
+// its canonical name.
+func TestObservabilityDocComplete(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	doc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	names := db.MetricsRegistry().Names()
+	if len(names) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, name := range names {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("metric %s is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// TestMetricsRegistrySnapshot checks the generic exposition path used
+// by the expvar bridge.
+func TestMetricsRegistrySnapshot(t *testing.T) {
+	db, stock := openTestDB(t, nil)
+	addItem(t, db, stock, "x", 1, 1.0)
+	snap := db.MetricsRegistry().Snapshot()
+	if v, ok := snap["txn.commits"].(uint64); !ok || v == 0 {
+		t.Errorf("snapshot txn.commits = %v, want non-zero uint64", snap["txn.commits"])
+	}
+}
