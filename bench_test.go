@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"ode"
@@ -624,6 +625,81 @@ func BenchmarkRecovery(b *testing.B) {
 				}
 				db2.Close()
 				os.RemoveAll(dir)
+			}
+		})
+	}
+}
+
+// --- E13: multi-core read path ---
+
+// BenchmarkConcurrentDeref measures Deref throughput with many
+// goroutines sharing one read transaction: the sharded buffer pool and
+// decoded-object cache are the contended structures. Scale with -cpu.
+func BenchmarkConcurrentDeref(b *testing.B) {
+	w := mustWorld(b, nil)
+	oids, err := w.LoadStock(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the decoded-object cache so the steady state is measured.
+	err = w.DB.View(func(tx *ode.Tx) error {
+		for _, oid := range oids {
+			if _, err := tx.Deref(oid); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	w.DB.View(func(tx *ode.Tx) error {
+		var goroutines atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			// Stride each goroutine through a different region.
+			i := int(goroutines.Add(1)) * 7919
+			for pb.Next() {
+				o, err := tx.Deref(oids[i%len(oids)])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if o.MustGet("qty").Int() < 0 {
+					b.Error("bad qty")
+					return
+				}
+				i++
+			}
+		})
+		return nil
+	})
+}
+
+// BenchmarkParallelClusterScan sweeps Query.Parallel worker counts over
+// one cluster scan with a concurrency-safe aggregation body.
+func BenchmarkParallelClusterScan(b *testing.B) {
+	w := mustWorld(b, nil)
+	if _, err := w.LoadStock(50000); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sum atomic.Int64
+				err := w.DB.View(func(tx *ode.Tx) error {
+					return ode.Forall(tx, w.Stock).Parallel(workers).
+						Do(func(it ode.Item) (bool, error) {
+							sum.Add(it.Obj.MustGet("qty").Int())
+							return true, nil
+						})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Load() == 0 {
+					b.Fatal("empty scan")
+				}
 			}
 		})
 	}

@@ -6,20 +6,24 @@
 //
 // Usage:
 //
-//	ode-bench [-quick] [-run E3,E7] [-http :8080]
+//	ode-bench [-quick] [-run E3,E7] [-http :8080] [-workers N] [-json FILE]
 //
 // With -http, the engine metrics of the world currently under
 // measurement are published as expvar at /debug/vars (key "ode",
-// canonical metric names as in docs/OBSERVABILITY.md).
+// canonical metric names as in docs/OBSERVABILITY.md). With -json,
+// every measured row is also written to FILE as a JSON array.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"strings"
@@ -29,7 +33,36 @@ import (
 	"ode/internal/bench"
 )
 
-var quick = flag.Bool("quick", false, "smaller workloads (CI-sized)")
+var (
+	quick   = flag.Bool("quick", false, "smaller workloads (CI-sized)")
+	workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+		"max worker count for the multi-core experiment (E13)")
+)
+
+// benchResult is one measured row of the machine-readable output.
+type benchResult struct {
+	Experiment string             `json:"experiment"`
+	Workload   string             `json:"workload"`
+	NsPerOp    int64              `json:"ns_per_op"`
+	Workers    int                `json:"workers,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+var (
+	results []benchResult
+	curExp  string
+)
+
+// record captures a measured row for -json in addition to the table.
+func record(workload string, d time.Duration, nw int, extra map[string]float64) {
+	results = append(results, benchResult{
+		Experiment: curExp,
+		Workload:   workload,
+		NsPerOp:    d.Nanoseconds(),
+		Workers:    nw,
+		Extra:      extra,
+	})
+}
 
 // liveDB is the most recently opened benchmark database; the expvar
 // bridge snapshots its registry on every scrape.
@@ -38,6 +71,7 @@ var liveDB atomic.Pointer[ode.DB]
 func main() {
 	runFilter := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	httpAddr := flag.String("http", "", "serve expvar metrics (/debug/vars) on this address")
+	jsonPath := flag.String("json", "", "write measured rows to this file as JSON")
 	flag.Parse()
 	if *httpAddr != "" {
 		bench.OnOpen = func(db *ode.DB) { liveDB.Store(db) }
@@ -79,16 +113,30 @@ func main() {
 		{"E10", "trigger activation / firing / quiescence (WE §6)", runE10},
 		{"E11", "volatile vs persistent manipulation (PC §2)", runE11},
 		{"E12", "crash recovery (repair-on-open)", runE12},
+		{"E13", "multi-core read path: parallel forall and concurrent deref", runE13},
 	}
 	for _, e := range experiments {
 		if len(wanted) > 0 && !wanted[e.id] {
 			continue
 		}
+		curExp = e.id
 		fmt.Printf("\n== %s: %s ==\n", e.id, e.title)
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ode-bench: encode results:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ode-bench: write results:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d rows to %s\n", len(results), *jsonPath)
 	}
 }
 
@@ -112,14 +160,18 @@ func timeIt(reps int, fn func() error) (time.Duration, error) {
 
 func row(cols ...any) {
 	parts := make([]string, len(cols))
+	var labels []string
 	for i, c := range cols {
 		switch v := c.(type) {
 		case time.Duration:
 			parts[i] = fmt.Sprintf("%12s", v.Round(time.Microsecond))
+			record(strings.Join(labels, " "), v, 0, nil)
 		case string:
 			parts[i] = fmt.Sprintf("%-28s", v)
+			labels = append(labels, v)
 		default:
 			parts[i] = fmt.Sprintf("%10v", v)
+			labels = append(labels, fmt.Sprint(v))
 		}
 	}
 	fmt.Println("  " + strings.Join(parts, " "))
@@ -671,6 +723,143 @@ func runE12() error {
 			return fmt.Errorf("recovered %d of %d", count, n)
 		}
 		row(fmt.Sprintf("crash with %d objects in WAL", n), "recover+verify", recov)
+	}
+	return nil
+}
+
+// rowE13 prints like row but records the worker count and extras with
+// the measurement, so the -json output carries the scaling data.
+func rowE13(label string, d time.Duration, nw int, extra map[string]float64) {
+	fmt.Printf("  %-28s %12s\n", label, d.Round(time.Microsecond))
+	record(label, d, nw, extra)
+}
+
+func runE13() error {
+	n := scale(50000)
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	oids, err := w.LoadStock(n)
+	if err != nil {
+		return err
+	}
+
+	counts := []int{1}
+	for nw := 2; nw < *workers; nw *= 2 {
+		counts = append(counts, nw)
+	}
+	if *workers > 1 {
+		counts = append(counts, *workers)
+	}
+
+	// Parallel forall: one cluster scan partitioned across workers.
+	scan := func(nw int) (time.Duration, error) {
+		return timeIt(3, func() error {
+			var sum atomic.Int64
+			err := w.DB.View(func(tx *ode.Tx) error {
+				return ode.Forall(tx, w.Stock).Parallel(nw).
+					Do(func(it ode.Item) (bool, error) {
+						sum.Add(it.Obj.MustGet("qty").Int())
+						return true, nil
+					})
+			})
+			if err != nil {
+				return err
+			}
+			if sum.Load() == 0 {
+				return fmt.Errorf("empty scan")
+			}
+			return nil
+		})
+	}
+	// Untimed warm-up so workers=1 is not charged the cold pool.
+	if _, err := scan(1); err != nil {
+		return err
+	}
+	var scanBase time.Duration
+	for _, nw := range counts {
+		d, err := scan(nw)
+		if err != nil {
+			return err
+		}
+		extra := map[string]float64{}
+		if nw == 1 {
+			scanBase = d
+		} else if d > 0 {
+			extra["speedup"] = float64(scanBase) / float64(d)
+		}
+		rowE13(fmt.Sprintf("cluster-scan workers=%d", nw), d, nw, extra)
+	}
+	if last, err := scan(counts[len(counts)-1]); err == nil && last > 0 {
+		fmt.Printf("  (scan speedup at %d workers: %.2fx)\n",
+			counts[len(counts)-1], float64(scanBase)/float64(last))
+	}
+
+	// Concurrent deref: independent goroutines sharing one read
+	// transaction, hitting the sharded pool and decoded-object cache.
+	// The hot set fits the default decoded-object cache so the steady
+	// state is cache-resident. Reported per-deref across all
+	// goroutines (aggregate throughput).
+	hot := oids
+	if len(hot) > 4000 {
+		hot = hot[:4000]
+	}
+	deref := func(nw int) (time.Duration, error) {
+		perG := scale(200000) / nw
+		start := time.Now()
+		err := w.DB.View(func(tx *ode.Tx) error {
+			var wg sync.WaitGroup
+			errCh := make(chan error, nw)
+			for g := 0; g < nw; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					i := g * 7919
+					for k := 0; k < perG; k++ {
+						if _, err := tx.Deref(hot[i%len(hot)]); err != nil {
+							errCh <- err
+							return
+						}
+						i++
+					}
+				}(g)
+			}
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				return err
+			default:
+				return nil
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		return time.Since(start) / time.Duration(nw*perG), nil
+	}
+	st0 := w.DB.Stats()
+	var derefBase time.Duration
+	for _, nw := range counts {
+		d, err := deref(nw)
+		if err != nil {
+			return err
+		}
+		extra := map[string]float64{}
+		if nw == 1 {
+			derefBase = d
+		} else if d > 0 {
+			extra["speedup"] = float64(derefBase) / float64(d)
+		}
+		rowE13(fmt.Sprintf("deref workers=%d", nw), d, nw, extra)
+	}
+	st := w.DB.Stats()
+	if looks := st.Object.CacheHits - st0.Object.CacheHits; looks > 0 {
+		hitPct := 100 * float64(looks) /
+			float64(looks+st.Object.CacheMisses-st0.Object.CacheMisses)
+		fmt.Printf("  (decoded-object cache hit rate during deref: %.1f%%; pool shards: %d)\n",
+			hitPct, st.Pool.Shards)
 	}
 	return nil
 }

@@ -64,12 +64,18 @@ type catalog struct {
 // All mutations go through Apply (a wal.Op), which is idempotent; the
 // transaction layer logs the ops before applying them, and recovery
 // replays them.
+//
+// mu is reader/writer: Get and the other read methods take RLock so
+// cached readers run concurrently; Apply, OID allocation, and DDL take
+// the write lock. Cache fills happen under RLock and invalidations
+// under Lock, which is what makes the decoded-object cache
+// invalidation-correct (see cache.go).
 type Manager struct {
 	schema *core.Schema
 	fs     *storage.FileStore
 	pool   *storage.Pool
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	heap    *storage.RecordFile
 	dir     *btree.Tree // oid -> classID, curVersion, RID
 	ver     *btree.Tree // (oid, version) -> RID
@@ -81,8 +87,13 @@ type Manager struct {
 	indexes    map[indexID]bool
 	catalogRID storage.RID
 
-	met *obs.ObjectMetrics // never nil; SetMetrics swaps in the DB set
+	cache *objCache          // decoded-object cache; never nil
+	met   *obs.ObjectMetrics // never nil; SetMetrics swaps in the DB set
 }
+
+// DefaultObjectCacheSize bounds the decoded-object cache when the
+// database layer does not choose a size.
+const DefaultObjectCacheSize = 4096
 
 type indexID struct {
 	class core.ClassID
@@ -122,6 +133,7 @@ func Create(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Ma
 		nextOID:  1,
 		clusters: make(map[core.ClassID]bool),
 		indexes:  make(map[indexID]bool),
+		cache:    newObjCache(DefaultObjectCacheSize),
 		met:      &obs.ObjectMetrics{},
 	}
 	if err := m.writeCatalog(); err != nil {
@@ -149,6 +161,7 @@ func Open(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Mana
 		nextOID:  binary.LittleEndian.Uint64(boot[bootNextOID:]),
 		clusters: make(map[core.ClassID]bool),
 		indexes:  make(map[indexID]bool),
+		cache:    newObjCache(DefaultObjectCacheSize),
 		met:      &obs.ObjectMetrics{},
 		catalogRID: storage.RID{
 			Page: storage.PageID(binary.LittleEndian.Uint32(boot[bootCatPage:])),
@@ -341,6 +354,13 @@ func (m *Manager) Schema() *core.Schema { return m.schema }
 // SetMetrics attaches the object-manager metric set; om must be
 // non-nil.
 func (m *Manager) SetMetrics(om *obs.ObjectMetrics) { m.met = om }
+
+// SetObjectCacheSize rebounds the decoded-object cache (clearing it).
+// n <= 0 disables the cache. Call at open time, before serving traffic.
+func (m *Manager) SetObjectCacheSize(n int) { m.cache.reset(n) }
+
+// ObjectCacheLen counts currently cached decoded objects (test helper).
+func (m *Manager) ObjectCacheLen() int { return m.cache.len() }
 
 // AllocOID reserves a fresh object id. Ids burned by aborted
 // transactions are never reused.

@@ -19,15 +19,28 @@ func (m *Manager) Apply(op *wal.Op) error {
 	defer m.mu.Unlock()
 	switch op.Type {
 	case wal.OpPut:
+		m.invalidateCached(core.OID(op.OID))
 		return m.applyPut(op)
 	case wal.OpPutVersion:
+		// Frozen versions never alias the cached current image.
 		return m.applyPutVersion(op)
 	case wal.OpDelete:
+		m.invalidateCached(core.OID(op.OID))
 		return m.applyDelete(core.OID(op.OID))
 	case wal.OpDeleteVersion:
 		return m.applyDeleteVersion(core.OID(op.OID), op.Version)
 	}
 	return fmt.Errorf("object: cannot apply op %s", op.Type)
+}
+
+// invalidateCached drops oid's decoded-object cache entry. Called under
+// m.mu (write): every in-flight reader either already copied the old
+// image (it held RLock before this writer) or will fill after this
+// invalidation with the new one.
+func (m *Manager) invalidateCached(oid core.OID) {
+	if m.cache.invalidate(oid) {
+		m.met.CacheInvalidations.Inc()
+	}
 }
 
 func (m *Manager) applyPut(op *wal.Op) error {
@@ -264,11 +277,24 @@ func (m *Manager) updateIndexEntries(cid core.ClassID, oid core.OID, oldObj, new
 }
 
 // Get returns the current image of the object and its current version
-// number.
+// number. The returned object is private to the caller (cache hits
+// return a deep copy; misses return the freshly decoded image, whose
+// copy is what gets cached).
 func (m *Manager) Get(oid core.OID) (*core.Object, uint32, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.getLocked(oid)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if o, ver, ok := m.cache.get(oid); ok {
+		m.met.CacheHits.Inc()
+		return o, ver, nil
+	}
+	m.met.CacheMisses.Inc()
+	o, cur, err := m.getLocked(oid)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Fill while still holding RLock (see cache.go for why).
+	m.met.CacheEvictions.Add(m.cache.put(oid, o.Copy(), cur))
+	return o, cur, nil
 }
 
 func (m *Manager) getLocked(oid core.OID) (*core.Object, uint32, error) {
@@ -298,8 +324,12 @@ func (m *Manager) getLocked(oid core.OID) (*core.Object, uint32, error) {
 // GetVersion returns a specific version's image. Asking for the current
 // version number returns the live image.
 func (m *Manager) GetVersion(oid core.OID, ver uint32) (*core.Object, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if o, cur, ok := m.cache.get(oid); ok && cur == ver {
+		m.met.CacheHits.Inc()
+		return o, nil
+	}
 	entry, err := m.dir.Get(dirKey(oid))
 	if errors.Is(err, btree.ErrNotFound) {
 		return nil, fmt.Errorf("%w: @%d", ErrNoObject, oid)
@@ -346,16 +376,16 @@ func (m *Manager) GetVersion(oid core.OID, ver uint32) (*core.Object, error) {
 
 // Exists reports whether oid names a live object.
 func (m *Manager) Exists(oid core.OID) (bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	ok, err := m.dir.Has(dirKey(oid))
 	return ok, err
 }
 
 // ClassOf returns the dynamic class of a persistent object.
 func (m *Manager) ClassOf(oid core.OID) (*core.Class, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	entry, err := m.dir.Get(dirKey(oid))
 	if errors.Is(err, btree.ErrNotFound) {
 		return nil, fmt.Errorf("%w: @%d", ErrNoObject, oid)
@@ -376,8 +406,8 @@ func (m *Manager) ClassOf(oid core.OID) (*core.Class, error) {
 
 // CurrentVersion returns the current version number of an object.
 func (m *Manager) CurrentVersion(oid core.OID) (uint32, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	entry, err := m.dir.Get(dirKey(oid))
 	if errors.Is(err, btree.ErrNotFound) {
 		return 0, fmt.Errorf("%w: @%d", ErrNoObject, oid)
@@ -392,8 +422,8 @@ func (m *Manager) CurrentVersion(oid core.OID) (uint32, error) {
 // Versions lists the frozen version numbers of an object, ascending
 // (the current version is not included).
 func (m *Manager) Versions(oid core.OID) ([]uint32, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []uint32
 	err := m.ver.ScanPrefix(dirKey(oid), func(k, _ []byte) (bool, error) {
 		out = append(out, verFromKey(k))
@@ -425,8 +455,8 @@ func (m *Manager) CreateCluster(c *core.Class) error {
 
 // HasCluster reports whether class c's extent exists.
 func (m *Manager) HasCluster(c *core.Class) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.clusters[c.ID()]
 }
 
@@ -460,15 +490,39 @@ func (m *Manager) RequireCluster(c *core.Class) error {
 	return nil
 }
 
+// ClusterOIDs snapshots the OIDs in class c's own extent (not
+// subclasses), in OID order. The tree walk runs under RLock; callers
+// then visit the OIDs unlocked, so callbacks may re-enter Get (or run
+// on other goroutines, as the parallel forall does) without holding the
+// manager lock across user code.
+func (m *Manager) ClusterOIDs(c *core.Class) ([]core.OID, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var oids []core.OID
+	err := m.cluster.ScanPrefix(clusterPrefix(c.ID()), func(k, _ []byte) (bool, error) {
+		oids = append(oids, oidFromClusterKey(k))
+		return true, nil
+	})
+	return oids, err
+}
+
 // ScanCluster visits the OIDs in class c's own extent (not subclasses),
 // in OID order.
 func (m *Manager) ScanCluster(c *core.Class, fn func(oid core.OID) (bool, error)) error {
-	m.mu.Lock()
-	tree := m.cluster
-	m.mu.Unlock()
-	return tree.ScanPrefix(clusterPrefix(c.ID()), func(k, _ []byte) (bool, error) {
-		return fn(oidFromClusterKey(k))
-	})
+	oids, err := m.ClusterOIDs(c)
+	if err != nil {
+		return err
+	}
+	for _, oid := range oids {
+		cont, err := fn(oid)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
 }
 
 func oidFromClusterKey(k []byte) core.OID {
@@ -545,8 +599,8 @@ func (m *Manager) CreateIndex(c *core.Class, field string) error {
 // HasIndex reports whether class.field has an index usable for lookups
 // on c (an index declared on c or on a base class of c).
 func (m *Manager) HasIndex(c *core.Class, field string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.findIndexLocked(c, field) != nil
 }
 
@@ -599,12 +653,31 @@ func (m *Manager) DropIndex(c *core.Class, field string) error {
 // subclass extents appear because index maintenance covers the whole
 // hierarchy. Values come out in field order, then OID order.
 func (m *Manager) IndexScan(c *core.Class, field string, lo, hi core.Value, fn func(oid core.OID) (bool, error)) error {
-	m.mu.Lock()
+	oids, err := m.IndexOIDs(c, field, lo, hi)
+	if err != nil {
+		return err
+	}
+	for _, oid := range oids {
+		cont, err := fn(oid)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// IndexOIDs snapshots the OIDs whose indexed field value is in
+// [lo, hi], in field order then OID order. The tree walk runs under
+// RLock; as with ClusterOIDs, callers visit the result unlocked.
+func (m *Manager) IndexOIDs(c *core.Class, field string, lo, hi core.Value) ([]core.OID, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	id := m.findIndexLocked(c, field)
-	tree := m.index
-	m.mu.Unlock()
 	if id == nil {
-		return fmt.Errorf("%w: %s.%s", ErrNoIndex, c.Name, field)
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, c.Name, field)
 	}
 	prefix := indexPrefix(id.class, id.slot)
 	from := prefix
@@ -612,23 +685,26 @@ func (m *Manager) IndexScan(c *core.Class, field string, lo, hi core.Value, fn f
 		var err error
 		from, err = EncodeKey(prefix, lo)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	var to []byte
 	if !hi.IsNull() {
 		k, err := EncodeKey(prefix, hi)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Inclusive upper bound: extend with 0xFF past any oid suffix.
 		to = append(k, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
 	} else {
 		to = prefixSuccessorBytes(prefix)
 	}
-	return tree.ScanRange(from, to, func(k, _ []byte) (bool, error) {
-		return fn(oidFromIndexKey(k))
+	var oids []core.OID
+	err := m.index.ScanRange(from, to, func(k, _ []byte) (bool, error) {
+		oids = append(oids, oidFromIndexKey(k))
+		return true, nil
 	})
+	return oids, err
 }
 
 // prefixSuccessorBytes is btree.prefixSuccessor for our local use.

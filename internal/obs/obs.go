@@ -201,6 +201,7 @@ type PoolMetrics struct {
 	Evictions Counter // frames reclaimed by LRU replacement
 	Pins      Counter // page pin acquisitions (Fetch + NewPage)
 	Pinned    Gauge   // frames currently pinned
+	Shards    Gauge   // lock stripes the pool was built with
 }
 
 // StorageMetrics instruments the page file and double-write buffer.
@@ -231,11 +232,15 @@ type TxnMetrics struct {
 
 // ObjectMetrics instruments the object manager.
 type ObjectMetrics struct {
-	Creates      Counter // persistent objects created (pnew)
-	Updates      Counter // object images replaced in place
-	Deletes      Counter // persistent objects deleted (pdelete)
-	IndexPuts    Counter // secondary-index entries inserted
-	IndexDeletes Counter // secondary-index entries removed
+	Creates            Counter // persistent objects created (pnew)
+	Updates            Counter // object images replaced in place
+	Deletes            Counter // persistent objects deleted (pdelete)
+	IndexPuts          Counter // secondary-index entries inserted
+	IndexDeletes       Counter // secondary-index entries removed
+	CacheHits          Counter // Gets served from the decoded-object cache
+	CacheMisses        Counter // Gets that fetched and decoded from the heap
+	CacheInvalidations Counter // cache entries dropped by update/delete
+	CacheEvictions     Counter // cache entries dropped by the size bound
 }
 
 // QueryMetrics instruments the query layer: plan choices and work
@@ -251,6 +256,7 @@ type QueryMetrics struct {
 	RowsScanned        Counter // objects fetched by scans (before predicates)
 	RowsYielded        Counter // objects that satisfied predicates and reached the body
 	FixpointRounds     Counter // delta rounds executed by fixpoint iteration
+	ParallelForalls    Counter // foralls executed by the parallel worker pool
 }
 
 // TriggerMetrics instruments the trigger service.
@@ -282,6 +288,7 @@ type PoolStats struct {
 	Evictions uint64
 	Pins      uint64
 	Pinned    int64
+	Shards    int64
 }
 
 // StorageStats is a point-in-time copy of StorageMetrics.
@@ -312,11 +319,15 @@ type TxnStats struct {
 
 // ObjectStats is a point-in-time copy of ObjectMetrics.
 type ObjectStats struct {
-	Creates      uint64
-	Updates      uint64
-	Deletes      uint64
-	IndexPuts    uint64
-	IndexDeletes uint64
+	Creates            uint64
+	Updates            uint64
+	Deletes            uint64
+	IndexPuts          uint64
+	IndexDeletes       uint64
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheInvalidations uint64
+	CacheEvictions     uint64
 }
 
 // QueryStats is a point-in-time copy of QueryMetrics.
@@ -331,6 +342,7 @@ type QueryStats struct {
 	RowsScanned        uint64
 	RowsYielded        uint64
 	FixpointRounds     uint64
+	ParallelForalls    uint64
 }
 
 // TriggerStats is a point-in-time copy of TriggerMetrics.
@@ -362,6 +374,7 @@ func (m *Metrics) Stats() Snapshot {
 			Evictions: m.Pool.Evictions.Load(),
 			Pins:      m.Pool.Pins.Load(),
 			Pinned:    m.Pool.Pinned.Load(),
+			Shards:    m.Pool.Shards.Load(),
 		},
 		Storage: StorageStats{
 			PageReads:  m.Storage.PageReads.Load(),
@@ -384,11 +397,15 @@ func (m *Metrics) Stats() Snapshot {
 			CommitNS:             m.Txn.CommitNS.Snapshot(),
 		},
 		Object: ObjectStats{
-			Creates:      m.Object.Creates.Load(),
-			Updates:      m.Object.Updates.Load(),
-			Deletes:      m.Object.Deletes.Load(),
-			IndexPuts:    m.Object.IndexPuts.Load(),
-			IndexDeletes: m.Object.IndexDeletes.Load(),
+			Creates:            m.Object.Creates.Load(),
+			Updates:            m.Object.Updates.Load(),
+			Deletes:            m.Object.Deletes.Load(),
+			IndexPuts:          m.Object.IndexPuts.Load(),
+			IndexDeletes:       m.Object.IndexDeletes.Load(),
+			CacheHits:          m.Object.CacheHits.Load(),
+			CacheMisses:        m.Object.CacheMisses.Load(),
+			CacheInvalidations: m.Object.CacheInvalidations.Load(),
+			CacheEvictions:     m.Object.CacheEvictions.Load(),
 		},
 		Query: QueryStats{
 			Foralls:            m.Query.Foralls.Load(),
@@ -401,6 +418,7 @@ func (m *Metrics) Stats() Snapshot {
 			RowsScanned:        m.Query.RowsScanned.Load(),
 			RowsYielded:        m.Query.RowsYielded.Load(),
 			FixpointRounds:     m.Query.FixpointRounds.Load(),
+			ParallelForalls:    m.Query.ParallelForalls.Load(),
 		},
 		Trigger: TriggerStats{
 			Activations:  m.Trigger.Activations.Load(),
@@ -424,6 +442,7 @@ func NewMetrics(reg *Registry) *Metrics {
 		{"pool.evictions", &m.Pool.Evictions},
 		{"pool.pins", &m.Pool.Pins},
 		{"pool.pinned", &m.Pool.Pinned},
+		{"pool.shards", &m.Pool.Shards},
 		{"storage.page_reads", &m.Storage.PageReads},
 		{"storage.page_writes", &m.Storage.PageWrites},
 		{"storage.dw_flushes", &m.Storage.DWFlushes},
@@ -443,6 +462,10 @@ func NewMetrics(reg *Registry) *Metrics {
 		{"object.deletes", &m.Object.Deletes},
 		{"object.index_puts", &m.Object.IndexPuts},
 		{"object.index_deletes", &m.Object.IndexDeletes},
+		{"object.cache_hits", &m.Object.CacheHits},
+		{"object.cache_misses", &m.Object.CacheMisses},
+		{"object.cache_invalidations", &m.Object.CacheInvalidations},
+		{"object.cache_evictions", &m.Object.CacheEvictions},
 		{"query.foralls", &m.Query.Foralls},
 		{"query.plan_extent_scan", &m.Query.PlanExtentScan},
 		{"query.plan_index_range", &m.Query.PlanIndexRange},
@@ -453,6 +476,7 @@ func NewMetrics(reg *Registry) *Metrics {
 		{"query.rows_scanned", &m.Query.RowsScanned},
 		{"query.rows_yielded", &m.Query.RowsYielded},
 		{"query.fixpoint_rounds", &m.Query.FixpointRounds},
+		{"query.parallel_foralls", &m.Query.ParallelForalls},
 		{"trigger.activations", &m.Trigger.Activations},
 		{"trigger.firings", &m.Trigger.Firings},
 		{"trigger.timeouts", &m.Trigger.Timeouts},

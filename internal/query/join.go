@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ode/internal/core"
 )
@@ -69,6 +70,15 @@ func (j *Join) Strategy(s JoinStrategy) *Join {
 	return j
 }
 
+// Parallel partitions the outer (left) side of the join across n
+// workers; the inner side — collected snapshot, hash table, or index
+// probes — is built serially and then only read concurrently. The pair
+// body must be safe for concurrent invocation, as with Query.Parallel.
+func (j *Join) Parallel(n int) *Join {
+	j.left.Parallel(n)
+	return j
+}
+
 // Plan describes the strategy chosen by the last run.
 func (j *Join) Plan() string { return j.plan }
 
@@ -109,12 +119,12 @@ func (j *Join) Do(fn func(a, b Item) (bool, error)) error {
 
 // Count runs the join and counts pairs.
 func (j *Join) Count() (int, error) {
-	n := 0
+	var n atomic.Int64
 	err := j.Do(func(_, _ Item) (bool, error) {
-		n++
+		n.Add(1)
 		return true, nil
 	})
-	return n, err
+	return int(n.Load()), err
 }
 
 func (j *Join) nestedLoopTheta(fn func(a, b Item) (bool, error)) error {

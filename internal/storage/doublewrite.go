@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"sync"
 )
 
 // DoubleWriter makes in-place page writes atomic across crashes: before
@@ -15,7 +16,12 @@ import (
 //
 // Side-file layout: a one-page header holding the batch page count and
 // the page ids, followed by the page images.
+//
+// Stage and Clear serialize on an internal mutex: the sharded buffer
+// pool can evict from different shards concurrently, and two
+// interleaved stagings would corrupt the single side file.
 type DoubleWriter struct {
+	mu   sync.Mutex
 	f    *os.File
 	path string
 }
@@ -38,6 +44,8 @@ func (dw *DoubleWriter) Stage(pages []*Page) error {
 	if len(pages) == 0 {
 		return nil
 	}
+	dw.mu.Lock()
+	defer dw.mu.Unlock()
 	if len(pages) > dwMaxBatch {
 		return fmt.Errorf("storage: double-write batch of %d exceeds max %d", len(pages), dwMaxBatch)
 	}
@@ -59,6 +67,8 @@ func (dw *DoubleWriter) Stage(pages []*Page) error {
 // Clear marks the side file empty after the in-place writes have been
 // synced.
 func (dw *DoubleWriter) Clear() error {
+	dw.mu.Lock()
+	defer dw.mu.Unlock()
 	var hdr [8]byte
 	if _, err := dw.f.WriteAt(hdr[:], 0); err != nil {
 		return err

@@ -71,6 +71,11 @@ type Options struct {
 	// AsyncTriggers runs fired trigger actions on background goroutines
 	// instead of inline at commit. Use Triggers().Wait() to drain.
 	AsyncTriggers bool
+	// ObjectCacheSize bounds the decoded-object cache in objects: 0
+	// means the default (4096), negative disables the cache. The cache
+	// serves repeated Derefs of hot objects without re-reading and
+	// re-decoding their heap records.
+	ObjectCacheSize int
 	// DisableRecovery refuses to open an unclean database instead of
 	// rebuilding it (diagnostics).
 	DisableRecovery bool
@@ -83,6 +88,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.PoolPages <= 0 {
 		out.PoolPages = 1024
+	}
+	if out.ObjectCacheSize == 0 {
+		out.ObjectCacheSize = object.DefaultObjectCacheSize
 	}
 	return out
 }
@@ -185,6 +193,9 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 		dw.Close()
 		fs.Close()
 		return nil, err
+	}
+	if o.ObjectCacheSize != object.DefaultObjectCacheSize {
+		mgr.SetObjectCacheSize(o.ObjectCacheSize)
 	}
 	// Any crash from here on implies recovery at next open.
 	if err := mgr.MarkUnclean(); err != nil {
