@@ -595,6 +595,9 @@ func BenchmarkRecovery(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				// Inline RemoveAll below handles the happy path; the
+				// cleanup catches b.Fatal exits mid-iteration.
+				b.Cleanup(func() { os.RemoveAll(dir) })
 				path := filepath.Join(dir, "r.odb")
 				s, w := bench.Schema()
 				db, err := ode.Open(path, s, &ode.Options{NoSync: true})

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Coverage ratchet: fail when statement coverage drops below the
+# recorded baseline, totals and per package. The baseline is a floor,
+# not a target — when a PR raises coverage, tighten the floor by
+# regenerating the file:
+#
+#   go test -count=1 -coverprofile=/tmp/ode-cover.out ./... | ci/coverage.sh --record
+#
+# A small slack (COVERAGE_SLACK, default 0.5 points) absorbs run-to-run
+# jitter from randomized tests; a real regression overshoots it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+baseline=ci/coverage_baseline.txt
+slack=${COVERAGE_SLACK:-0.5}
+profile=${COVERAGE_PROFILE:-/tmp/ode-cover.out}
+pkgs=/tmp/ode-cover-pkgs.txt
+
+if [ "${1:-}" = "--record" ]; then
+    # stdin: the `go test -cover` output; rewrites the baseline.
+    grep -E '^ok .*coverage:' | awk '{gsub("%","",$5); print $2, $5}' > "$baseline"
+    go tool cover -func="$profile" | awk '/^total:/ {gsub("%",""); print "total", $NF}' >> "$baseline"
+    echo "recorded new baseline:"
+    cat "$baseline"
+    exit 0
+fi
+
+out=$(go test -count=1 -coverprofile="$profile" ./... 2>&1) || { echo "$out"; exit 1; }
+echo "$out" | grep -E '^ok .*coverage:' | awk '{gsub("%","",$5); print $2, $5}' > "$pkgs"
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub("%",""); print $NF}')
+
+fail=0
+while read -r pkg base; do
+    if [ "$pkg" = total ]; then
+        cur=$total
+    else
+        cur=$(awk -v p="$pkg" '$1==p {print $2}' "$pkgs")
+    fi
+    if [ -z "$cur" ]; then
+        echo "FAIL $pkg: no coverage reported (package removed? update $baseline)"
+        fail=1
+        continue
+    fi
+    if awk -v c="$cur" -v b="$base" -v s="$slack" 'BEGIN{exit !(c+s >= b)}'; then
+        printf 'ok   %-26s %6s%%  (floor %s%%)\n' "$pkg" "$cur" "$base"
+    else
+        echo "FAIL $pkg: coverage $cur% fell below baseline $base% (slack $slack)"
+        fail=1
+    fi
+done < "$baseline"
+if [ "$fail" != 0 ]; then
+    echo "coverage regression — add tests, or lower $baseline only with a reviewed justification"
+fi
+exit $fail

@@ -7,11 +7,18 @@
 // Usage:
 //
 //	ode-bench [-quick] [-run E3,E7] [-http :8080] [-workers N] [-json FILE]
+//	ode-bench -faults [-seed N] [-rounds N] [-ops N] [-dir DIR]
 //
 // With -http, the engine metrics of the world currently under
 // measurement are published as expvar at /debug/vars (key "ode",
 // canonical metric names as in docs/OBSERVABILITY.md). With -json,
 // every measured row is also written to FILE as a JSON array.
+//
+// With -faults, the experiments are skipped and the crash-recovery
+// torture suite (internal/torture, docs/TESTING.md) runs instead:
+// randomized traffic with deterministic fault injection, a crash and
+// recovery per round, and full invariant verification. The run is
+// reproducible from the printed seed.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -31,12 +39,19 @@ import (
 
 	"ode"
 	"ode/internal/bench"
+	"ode/internal/torture"
 )
 
 var (
 	quick   = flag.Bool("quick", false, "smaller workloads (CI-sized)")
 	workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 		"max worker count for the multi-core experiment (E13)")
+
+	faults      = flag.Bool("faults", false, "run the crash-recovery torture suite instead of the experiments")
+	faultSeed   = flag.Int64("seed", 0, "torture PRNG seed (0: derive from the clock and print it)")
+	faultRounds = flag.Int("rounds", 0, "torture crash/recover rounds (0: suite default)")
+	faultOps    = flag.Int("ops", 0, "torture operations per round (0: suite default)")
+	faultDir    = flag.String("dir", "", "torture store directory (default: a temp dir, removed on success)")
 )
 
 // benchResult is one measured row of the machine-readable output.
@@ -73,6 +88,9 @@ func main() {
 	httpAddr := flag.String("http", "", "serve expvar metrics (/debug/vars) on this address")
 	jsonPath := flag.String("json", "", "write measured rows to this file as JSON")
 	flag.Parse()
+	if *faults {
+		os.Exit(runFaults())
+	}
 	if *httpAddr != "" {
 		bench.OnOpen = func(db *ode.DB) { liveDB.Store(db) }
 		expvar.Publish("ode", expvar.Func(func() any {
@@ -138,6 +156,62 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d rows to %s\n", len(results), *jsonPath)
 	}
+}
+
+// runFaults is the -faults mode: one torture run, reproducible from
+// the printed seed. On failure the store directory is kept for
+// post-mortem inspection; on success a temp directory is removed.
+func runFaults() int {
+	seed := *faultSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	dir := *faultDir
+	keepDir := dir != ""
+	if !keepDir {
+		var err error
+		if dir, err = os.MkdirTemp("", "ode-faults-*"); err != nil {
+			fmt.Fprintln(os.Stderr, "ode-bench: ", err)
+			return 1
+		}
+	}
+	fmt.Printf("torture: seed=%d dir=%s\n", seed, dir)
+	fmt.Printf("reproduce: ode-bench -faults -seed %d", seed)
+	if *faultRounds != 0 {
+		fmt.Printf(" -rounds %d", *faultRounds)
+	}
+	if *faultOps != 0 {
+		fmt.Printf(" -ops %d", *faultOps)
+	}
+	fmt.Println()
+	res, err := torture.Run(torture.Config{
+		Seed:        seed,
+		Rounds:      *faultRounds,
+		OpsPerRound: *faultOps,
+		Dir:         dir,
+		Log:         os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ode-bench: torture failed (store kept at %s): %v\n", dir, err)
+		return 1
+	}
+	fmt.Printf("\ntorture passed: rounds=%d ops=%d commits=%d aborts=%d faults=%d recoveries=%d resurrected=%d\n",
+		res.Rounds, res.Ops, res.Commits, res.Aborts, res.Faults, res.Recoveries, res.Resurrected)
+	if len(res.SitesFired) > 0 {
+		sites := make([]string, 0, len(res.SitesFired))
+		for s := range res.SitesFired {
+			sites = append(sites, s)
+		}
+		sort.Strings(sites)
+		fmt.Println("faults injected by site:")
+		for _, s := range sites {
+			fmt.Printf("  %-24s %d\n", s, res.SitesFired[s])
+		}
+	}
+	if !keepDir {
+		os.RemoveAll(dir)
+	}
+	return 0
 }
 
 func scale(n int) int {

@@ -65,12 +65,7 @@ func TestCorruptionDetectedOnRecovery(t *testing.T) {
 // the WAL of a cleanly closed database is trimmed as a torn tail.
 func TestCleanDatabaseIgnoresStaleWALGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "g.odb")
-	schema, stock := inventorySchema()
-	db, err := Open(path, schema, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	db.CreateCluster(stock)
+	db, stock := openInventory(t, path)
 	addItem(t, db, stock, "x", 1, 1)
 	db.Close()
 
@@ -81,12 +76,7 @@ func TestCleanDatabaseIgnoresStaleWALGarbage(t *testing.T) {
 	f.Write([]byte("this is not a wal record, just garbage bytes"))
 	f.Close()
 
-	schema2, stock2 := inventorySchema()
-	db2, err := Open(path, schema2, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer db2.Close()
+	db2, stock2 := reopen(t, path)
 	db2.View(func(tx *Tx) error {
 		n, err := Forall(tx, stock2).Count()
 		if n != 1 {
@@ -100,23 +90,13 @@ func TestCleanDatabaseIgnoresStaleWALGarbage(t *testing.T) {
 // cleanly closed database must not prevent reopening (it is recreated).
 func TestMissingSideFilesTolerated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "s.odb")
-	schema, stock := inventorySchema()
-	db, err := Open(path, schema, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	db.CreateCluster(stock)
+	db, stock := openInventory(t, path)
 	oid := addItem(t, db, stock, "x", 7, 1)
 	db.Close()
 	os.Remove(path + ".dw")
 	os.Remove(path + ".wal")
 
-	schema2, _ := inventorySchema()
-	db2, err := Open(path, schema2, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer db2.Close()
+	db2, _ := reopen(t, path)
 	db2.View(func(tx *Tx) error {
 		o, err := tx.Deref(oid)
 		if err != nil {

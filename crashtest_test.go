@@ -1,0 +1,67 @@
+package ode
+
+import "testing"
+
+// Shared crash/reopen helpers for the recovery, corruption, and
+// consistency tests. Every helper registers a t.Cleanup so a t.Fatal
+// (or panic) inside the workload cannot leak open file handles into
+// later tests: CrashForTesting and Close are both idempotent, so the
+// deferred call is a no-op on the happy path where the test already
+// crashed or closed the handle itself.
+
+// openInventory opens (creating if missing) a database on the
+// inventory schema, ensures the stock cluster exists, and closes it
+// cleanly when the test ends unless the test crashed it first.
+func openInventory(t testing.TB, path string) (*DB, *Class) {
+	t.Helper()
+	schema, stock := inventorySchema()
+	db, err := Open(path, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if !db.HasCluster(stock) {
+		if err := db.CreateCluster(stock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, stock
+}
+
+// crashAfter opens a DB, runs work, and returns WITHOUT a clean close
+// (simulating a crash: the WAL survives, the clean flag is unset, page
+// state is whatever was evicted). The files stay on disk for reopening.
+func crashAfter(t testing.TB, path string, work func(db *DB, stock *Class)) {
+	t.Helper()
+	schema, stock := inventorySchema()
+	db, err := Open(path, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If work bails out with t.Fatal the handles must still be torn
+	// down — as a crash, not a clean close, so the on-disk state stays
+	// exactly what the failure left behind.
+	t.Cleanup(db.CrashForTesting)
+	if !db.HasCluster(stock) {
+		if err := db.CreateCluster(stock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	work(db, stock)
+	// Simulate the crash: close the file handles without checkpointing
+	// or truncating the WAL (the clean flag stays 0, set at open).
+	db.CrashForTesting()
+}
+
+// reopen opens the database at path after a crash, running recovery,
+// and closes it when the test ends.
+func reopen(t testing.TB, path string) (*DB, *Class) {
+	t.Helper()
+	schema, stock := inventorySchema()
+	db, err := Open(path, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, stock
+}

@@ -1,0 +1,362 @@
+// Package failpoint is a deterministic fault-injection registry for the
+// engine's I/O paths. A *site* is a named point in the code (for
+// example "storage.page_write") that consults the registry on every
+// traversal; a site is *armed* with a Spec that decides when the site
+// fires and what fault it injects (an error, a panic, or a partial
+// write that leaves a torn page or a torn log tail on disk).
+//
+// The package is built for two consumers:
+//
+//   - The crash-recovery torture harness (internal/torture), which arms
+//     sites from a seeded plan, treats every injected error as a
+//     process crash, reopens the store, and verifies invariants.
+//   - Focused unit tests that need one precise failure ("the third
+//     page write is torn") without sleeps or syscall interposition.
+//
+// Design constraints, in order:
+//
+//  1. Zero overhead when disabled. Check/CheckIO first load one global
+//     atomic counter of armed sites; when it is zero (production, and
+//     every test that does not inject faults) they return immediately
+//     without allocating. docs/TESTING.md and the package tests pin
+//     this with testing.AllocsPerRun.
+//  2. Deterministic. Firing depends only on the spec and the site's
+//     hit sequence; probabilistic specs draw from a PRNG seeded by
+//     Spec.Seed, never from global randomness.
+//  3. Stdlib only, importable by every engine layer (it sits next to
+//     internal/obs at the bottom of the import graph).
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ode/internal/obs"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error; callers
+// distinguish injected faults from real failures with errors.Is.
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// Action is the fault a firing site injects.
+type Action uint8
+
+const (
+	// ActError makes the site return an error wrapping ErrInjected.
+	ActError Action = iota
+	// ActPanic makes the site panic (torture for recover paths).
+	ActPanic
+	// ActShortWrite makes a CheckIO site write only a prefix of the
+	// buffer (cut at a seeded-random point) before returning the
+	// injected error: a crash in the middle of a sequential write.
+	ActShortWrite
+	// ActTornWrite makes a CheckIO site write only the first disk
+	// sector (512 bytes) of the buffer before returning the injected
+	// error: the classic torn page, where one sector of the new image
+	// lands over an otherwise old page.
+	ActTornWrite
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActError:
+		return "error"
+	case ActPanic:
+		return "panic"
+	case ActShortWrite:
+		return "short-write"
+	case ActTornWrite:
+		return "torn-write"
+	}
+	return fmt.Sprintf("action(%d)", a)
+}
+
+// sectorSize is the unit of the torn-write action.
+const sectorSize = 512
+
+// Spec configures an armed site. The trigger pipeline, applied to each
+// hit in order: skip the first AfterN hits; of the remaining hits take
+// every EveryN-th (0 and 1 mean every one); pass each survivor with
+// probability Prob (0 and anything >= 1 mean always); if OneShot, the
+// first hit that passes disarms the site as it fires.
+type Spec struct {
+	Action  Action
+	AfterN  uint64  // ignore the first N hits
+	EveryN  uint64  // then fire on every Nth eligible hit (0/1 = every)
+	Prob    float64 // firing probability per eligible hit (0 = always)
+	Seed    int64   // PRNG seed for Prob rolls and short-write cuts
+	OneShot bool    // disarm after the first firing
+}
+
+func (sp Spec) String() string {
+	s := sp.Action.String()
+	if sp.AfterN > 0 {
+		s += fmt.Sprintf(";after=%d", sp.AfterN)
+	}
+	if sp.EveryN > 1 {
+		s += fmt.Sprintf(";every=%d", sp.EveryN)
+	}
+	if sp.Prob > 0 && sp.Prob < 1 {
+		s += fmt.Sprintf(";prob=%g;seed=%d", sp.Prob, sp.Seed)
+	}
+	if sp.OneShot {
+		s += ";oneshot"
+	}
+	return s
+}
+
+// armed is the live state of one armed site. It is immutable except for
+// the counters; re-arming installs a fresh armed value.
+type armed struct {
+	spec Spec
+	hits atomic.Uint64
+	done atomic.Bool // one-shot already fired
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+}
+
+// Site is one named injection point. Declare sites as package-level
+// variables (New panics on duplicates) so Arm can find them by name.
+type Site struct {
+	name  string
+	armed atomic.Pointer[armed]
+
+	// Hits counts traversals of the site while armed; Fires counts
+	// injected faults. Both are exported into a DB's metric registry
+	// by RegisterMetrics as failpoint.<site>.hits / .fires.
+	Hits  obs.Counter
+	Fires obs.Counter
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// activeCount counts armed sites process-wide: the disabled fast path
+// of every Check is one load of this counter.
+var activeCount atomic.Int64
+
+// Active reports whether any site is armed.
+func Active() bool { return activeCount.Load() > 0 }
+
+// registry of all declared sites.
+var (
+	regMu sync.Mutex
+	sites = make(map[string]*Site)
+)
+
+// New declares a site. Call it from a package-level var initializer;
+// duplicate names panic.
+func New(name string) *Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := sites[name]; dup {
+		panic("failpoint: duplicate site " + name)
+	}
+	s := &Site{name: name}
+	sites[name] = s
+	return s
+}
+
+// Lookup returns the site named name, or nil.
+func Lookup(name string) *Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return sites[name]
+}
+
+// SiteNames returns every declared site name, sorted. This is the
+// catalog documented in docs/TESTING.md.
+func SiteNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(sites))
+	for name := range sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArmedNames returns the names of currently armed sites, sorted.
+func ArmedNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var out []string
+	for name, s := range sites {
+		if s.armed.Load() != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arm arms the named site; re-arming replaces the previous spec and
+// restarts the hit count.
+func Arm(name string, spec Spec) error {
+	s := Lookup(name)
+	if s == nil {
+		return fmt.Errorf("failpoint: unknown site %q", name)
+	}
+	s.Arm(spec)
+	return nil
+}
+
+// Disarm disarms the named site; it reports whether the site existed
+// and was armed.
+func Disarm(name string) bool {
+	s := Lookup(name)
+	return s != nil && s.Disarm()
+}
+
+// DisarmAll disarms every site (test teardown).
+func DisarmAll() {
+	regMu.Lock()
+	all := make([]*Site, 0, len(sites))
+	for _, s := range sites {
+		all = append(all, s)
+	}
+	regMu.Unlock()
+	for _, s := range all {
+		s.Disarm()
+	}
+}
+
+// Arm arms the site.
+func (s *Site) Arm(spec Spec) {
+	a := &armed{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+	if s.armed.Swap(a) == nil {
+		activeCount.Add(1)
+	}
+}
+
+// Disarm disarms the site; it reports whether it was armed.
+func (s *Site) Disarm() bool {
+	for {
+		a := s.armed.Load()
+		if a == nil {
+			return false
+		}
+		if s.armed.CompareAndSwap(a, nil) {
+			activeCount.Add(-1)
+			return true
+		}
+	}
+}
+
+// FireCounts snapshots the cumulative fire count of every site
+// (process-wide; diff two snapshots to scope a run).
+func FireCounts() map[string]uint64 {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make(map[string]uint64, len(sites))
+	for name, s := range sites {
+		out[name] = s.Fires.Load()
+	}
+	return out
+}
+
+// RegisterMetrics registers every site's hit and fire counters in reg
+// under failpoint.<site>.hits and failpoint.<site>.fires.
+func RegisterMetrics(reg *obs.Registry) {
+	for _, name := range SiteNames() {
+		s := Lookup(name)
+		reg.RegisterCounter("failpoint."+name+".hits", &s.Hits)
+		reg.RegisterCounter("failpoint."+name+".fires", &s.Fires)
+	}
+}
+
+// Check consults the site and returns the injected error if it fires
+// (or panics, for ActPanic). The write actions degrade to ActError at
+// non-I/O sites. When no site is armed anywhere this is one atomic
+// load and allocates nothing.
+func (s *Site) Check() error {
+	if activeCount.Load() == 0 {
+		return nil
+	}
+	_, err := s.eval(0)
+	return err
+}
+
+// CheckIO consults the site at a write of total bytes. It returns
+// (total, nil) when the site does not fire. When it fires with a
+// partial-write action it returns (k, err) with 0 <= k < total: the
+// caller must write only the first k bytes and then fail with err,
+// leaving a torn write on disk exactly as a crash mid-write would.
+// ActError returns (0, err): the write fails before any byte lands.
+func (s *Site) CheckIO(total int) (int, error) {
+	if activeCount.Load() == 0 {
+		return total, nil
+	}
+	return s.eval(total)
+}
+
+func (s *Site) eval(total int) (int, error) {
+	a := s.armed.Load()
+	if a == nil {
+		return total, nil
+	}
+	s.Hits.Inc()
+	hit := a.hits.Add(1)
+	if hit <= a.spec.AfterN {
+		return total, nil
+	}
+	if n := a.spec.EveryN; n > 1 && (hit-a.spec.AfterN-1)%n != 0 {
+		return total, nil
+	}
+	cut := -1
+	if p := a.spec.Prob; (p > 0 && p < 1) || a.spec.Action == ActShortWrite {
+		// One lock for both draws keeps the sequence deterministic
+		// under the single armed spec.
+		a.mu.Lock()
+		pass := true
+		if p > 0 && p < 1 {
+			pass = a.rng.Float64() < p
+		}
+		if pass && a.spec.Action == ActShortWrite && total > 1 {
+			cut = 1 + a.rng.Intn(total-1)
+		}
+		a.mu.Unlock()
+		if !pass {
+			return total, nil
+		}
+	}
+	if a.spec.OneShot {
+		if !a.done.CompareAndSwap(false, true) {
+			return total, nil
+		}
+		if s.armed.CompareAndSwap(a, nil) {
+			activeCount.Add(-1)
+		}
+	}
+	s.Fires.Inc()
+	switch a.spec.Action {
+	case ActPanic:
+		panic("failpoint: injected panic at " + s.name)
+	case ActShortWrite:
+		if total > 0 {
+			if cut < 0 || cut >= total {
+				cut = total / 2
+			}
+			return cut, s.injected()
+		}
+	case ActTornWrite:
+		if total > 0 {
+			k := sectorSize
+			if k >= total {
+				k = total / 2
+			}
+			return k, s.injected()
+		}
+	}
+	return 0, s.injected()
+}
+
+func (s *Site) injected() error {
+	return fmt.Errorf("%w at %s", ErrInjected, s.name)
+}

@@ -1,0 +1,369 @@
+package failpoint
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"ode/internal/obs"
+)
+
+// Test sites are declared once per process; individual tests re-arm
+// them and must disarm on exit.
+var (
+	tpSite    = New("test.policy")
+	tpIO      = New("test.io")
+	tpRace    = New("test.race")
+	tpAlloc   = New("test.alloc")
+	tpMetrics = New("test.metrics")
+)
+
+func disarmAll(t *testing.T) {
+	t.Helper()
+	t.Cleanup(DisarmAll)
+}
+
+// fires runs n Check hits against site armed with spec and returns the
+// 1-based hit indexes that fired.
+func fires(site *Site, spec Spec, n int) []int {
+	site.Arm(spec)
+	defer site.Disarm()
+	var out []int
+	for i := 1; i <= n; i++ {
+		if err := site.Check(); err != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestTriggerPolicies(t *testing.T) {
+	disarmAll(t)
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		n    int
+		want []int
+	}{
+		{"always", Spec{}, 4, []int{1, 2, 3, 4}},
+		{"after-n", Spec{AfterN: 3}, 6, []int{4, 5, 6}},
+		{"every-nth", Spec{EveryN: 3}, 9, []int{1, 4, 7}},
+		{"after-n-every-nth", Spec{AfterN: 2, EveryN: 2}, 8, []int{3, 5, 7}},
+		{"one-shot", Spec{OneShot: true}, 5, []int{1}},
+		{"one-shot-after-n", Spec{AfterN: 2, OneShot: true}, 6, []int{3}},
+		{"prob-zero-means-always", Spec{Prob: 0}, 3, []int{1, 2, 3}},
+		{"prob-one-means-always", Spec{Prob: 1}, 3, []int{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := fires(tpSite, tc.spec, tc.n)
+			if !eq(got, tc.want) {
+				t.Fatalf("spec %v fired at %v, want %v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	disarmAll(t)
+	spec := Spec{Prob: 0.3, Seed: 42}
+	a := fires(tpSite, spec, 200)
+	b := fires(tpSite, spec, 200)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 fired %d/200 times, want a strict subset", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at firing %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := fires(tpSite, Spec{Prob: 0.3, Seed: 43}, 200)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical firing sequence")
+	}
+}
+
+func TestErrInjectedWrapping(t *testing.T) {
+	disarmAll(t)
+	tpSite.Arm(Spec{OneShot: true})
+	err := tpSite.Check()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "test.policy") {
+		t.Fatalf("err %q does not name the site", err)
+	}
+}
+
+func TestOneShotDisarmsSite(t *testing.T) {
+	disarmAll(t)
+	tpSite.Arm(Spec{OneShot: true})
+	if err := tpSite.Check(); err == nil {
+		t.Fatal("one-shot did not fire")
+	}
+	if got := ArmedNames(); len(got) != 0 {
+		t.Fatalf("site still armed after one-shot: %v", got)
+	}
+	if Active() {
+		t.Fatal("activeCount not released by one-shot firing")
+	}
+}
+
+func TestCheckIOActions(t *testing.T) {
+	disarmAll(t)
+	const total = 4096
+
+	tpIO.Arm(Spec{Action: ActError, OneShot: true})
+	k, err := tpIO.CheckIO(total)
+	if err == nil || k != 0 {
+		t.Fatalf("ActError: got (%d, %v), want (0, injected)", k, err)
+	}
+
+	tpIO.Arm(Spec{Action: ActTornWrite, OneShot: true})
+	k, err = tpIO.CheckIO(total)
+	if err == nil || k != sectorSize {
+		t.Fatalf("ActTornWrite: got (%d, %v), want (%d, injected)", k, err, sectorSize)
+	}
+
+	// Torn write on a buffer smaller than a sector still cuts strictly
+	// short of the full write.
+	tpIO.Arm(Spec{Action: ActTornWrite, OneShot: true})
+	k, err = tpIO.CheckIO(100)
+	if err == nil || k <= 0 || k >= 100 {
+		t.Fatalf("ActTornWrite small: got (%d, %v), want 0 < k < 100 and injected", k, err)
+	}
+
+	for seed := int64(0); seed < 20; seed++ {
+		tpIO.Arm(Spec{Action: ActShortWrite, Seed: seed, OneShot: true})
+		k, err = tpIO.CheckIO(total)
+		if err == nil || k <= 0 || k >= total {
+			t.Fatalf("ActShortWrite seed %d: got (%d, %v), want 0 < k < total and injected", seed, k, err)
+		}
+	}
+
+	// Same seed, same cut.
+	tpIO.Arm(Spec{Action: ActShortWrite, Seed: 7, OneShot: true})
+	k1, _ := tpIO.CheckIO(total)
+	tpIO.Arm(Spec{Action: ActShortWrite, Seed: 7, OneShot: true})
+	k2, _ := tpIO.CheckIO(total)
+	if k1 != k2 {
+		t.Fatalf("short-write cut not deterministic: %d vs %d", k1, k2)
+	}
+
+	// Not firing passes the full length through.
+	tpIO.Arm(Spec{Action: ActError, AfterN: 100})
+	k, err = tpIO.CheckIO(total)
+	tpIO.Disarm()
+	if err != nil || k != total {
+		t.Fatalf("non-firing CheckIO: got (%d, %v), want (total, nil)", k, err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	disarmAll(t)
+	tpSite.Arm(Spec{Action: ActPanic, OneShot: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ActPanic did not panic")
+		}
+		if !strings.Contains(r.(string), "test.policy") {
+			t.Fatalf("panic %v does not name the site", r)
+		}
+	}()
+	tpSite.Check()
+}
+
+func TestArmByName(t *testing.T) {
+	disarmAll(t)
+	if err := Arm("no.such.site", Spec{}); err == nil {
+		t.Fatal("arming an unknown site succeeded")
+	}
+	if err := Arm("test.policy", Spec{AfterN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ArmedNames(); len(got) != 1 || got[0] != "test.policy" {
+		t.Fatalf("ArmedNames = %v", got)
+	}
+	if !Disarm("test.policy") {
+		t.Fatal("Disarm on armed site returned false")
+	}
+	if Disarm("test.policy") {
+		t.Fatal("Disarm on disarmed site returned true")
+	}
+}
+
+func TestRearmRestartsHitCount(t *testing.T) {
+	disarmAll(t)
+	tpSite.Arm(Spec{AfterN: 2})
+	tpSite.Check()
+	tpSite.Check()
+	tpSite.Arm(Spec{AfterN: 2}) // restart: the two hits above are gone
+	if err := tpSite.Check(); err != nil {
+		t.Fatal("hit count carried over a re-arm")
+	}
+}
+
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	disarmAll(t)
+	DisarmAll()
+	if Active() {
+		t.Skip("another test left a site armed")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := tpAlloc.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tpAlloc.CheckIO(4096); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("disabled Check/CheckIO allocate %v per run, want 0", n)
+	}
+}
+
+func TestConcurrentArmDisarm(t *testing.T) {
+	disarmAll(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tpRace.Arm(Spec{Action: ActError, EveryN: 2, Seed: seed})
+				tpRace.Disarm()
+			}
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				tpRace.Check()
+				tpRace.CheckIO(4096)
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		tpRace.Check()
+	}
+	close(stop)
+	wg.Wait()
+	tpRace.Disarm()
+	if Active() {
+		t.Fatal("activeCount leaked after concurrent arm/disarm")
+	}
+}
+
+func TestConcurrentOneShotFiresOnce(t *testing.T) {
+	disarmAll(t)
+	for round := 0; round < 50; round++ {
+		before := tpRace.Fires.Load()
+		tpRace.Arm(Spec{OneShot: true})
+		var wg sync.WaitGroup
+		var fired sync.Map
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if tpRace.Check() != nil {
+					fired.Store(w, true)
+				}
+			}(w)
+		}
+		wg.Wait()
+		n := 0
+		fired.Range(func(_, _ any) bool { n++; return true })
+		if n != 1 {
+			t.Fatalf("round %d: one-shot fired for %d goroutines", round, n)
+		}
+		if got := tpRace.Fires.Load() - before; got != 1 {
+			t.Fatalf("round %d: fire counter advanced by %d", round, got)
+		}
+	}
+}
+
+func TestCountersAndMetrics(t *testing.T) {
+	disarmAll(t)
+	hits, fire := tpMetrics.Hits.Load(), tpMetrics.Fires.Load()
+	tpMetrics.Arm(Spec{AfterN: 2})
+	for i := 0; i < 5; i++ {
+		tpMetrics.Check()
+	}
+	tpMetrics.Disarm()
+	if got := tpMetrics.Hits.Load() - hits; got != 5 {
+		t.Fatalf("hits advanced by %d, want 5", got)
+	}
+	if got := tpMetrics.Fires.Load() - fire; got != 3 {
+		t.Fatalf("fires advanced by %d, want 3", got)
+	}
+
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	names := reg.Names()
+	want := []string{"failpoint.test.metrics.hits", "failpoint.test.metrics.fires"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("metric %q not registered; have %v", w, names)
+		}
+	}
+
+	fc := FireCounts()
+	if fc["test.metrics"] != tpMetrics.Fires.Load() {
+		t.Fatalf("FireCounts[test.metrics] = %d, want %d", fc["test.metrics"], tpMetrics.Fires.Load())
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Action: ActTornWrite, AfterN: 3, EveryN: 2, OneShot: true}.String()
+	for _, want := range []string{"torn-write", "after=3", "every=2", "oneshot"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Spec.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func BenchmarkDisabledCheck(b *testing.B) {
+	DisarmAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tpAlloc.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -172,6 +172,12 @@ func (r *Registry) register(name string, m metric) {
 	r.names = append(r.names, name)
 }
 
+// RegisterCounter registers an externally owned counter under name.
+// It exists for metric sources that outlive any single DB — e.g. the
+// process-global failpoint sites — whose counters cannot live inside
+// the per-DB Metrics set. Duplicate names panic, as with register.
+func (r *Registry) RegisterCounter(name string, c *Counter) { r.register(name, c) }
+
 // Names returns every registered metric name, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()

@@ -1,0 +1,59 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary source text at the O++ parser. The parser
+// fronts ode-sh (interactive input) and script files, so whatever the
+// bytes, it must return a program or an error — never panic, never
+// hang. Accepted programs must survive a reparse of themselves (the
+// grammar has no parse-order ambiguity that changes acceptance).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`print 1 + 2 * 3;`,
+		`class stockitem { public: string name; int qty; };`,
+		`class student : person { public: string school; };`,
+		`x := pnew item{name: "bolt", qty: 10};`,
+		`forall i in item suchthat (i.qty >= 10) by (i.qty) desc { print i.name; }`,
+		`forall p in person* { print p.name; }`,
+		`forall p in (needed) { visit subpart(p); }`,
+		`begin; update x { qty: 11 }; commit;`,
+		`pdelete x; abort;`,
+		`create index item on qty; explain forall i in item suchthat (i.qty > 3);`,
+		`trigger t on item if (i.qty < 0) do { print "neg"; } perpetual;`,
+		``,
+		`;;;`,
+		`print "unterminated`,
+		`class { } forall`,
+		`((((((((((`,
+		`print 99999999999999999999999999999;`,
+		"print \"\x00\xff\";",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// Pathological nesting is legitimate parser input but makes the
+		// fuzzer chase stack depth instead of grammar coverage.
+		if len(src) > 1<<16 {
+			return
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "oql") && err.Error() == "" {
+				t.Fatalf("empty error message for %q", src)
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatalf("Parse(%q) returned nil program and nil error", src)
+		}
+		// Accepted input must still be accepted on a second parse.
+		if _, err := Parse(src); err != nil {
+			t.Fatalf("reparse of accepted input failed: %v", err)
+		}
+	})
+}

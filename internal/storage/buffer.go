@@ -232,6 +232,9 @@ func (bp *Pool) Unpin(id PageID, dirty bool) {
 // holds the owning shard's mutex; evictions in other shards may write
 // back concurrently, which the double writer serializes internally.
 func (bp *Pool) writeBack(fr *frame) error {
+	if err := fpPoolEvict.Check(); err != nil {
+		return err
+	}
 	if bp.flushLSN != nil {
 		if err := bp.flushLSN(fr.page.LSN()); err != nil {
 			return err

@@ -53,6 +53,17 @@ func (dw *DoubleWriter) Stage(pages []*Page) error {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(pages)))
 	for i, p := range pages {
 		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(p.ID()))
+	}
+	if k, ferr := fpDWStage.CheckIO(PageSize); ferr != nil {
+		// Simulated crash during staging: at most a torn header lands
+		// in the side file; no home page has been touched yet, so
+		// recovery must be able to ignore the partial batch.
+		if k > 0 {
+			dw.f.WriteAt(hdr[:k], 0)
+		}
+		return fmt.Errorf("storage: stage batch: %w", ferr)
+	}
+	for i, p := range pages {
 		p.seal()
 		if _, err := dw.f.WriteAt(p.data[:], int64(i+1)*PageSize); err != nil {
 			return fmt.Errorf("storage: stage page %d: %w", p.ID(), err)
@@ -69,6 +80,9 @@ func (dw *DoubleWriter) Stage(pages []*Page) error {
 func (dw *DoubleWriter) Clear() error {
 	dw.mu.Lock()
 	defer dw.mu.Unlock()
+	if err := fpDWClear.Check(); err != nil {
+		return err
+	}
 	var hdr [8]byte
 	if _, err := dw.f.WriteAt(hdr[:], 0); err != nil {
 		return err

@@ -1,0 +1,26 @@
+package storage
+
+import "ode/internal/failpoint"
+
+// Failpoint sites on the storage I/O paths. Each is a no-op (one atomic
+// load) unless armed by a test or the torture harness; see
+// docs/TESTING.md for the site catalog.
+var (
+	// fpPageRead fires in ReadPage after the range check, before the
+	// disk read.
+	fpPageRead = failpoint.New("storage.page_read")
+	// fpPageWrite fires in WritePage after sealing. Partial-write
+	// actions leave a torn page image at the page's home position —
+	// exactly what the double-write buffer exists to fence.
+	fpPageWrite = failpoint.New("storage.page_write")
+	// fpSync fires in Sync between the meta-page write and the fsync.
+	fpSync = failpoint.New("storage.sync")
+	// fpDWStage fires at the top of DoubleWriter.Stage. Partial-write
+	// actions tear the side file itself, which recovery must tolerate.
+	fpDWStage = failpoint.New("storage.dw_stage")
+	// fpDWClear fires at the top of DoubleWriter.Clear.
+	fpDWClear = failpoint.New("storage.dw_clear")
+	// fpPoolEvict fires in the buffer pool's writeBack, the eviction
+	// path that pushes a dirty victim frame to disk mid-transaction.
+	fpPoolEvict = failpoint.New("storage.pool_evict")
+)

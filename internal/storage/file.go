@@ -196,6 +196,9 @@ func (fs *FileStore) ReadPage(id PageID, p *Page) error {
 	if !inRange {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
+	if err := fpPageRead.Check(); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
 	p.id = id
 	n, err := fs.f.ReadAt(p.data[:], int64(id)*PageSize)
 	if err == io.EOF && n == 0 {
@@ -213,6 +216,14 @@ func (fs *FileStore) ReadPage(id PageID, p *Page) error {
 // WritePage seals p (id + checksum) and writes it at its position.
 func (fs *FileStore) WritePage(p *Page) error {
 	p.seal()
+	if k, ferr := fpPageWrite.CheckIO(PageSize); ferr != nil {
+		// Simulated crash mid-write: persist only the first k bytes,
+		// leaving a torn page at the home position.
+		if k > 0 {
+			fs.f.WriteAt(p.data[:k], int64(p.id)*PageSize)
+		}
+		return fmt.Errorf("storage: write page %d: %w", p.id, ferr)
+	}
 	if _, err := fs.f.WriteAt(p.data[:], int64(p.id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", p.id, err)
 	}
@@ -225,6 +236,9 @@ func (fs *FileStore) Sync() error {
 	defer fs.mu.Unlock()
 	if err := fs.writeMeta(); err != nil {
 		return err
+	}
+	if err := fpSync.Check(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
 	}
 	if err := fs.f.Sync(); err != nil {
 		return fmt.Errorf("storage: sync: %w", err)

@@ -1,0 +1,757 @@
+// Package torture is the crash-recovery torture harness: it drives
+// randomized object traffic (pnew, update, pdelete, versions, trigger
+// activations, checkpoints) against a real database, injects faults at
+// the I/O failpoints of storage/WAL/txn (internal/failpoint), simulates
+// a process crash at the injected failure, reopens the store from disk,
+// and verifies that recovery preserved every invariant the engine
+// promises:
+//
+//   - committed transactions are durable, aborted ones invisible;
+//   - a transaction whose commit *errored* resolved atomically — the
+//     database holds either its complete before-state or its complete
+//     after-state, never a mix (a commit record may be durable even
+//     though Commit returned an error, e.g. a failed fsync after the
+//     batch landed);
+//   - no torn page escapes the double-write buffer;
+//   - WAL replay is idempotent (a second crash immediately after
+//     recovery recovers to the same state);
+//   - cluster extents, secondary indexes, version sets, trigger
+//     activations, and the decoded-object cache agree with an
+//     independently tracked model after every recovery.
+//
+// Everything is driven by one seeded PRNG, so a failing run is
+// reproducible from its seed (see docs/TESTING.md). The *fault
+// schedule* (which site is armed, with what trigger, in which round)
+// is fully determined by the seed; which page or transaction happens
+// to hit an armed site at its Nth traversal can vary run to run with
+// Go's map iteration order, so invariants are checked outcome-blind:
+// every possible resolution of a round must verify.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"sort"
+
+	"ode"
+	"ode/internal/failpoint"
+)
+
+// Config parameterizes a torture run.
+type Config struct {
+	// Seed drives every random decision of the run.
+	Seed int64
+	// Rounds is the number of crash/recover/verify cycles.
+	Rounds int
+	// OpsPerRound bounds the transactions attempted before a round
+	// crashes even if its armed fault never fired.
+	OpsPerRound int
+	// Dir is the directory holding the store's files. It must exist;
+	// the harness never deletes it (CI uploads it as an artifact on
+	// failure).
+	Dir string
+	// Log, if non-nil, receives one progress line per round.
+	Log io.Writer
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Rounds      int
+	Ops         int
+	Commits     int
+	Aborts      int
+	Faults      uint64 // injected faults that actually fired
+	Recoveries  int    // recovery opens (incl. idempotence re-crashes)
+	Resurrected int    // errored commits that recovery resolved as committed
+	SitesFired  map[string]uint64
+}
+
+// snap is the model's view of one object.
+type snap struct {
+	live   bool
+	name   string
+	qty    int64
+	cur    uint32
+	frozen map[uint32]int64 // frozen version -> qty at freeze
+	acts   int              // armed trigger activations
+}
+
+func (s *snap) clone() *snap {
+	c := *s
+	c.frozen = make(map[uint32]int64, len(s.frozen))
+	for v, q := range s.frozen {
+		c.frozen[v] = q
+	}
+	return &c
+}
+
+func (s *snap) equal(o *snap) bool {
+	if s.live != o.live {
+		return false
+	}
+	if !s.live {
+		return true
+	}
+	if s.name != o.name || s.qty != o.qty || s.cur != o.cur || s.acts != o.acts {
+		return false
+	}
+	if len(s.frozen) != len(o.frozen) {
+		return false
+	}
+	for v, q := range s.frozen {
+		if oq, ok := o.frozen[v]; !ok || oq != q {
+			return false
+		}
+	}
+	return true
+}
+
+// pending records one transaction's planned effect, kept until the
+// commit outcome is known so an errored commit can be resolved against
+// the database after recovery.
+type pending struct {
+	before map[ode.OID]*snap
+	after  map[ode.OID]*snap
+}
+
+// run carries the state of one torture run.
+type run struct {
+	cfg   Config
+	rng   *rand.Rand
+	log   io.Writer
+	path  string
+	db    *ode.DB
+	stock *ode.Class
+	model map[ode.OID]*snap
+	dead  []ode.OID // recently deleted oids (ErrNoObject checks)
+	res   Result
+}
+
+// workloadFaults are the sites armed during traffic rounds, with the
+// actions that make sense at each.
+var workloadFaults = []struct {
+	site    string
+	actions []failpoint.Action
+}{
+	{"storage.page_read", []failpoint.Action{failpoint.ActError}},
+	{"storage.page_write", []failpoint.Action{failpoint.ActTornWrite, failpoint.ActShortWrite, failpoint.ActError}},
+	{"storage.sync", []failpoint.Action{failpoint.ActError}},
+	{"storage.dw_stage", []failpoint.Action{failpoint.ActShortWrite, failpoint.ActError}},
+	{"storage.dw_clear", []failpoint.Action{failpoint.ActError}},
+	{"storage.pool_evict", []failpoint.Action{failpoint.ActError}},
+	{"wal.append", []failpoint.Action{failpoint.ActShortWrite, failpoint.ActTornWrite, failpoint.ActError}},
+	{"wal.fsync", []failpoint.Action{failpoint.ActError}},
+	{"wal.truncate", []failpoint.Action{failpoint.ActError}},
+	{"txn.commit_wal", []failpoint.Action{failpoint.ActError}},
+	{"txn.commit_apply", []failpoint.Action{failpoint.ActError}},
+}
+
+// recoveryFaults are the sites armed while reopening after a crash.
+var recoveryFaults = []string{"wal.replay", "storage.page_read"}
+
+// Schema builds the torture schema: a stock item with a non-negativity
+// constraint and a quiescent "sentinel" trigger (its condition can
+// never hold while the constraint is enforced, so activations are pure
+// durable state).
+func Schema() (*ode.Schema, *ode.Class) {
+	schema := ode.NewSchema()
+	stock := ode.NewClass("stockitem").
+		Field("name", ode.TString).
+		Field("qty", ode.TInt).
+		Constraint("nonneg-qty", "qty >= 0", func(_ ode.Store, o *ode.Object) (bool, error) {
+			return o.MustGet("qty").Int() >= 0, nil
+		}).
+		Trigger(&ode.TriggerDef{
+			Name:      "sentinel",
+			Perpetual: true,
+			Src:       "qty < 0 ==> unreachable",
+			Cond: func(_ ode.Store, self *ode.Object, _ []ode.Value) (bool, error) {
+				return self.MustGet("qty").Int() < 0, nil
+			},
+			Action: func(_ ode.Store, _ *ode.Object, _ ode.OID, _ []ode.Value) error {
+				return fmt.Errorf("torture: sentinel trigger fired (constraint breached)")
+			},
+		}).
+		Register(schema)
+	return schema, stock
+}
+
+// Run executes one torture run and returns its summary; any invariant
+// violation (or unexpected engine error) is returned as an error that
+// names the seed and round for reproduction.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("torture: Config.Dir is required")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 8
+	}
+	if cfg.OpsPerRound <= 0 {
+		cfg.OpsPerRound = 25
+	}
+	logW := cfg.Log
+	if logW == nil {
+		logW = io.Discard
+	}
+	r := &run{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		log:   logW,
+		path:  filepath.Join(cfg.Dir, "torture.odb"),
+		model: make(map[ode.OID]*snap),
+	}
+	firesBefore := failpoint.FireCounts()
+	defer failpoint.DisarmAll()
+
+	err := r.runAll()
+	fires := failpoint.FireCounts()
+	r.res.SitesFired = make(map[string]uint64)
+	for site, n := range fires {
+		if d := n - firesBefore[site]; d > 0 {
+			r.res.SitesFired[site] = d
+			r.res.Faults += d
+		}
+	}
+	if err != nil {
+		return &r.res, fmt.Errorf("torture: seed %d: %w (store kept at %s)", cfg.Seed, err, cfg.Dir)
+	}
+	return &r.res, nil
+}
+
+func (r *run) runAll() error {
+	if err := r.setup(); err != nil {
+		return err
+	}
+	for round := 1; round <= r.cfg.Rounds; round++ {
+		if err := r.round(round); err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		r.res.Rounds++
+	}
+	// Clean shutdown, clean reopen, final verify.
+	failpoint.DisarmAll()
+	if err := r.db.Close(); err != nil {
+		return fmt.Errorf("final close: %w", err)
+	}
+	if err := r.open(); err != nil {
+		return fmt.Errorf("final reopen: %w", err)
+	}
+	if err := r.verify(); err != nil {
+		return fmt.Errorf("final verify: %w", err)
+	}
+	return r.db.Close()
+}
+
+func (r *run) open() error {
+	schema, stock := Schema()
+	db, err := ode.Open(r.path, schema, &ode.Options{PoolPages: 48})
+	if err != nil {
+		return err
+	}
+	r.db, r.stock = db, stock
+	return nil
+}
+
+// setup creates the store, its DDL, and a seed population, then
+// checkpoints so every round starts from a durable base.
+func (r *run) setup() error {
+	if err := r.open(); err != nil {
+		return fmt.Errorf("setup open: %w", err)
+	}
+	if err := r.db.CreateCluster(r.stock); err != nil {
+		return fmt.Errorf("setup cluster: %w", err)
+	}
+	if err := r.db.CreateIndex(r.stock, "qty"); err != nil {
+		return fmt.Errorf("setup index: %w", err)
+	}
+	for i := 0; i < 40; i++ {
+		p := r.plan(1)
+		r.planNew(p)
+		if err := r.execute(p); err != nil {
+			return fmt.Errorf("setup seed object: %w", err)
+		}
+		r.commitModel(p)
+	}
+	if err := r.db.Checkpoint(); err != nil {
+		return fmt.Errorf("setup checkpoint: %w", err)
+	}
+	return nil
+}
+
+// round runs one arm/traffic/crash/recover/verify cycle.
+func (r *run) round(round int) error {
+	// Arm one workload fault. The one-shot spec disarms the site as it
+	// fires; AfterN may exceed the traffic so some rounds crash with no
+	// fault at all (a plain kill).
+	wf := workloadFaults[r.rng.Intn(len(workloadFaults))]
+	spec := failpoint.Spec{
+		Action:  wf.actions[r.rng.Intn(len(wf.actions))],
+		AfterN:  uint64(r.rng.Intn(30)),
+		Seed:    r.rng.Int63(),
+		OneShot: true,
+	}
+	if err := failpoint.Arm(wf.site, spec); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.log, "round %d: arm %s %v\n", round, wf.site, spec)
+
+	var uncertain []*pending
+	injected := false
+	for op := 0; op < r.cfg.OpsPerRound && !injected; op++ {
+		r.res.Ops++
+		var err error
+		var p *pending
+		switch {
+		case r.rng.Intn(15) == 0:
+			err = r.db.Checkpoint()
+		case r.rng.Intn(10) == 0:
+			err = r.deliberateAbort()
+		default:
+			p, err = r.transaction()
+		}
+		switch {
+		case err == nil:
+			// committed (or completed); model already advanced.
+		case errors.Is(err, failpoint.ErrInjected):
+			injected = true
+			if p != nil {
+				// The commit errored but its record may be durable;
+				// resolve against the database after recovery.
+				uncertain = append(uncertain, p)
+			}
+		default:
+			return fmt.Errorf("unexpected engine error: %w", err)
+		}
+	}
+	failpoint.DisarmAll()
+
+	// Crash: drop all dirty in-memory state, keep only what disk holds.
+	r.db.CrashForTesting()
+
+	// Sometimes fail the recovery itself partway, then recover for real.
+	if r.rng.Intn(4) == 0 {
+		site := recoveryFaults[r.rng.Intn(len(recoveryFaults))]
+		failpoint.Arm(site, failpoint.Spec{
+			Action:  failpoint.ActError,
+			AfterN:  uint64(r.rng.Intn(8)),
+			OneShot: true,
+		})
+		err := r.open()
+		failpoint.DisarmAll()
+		if err == nil {
+			r.res.Recoveries++
+			// Open survived (the one-shot may not have fired, or fired
+			// on a tolerated path); crash again so the real recovery
+			// below starts from disk.
+			r.db.CrashForTesting()
+		} else if !errors.Is(err, failpoint.ErrInjected) {
+			return fmt.Errorf("recovery-phase fault: unexpected error: %w", err)
+		}
+		fmt.Fprintf(r.log, "round %d: recovery fault at %s (open err: %v)\n", round, site, err)
+	}
+
+	if err := r.open(); err != nil {
+		return fmt.Errorf("recovery open: %w", err)
+	}
+	r.res.Recoveries++
+
+	if err := r.resolve(uncertain); err != nil {
+		return err
+	}
+	if err := r.verify(); err != nil {
+		return fmt.Errorf("verify after recovery: %w", err)
+	}
+
+	// Idempotence: sometimes crash again immediately (recovery wrote
+	// nothing the engine cannot re-derive) and verify the reopen too.
+	if r.rng.Intn(4) == 0 {
+		r.db.CrashForTesting()
+		if err := r.open(); err != nil {
+			return fmt.Errorf("idempotence reopen: %w", err)
+		}
+		r.res.Recoveries++
+		if err := r.verify(); err != nil {
+			return fmt.Errorf("verify after idempotent re-recovery: %w", err)
+		}
+	}
+	return nil
+}
+
+// plan starts a pending transaction plan over n distinct target oids
+// (targets are chosen by the individual plan* ops).
+func (r *run) plan(n int) *pending {
+	return &pending{
+		before: make(map[ode.OID]*snap, n),
+		after:  make(map[ode.OID]*snap, n),
+	}
+}
+
+// pickLive returns a random live oid not already in p, or NilOID.
+func (r *run) pickLive(p *pending) ode.OID {
+	oids := make([]ode.OID, 0, len(r.model))
+	for oid := range r.model {
+		if _, taken := p.after[oid]; !taken {
+			oids = append(oids, oid)
+		}
+	}
+	if len(oids) == 0 {
+		return ode.NilOID
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids[r.rng.Intn(len(oids))]
+}
+
+// The plan* helpers decide an operation's effect in model terms; the
+// oid for planNew is not known until execution, so its snap is keyed
+// by NilOID and rewritten in execute.
+
+func (r *run) planNew(p *pending) {
+	s := &snap{
+		live:   true,
+		name:   fmt.Sprintf("item-%d", r.rng.Intn(1_000_000)),
+		qty:    int64(r.rng.Intn(1000)),
+		frozen: map[uint32]int64{},
+	}
+	p.before[ode.NilOID] = &snap{live: false}
+	p.after[ode.NilOID] = s
+}
+
+func (r *run) planUpdate(p *pending, oid ode.OID) {
+	p.before[oid] = r.model[oid].clone()
+	a := r.model[oid].clone()
+	a.qty = int64(r.rng.Intn(1000))
+	p.after[oid] = a
+}
+
+func (r *run) planDelete(p *pending, oid ode.OID) {
+	p.before[oid] = r.model[oid].clone()
+	p.after[oid] = &snap{live: false}
+}
+
+func (r *run) planNewVersion(p *pending, oid ode.OID) {
+	p.before[oid] = r.model[oid].clone()
+	a := r.model[oid].clone()
+	a.frozen[a.cur] = a.qty
+	a.cur++
+	p.after[oid] = a
+}
+
+func (r *run) planDeleteVersion(p *pending, oid ode.OID, ver uint32) {
+	p.before[oid] = r.model[oid].clone()
+	a := r.model[oid].clone()
+	delete(a.frozen, ver)
+	p.after[oid] = a
+}
+
+func (r *run) planActivate(p *pending, oid ode.OID) {
+	p.before[oid] = r.model[oid].clone()
+	a := r.model[oid].clone()
+	a.acts++
+	p.after[oid] = a
+}
+
+// transaction plans and executes one randomized transaction of 1–3
+// operations on distinct objects. On success the model is advanced; on
+// error the returned pending lets the caller resolve the outcome.
+func (r *run) transaction() (*pending, error) {
+	nops := 1 + r.rng.Intn(3)
+	p := r.plan(nops)
+	for i := 0; i < nops; i++ {
+		switch r.rng.Intn(10) {
+		case 0, 1, 2:
+			if _, dup := p.after[ode.NilOID]; dup {
+				continue // one pnew per transaction (NilOID-keyed plan)
+			}
+			r.planNew(p)
+		case 3:
+			if oid := r.pickLive(p); oid != ode.NilOID && len(r.model) > 10 {
+				r.planDelete(p, oid)
+			}
+		case 4, 5:
+			if oid := r.pickLive(p); oid != ode.NilOID {
+				r.planNewVersion(p, oid)
+			}
+		case 6:
+			if oid := r.pickLive(p); oid != ode.NilOID {
+				if vs := r.model[oid].frozen; len(vs) > 0 {
+					vers := make([]uint32, 0, len(vs))
+					for v := range vs {
+						vers = append(vers, v)
+					}
+					sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+					r.planDeleteVersion(p, oid, vers[r.rng.Intn(len(vers))])
+				}
+			}
+		case 7:
+			if oid := r.pickLive(p); oid != ode.NilOID {
+				r.planActivate(p, oid)
+			}
+		default:
+			if oid := r.pickLive(p); oid != ode.NilOID {
+				r.planUpdate(p, oid)
+			}
+		}
+	}
+	if len(p.after) == 0 {
+		return nil, nil // degenerate plan; skip
+	}
+	if err := r.execute(p); err != nil {
+		return p, err
+	}
+	r.commitModel(p)
+	return nil, nil
+}
+
+// execute applies the plan through one database transaction.
+func (r *run) execute(p *pending) error {
+	targets := keys(p.after) // stable copy: the pnew case re-keys the maps
+	tx := r.db.Begin()
+	defer tx.Abort() // no-op after commit
+	for _, oid := range targets {
+		a, b := p.after[oid], p.before[oid]
+		switch {
+		case oid == ode.NilOID: // pnew
+			o := ode.NewObject(r.stock)
+			o.MustSet("name", ode.Str(a.name))
+			o.MustSet("qty", ode.Int(a.qty))
+			newOID, err := tx.PNew(r.stock, o)
+			if err != nil {
+				return err
+			}
+			// Re-key the plan under the real oid.
+			delete(p.after, ode.NilOID)
+			delete(p.before, ode.NilOID)
+			p.after[newOID] = a
+			p.before[newOID] = b
+		case !a.live: // pdelete
+			if err := tx.PDelete(oid); err != nil {
+				return err
+			}
+		case a.acts != b.acts: // activate
+			if _, err := r.db.Triggers().Activate(tx, oid, "sentinel"); err != nil {
+				return err
+			}
+		case a.cur != b.cur: // newversion
+			if _, err := tx.NewVersion(oid); err != nil {
+				return err
+			}
+		case len(a.frozen) != len(b.frozen): // deleteversion
+			for v := range b.frozen {
+				if _, kept := a.frozen[v]; !kept {
+					if err := tx.DeleteVersion(ode.VRef{OID: oid, Version: v}); err != nil {
+						return err
+					}
+				}
+			}
+		default: // update
+			o, err := tx.Deref(oid)
+			if err != nil {
+				return err
+			}
+			o.MustSet("qty", ode.Int(a.qty))
+			if err := tx.Update(oid, o); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		r.res.Aborts++
+		return err
+	}
+	r.res.Commits++
+	return nil
+}
+
+// commitModel folds a successfully committed plan into the model.
+func (r *run) commitModel(p *pending) {
+	for oid, a := range p.after {
+		if a.live {
+			r.model[oid] = a
+		} else {
+			delete(r.model, oid)
+			r.dead = append(r.dead, oid)
+			if len(r.dead) > 50 {
+				r.dead = r.dead[len(r.dead)-50:]
+			}
+		}
+	}
+}
+
+// deliberateAbort runs a transaction that must fail the nonneg-qty
+// constraint, exercising abort invisibility.
+func (r *run) deliberateAbort() error {
+	p := r.plan(1)
+	oid := r.pickLive(p)
+	if oid == ode.NilOID {
+		return nil
+	}
+	tx := r.db.Begin()
+	defer tx.Abort()
+	o, err := tx.Deref(oid)
+	if err != nil {
+		return err
+	}
+	o.MustSet("qty", ode.Int(-1))
+	if err := tx.Update(oid, o); err != nil {
+		return err
+	}
+	err = tx.Commit()
+	if errors.Is(err, ode.ErrConstraintViolation) {
+		r.res.Aborts++
+		return nil // the expected outcome; model untouched
+	}
+	if err == nil {
+		return fmt.Errorf("constraint-violating commit succeeded on @%d", oid)
+	}
+	return err
+}
+
+// readState reads one object's full durable state from the database.
+func (r *run) readState(oid ode.OID) (*snap, error) {
+	s := &snap{frozen: map[uint32]int64{}}
+	err := r.db.View(func(tx *ode.Tx) error {
+		o, err := tx.Deref(oid)
+		if errors.Is(err, ode.ErrNoObject) {
+			return nil // s.live stays false
+		}
+		if err != nil {
+			return err
+		}
+		s.live = true
+		s.name = o.MustGet("name").Str()
+		s.qty = o.MustGet("qty").Int()
+		if s.cur, err = tx.CurrentVersion(oid); err != nil {
+			return err
+		}
+		vs, err := tx.Versions(oid)
+		if err != nil {
+			return err
+		}
+		for _, v := range vs {
+			ov, err := tx.DerefVersion(ode.VRef{OID: oid, Version: v})
+			if err != nil {
+				return err
+			}
+			s.frozen[v] = ov.MustGet("qty").Int()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.live {
+		s.acts = len(r.db.Triggers().ActiveOn(oid))
+	}
+	return s, nil
+}
+
+// resolve decides the outcome of transactions whose Commit errored
+// around the crash: after recovery the database must hold either the
+// complete before-state or the complete after-state of each.
+func (r *run) resolve(uncertain []*pending) error {
+	for _, p := range uncertain {
+		okAfter, okBefore := true, true
+		for oid := range p.after {
+			if oid == ode.NilOID {
+				continue // pnew that never allocated: nothing durable
+			}
+			got, err := r.readState(oid)
+			if err != nil {
+				return fmt.Errorf("resolve @%d: %w", oid, err)
+			}
+			if !got.equal(p.after[oid]) {
+				okAfter = false
+			}
+			if !got.equal(p.before[oid]) {
+				okBefore = false
+			}
+		}
+		switch {
+		case okBefore:
+			// Fully rolled back (or the plan was state-neutral).
+		case okAfter:
+			// The commit record made it to disk before the crash:
+			// recovery resurrected the transaction. Fold it in.
+			r.commitModel(p)
+			r.res.Resurrected++
+		default:
+			return fmt.Errorf("atomicity violation: errored commit is partially applied (touched %v)", keys(p.after))
+		}
+	}
+	return nil
+}
+
+func keys(m map[ode.OID]*snap) []ode.OID {
+	out := make([]ode.OID, 0, len(m))
+	for oid := range m {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// verify checks every engine invariant against the model.
+func (r *run) verify() error {
+	// Cluster extent == model's live set.
+	extent, err := r.db.Manager().ClusterOIDs(r.stock)
+	if err != nil {
+		return fmt.Errorf("extent scan: %w", err)
+	}
+	if err := sameOIDSet(extent, r.model, "extent"); err != nil {
+		return err
+	}
+	// Secondary index agrees with the extent.
+	indexed, err := r.db.Manager().IndexOIDs(r.stock, "qty", ode.Null, ode.Null)
+	if err != nil {
+		return fmt.Errorf("index scan: %w", err)
+	}
+	if err := sameOIDSet(indexed, r.model, "index(qty)"); err != nil {
+		return err
+	}
+	// Per-object state, twice: the second read exercises the decoded-
+	// object cache, which must agree with the first (coherence after
+	// recovery).
+	for oid, want := range r.model {
+		for pass := 0; pass < 2; pass++ {
+			got, err := r.readState(oid)
+			if err != nil {
+				return fmt.Errorf("read @%d (pass %d): %w", oid, pass, err)
+			}
+			if !got.equal(want) {
+				return fmt.Errorf("object @%d (pass %d) diverged: disk %+v, model %+v", oid, pass, got, want)
+			}
+			if got.qty < 0 {
+				return fmt.Errorf("object @%d violates nonneg-qty: %d", oid, got.qty)
+			}
+		}
+	}
+	// Deleted objects stay deleted.
+	for _, oid := range r.dead {
+		if _, stillLive := r.model[oid]; stillLive {
+			continue // oid space is reused only for uncommitted allocations
+		}
+		err := r.db.View(func(tx *ode.Tx) error {
+			_, derr := tx.Deref(oid)
+			return derr
+		})
+		if !errors.Is(err, ode.ErrNoObject) {
+			return fmt.Errorf("deleted object @%d resurrected (err %v)", oid, err)
+		}
+	}
+	return nil
+}
+
+func sameOIDSet(got []ode.OID, model map[ode.OID]*snap, what string) error {
+	if len(got) != len(model) {
+		return fmt.Errorf("%s holds %d objects, model %d", what, len(got), len(model))
+	}
+	for _, oid := range got {
+		if _, ok := model[oid]; !ok {
+			return fmt.Errorf("%s holds unknown object @%d", what, oid)
+		}
+	}
+	return nil
+}

@@ -8,9 +8,22 @@ import (
 	"time"
 
 	"ode/internal/core"
+	"ode/internal/failpoint"
 	"ode/internal/object"
 	"ode/internal/obs"
 	"ode/internal/wal"
+)
+
+// Failpoint sites in the commit pipeline (no-ops unless armed; see
+// docs/TESTING.md).
+var (
+	// fpCommitWAL fires in Commit after constraints and hooks, before
+	// the WAL append: the transaction aborts cleanly, nothing durable.
+	fpCommitWAL = failpoint.New("txn.commit_wal")
+	// fpCommitApply fires after the WAL append succeeds and before the
+	// ops are applied: the commit record is durable but this process's
+	// in-memory state never saw it — only recovery can reconcile.
+	fpCommitApply = failpoint.New("txn.commit_apply")
 )
 
 // Tx states.
@@ -455,10 +468,20 @@ func (tx *Tx) Commit() error {
 	e := tx.engine
 	e.commitMu.Lock()
 	if len(ops) > 0 {
+		if err := fpCommitWAL.Check(); err != nil {
+			e.commitMu.Unlock()
+			tx.Abort()
+			return fmt.Errorf("txn: commit: %w", err)
+		}
 		if err := e.log.Append(tx.id, ops); err != nil {
 			e.commitMu.Unlock()
 			tx.Abort()
 			return fmt.Errorf("txn: wal append: %w", err)
+		}
+		if err := fpCommitApply.Check(); err != nil {
+			e.commitMu.Unlock()
+			tx.finish(stateAborted)
+			return fmt.Errorf("txn: apply after logging (database needs recovery): %w", err)
 		}
 		for i := range ops {
 			if err := e.mgr.Apply(&ops[i]); err != nil {

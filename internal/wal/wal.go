@@ -27,7 +27,26 @@ import (
 	"os"
 	"time"
 
+	"ode/internal/failpoint"
 	"ode/internal/obs"
+)
+
+// Failpoint sites on the log's I/O paths (no-ops unless armed; see
+// docs/TESTING.md).
+var (
+	// fpAppend fires in Append after the batch buffer is built. Partial
+	// actions persist a prefix of the batch — a torn log tail that
+	// scanEnd must truncate on the next open.
+	fpAppend = failpoint.New("wal.append")
+	// fpFsync fires in Append between the batch write and the fsync.
+	// The batch bytes are already in the file, so a commit that fails
+	// here may still be durable — the classic fsync-error ambiguity.
+	fpFsync = failpoint.New("wal.fsync")
+	// fpTruncate fires at the top of Truncate (checkpoint log reset).
+	fpTruncate = failpoint.New("wal.truncate")
+	// fpReplay fires once per record during Replay, failing recovery
+	// midway.
+	fpReplay = failpoint.New("wal.replay")
 )
 
 // OpType enumerates logical redo operations.
@@ -165,6 +184,16 @@ func (l *Log) Append(txid uint64, ops []Op) error {
 		buf = appendRecord(buf, &op)
 	}
 	buf = appendRecord(buf, &Op{Type: OpCommit, TxID: txid})
+	if k, ferr := fpAppend.CheckIO(len(buf)); ferr != nil {
+		// Simulated crash mid-append: a prefix of the batch lands on
+		// disk as a torn tail. l.end is not advanced — on a real crash
+		// the in-memory Log is gone anyway, and the next Open truncates
+		// the tail.
+		if k > 0 {
+			l.f.WriteAt(buf[:k], l.end)
+		}
+		return fmt.Errorf("wal: append: %w", ferr)
+	}
 	if _, err := l.f.WriteAt(buf, l.end); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
@@ -172,6 +201,9 @@ func (l *Log) Append(txid uint64, ops []Op) error {
 	l.met.Appends.Inc()
 	l.met.AppendBytes.Add(uint64(len(buf)))
 	if l.sync {
+		if err := fpFsync.Check(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
 		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
@@ -206,6 +238,9 @@ func (l *Log) Replay(fn func(op *Op) error) error {
 	pending := make(map[uint64][]*Op)
 	var hdr [frameHeader]byte
 	for off < l.end {
+		if err := fpReplay.Check(); err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
 		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
 			return fmt.Errorf("wal: replay read: %w", err)
 		}
@@ -260,6 +295,9 @@ func decodeOp(buf []byte) (*Op, error) {
 // Truncate empties the log. Called after a checkpoint has made every
 // logged effect durable in the data file.
 func (l *Log) Truncate() error {
+	if err := fpTruncate.Check(); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}

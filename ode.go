@@ -51,6 +51,7 @@ import (
 
 	"ode/internal/btree"
 	"ode/internal/core"
+	"ode/internal/failpoint"
 	"ode/internal/object"
 	"ode/internal/obs"
 	"ode/internal/storage"
@@ -79,6 +80,12 @@ type Options struct {
 	// DisableRecovery refuses to open an unclean database instead of
 	// rebuilding it (diagnostics).
 	DisableRecovery bool
+	// UnsafeSkipDoubleWrite writes dirty pages in place without staging
+	// them in the double-write buffer first, surrendering torn-page
+	// protection. It exists so the crash-recovery torture suite can
+	// demonstrate that it detects the durability bug this introduces
+	// (see docs/TESTING.md); never set it in production.
+	UnsafeSkipDoubleWrite bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -173,15 +180,24 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 			fs.Close()
 			return nil, ErrNeedsRecovery
 		}
-		fs, err = rebuild(path, fs, dw, log, schema, o)
-		if err != nil {
+		nfs, rerr := rebuild(path, fs, dw, log, schema, o)
+		if rerr != nil {
 			log.Close()
 			dw.Close()
-			return nil, fmt.Errorf("ode: recovery rebuild: %w", err)
+			// rebuild closes fs itself only when it reaches the file
+			// swap; on earlier failures the handle is still open, and a
+			// redundant Close after the swap is harmless.
+			fs.Close()
+			return nil, fmt.Errorf("ode: recovery rebuild: %w", rerr)
 		}
+		fs = nfs
 	}
 
-	pool := storage.NewPool(fs, o.PoolPages, dw, nil)
+	poolDW := dw
+	if o.UnsafeSkipDoubleWrite {
+		poolDW = nil
+	}
+	pool := storage.NewPool(fs, o.PoolPages, poolDW, nil)
 	var mgr *object.Manager
 	if fresh {
 		mgr, err = object.Create(schema, fs, pool)
@@ -232,6 +248,7 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 	// simply not counted.
 	reg := obs.NewRegistry()
 	met := obs.NewMetrics(reg)
+	failpoint.RegisterMetrics(reg)
 	pool.SetMetrics(&met.Pool, &met.Storage)
 	log.SetMetrics(&met.WAL)
 	mgr.SetMetrics(&met.Object)

@@ -7,37 +7,7 @@ import (
 	"testing"
 )
 
-// crashingOpen opens a DB, runs work, and returns WITHOUT a clean close
-// (simulating a crash: the WAL survives, the clean flag is unset, page
-// state is whatever was evicted). The files stay on disk for reopening.
-func crashAfter(t *testing.T, path string, work func(db *DB, stock *Class)) {
-	t.Helper()
-	schema, stock := inventorySchema()
-	db, err := Open(path, schema, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !db.HasCluster(stock) {
-		if err := db.CreateCluster(stock); err != nil {
-			t.Fatal(err)
-		}
-	}
-	work(db, stock)
-	// Simulate the crash: close the file handles without checkpointing
-	// or truncating the WAL (the clean flag stays 0, set at open).
-	db.CrashForTesting()
-}
-
-func reopen(t *testing.T, path string) (*DB, *Class) {
-	t.Helper()
-	schema, stock := inventorySchema()
-	db, err := Open(path, schema, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { db.Close() })
-	return db, stock
-}
+// The shared crashAfter/reopen helpers live in crashtest_test.go.
 
 func TestRecoveryReplaysCommittedTransactions(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "crash.odb")
@@ -248,12 +218,7 @@ func TestDisableRecoveryRefusesUncleanFile(t *testing.T) {
 
 func TestCleanShutdownSkipsRebuild(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "clean.odb")
-	schema, stock := inventorySchema()
-	db, err := Open(path, schema, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	db.CreateCluster(stock)
+	db, stock := openInventory(t, path)
 	addItem(t, db, stock, "x", 1, 1)
 	db.Close()
 	// No rebuild artifacts should exist and the WAL must be empty.
@@ -265,7 +230,8 @@ func TestCleanShutdownSkipsRebuild(t *testing.T) {
 		t.Errorf("wal size = %v after clean close", fi)
 	}
 	// DisableRecovery open succeeds on a clean file.
-	db2, err := Open(path, schema, &Options{DisableRecovery: true})
+	schema2, _ := inventorySchema()
+	db2, err := Open(path, schema2, &Options{DisableRecovery: true})
 	if err != nil {
 		t.Fatal(err)
 	}
