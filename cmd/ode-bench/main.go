@@ -7,7 +7,8 @@
 // Usage:
 //
 //	ode-bench [-quick] [-run E3,E7] [-http :8080] [-workers N] [-json FILE]
-//	ode-bench -faults [-seed N] [-rounds N] [-ops N] [-dir DIR]
+//	          [-max-tx N] [-deadline D] [-overload N]
+//	ode-bench -faults [-seed N] [-rounds N] [-ops N] [-dir DIR] [-cancel]
 //
 // With -http, the engine metrics of the world currently under
 // measurement are published as expvar at /debug/vars (key "ode",
@@ -22,7 +23,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -47,11 +50,20 @@ var (
 	workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 		"max worker count for the multi-core experiment (E13)")
 
+	maxTx = flag.Int("max-tx", 4,
+		"admission slots (Options.MaxConcurrentTx) for the governance experiment (E14)")
+	deadline = flag.Duration("deadline", 50*time.Millisecond,
+		"per-transaction deadline for the governance experiment (E14)")
+	overload = flag.Int("overload", 8,
+		"offered-load multiplier over -max-tx for the governance experiment (E14)")
+
 	faults      = flag.Bool("faults", false, "run the crash-recovery torture suite instead of the experiments")
 	faultSeed   = flag.Int64("seed", 0, "torture PRNG seed (0: derive from the clock and print it)")
 	faultRounds = flag.Int("rounds", 0, "torture crash/recover rounds (0: suite default)")
 	faultOps    = flag.Int("ops", 0, "torture operations per round (0: suite default)")
 	faultDir    = flag.String("dir", "", "torture store directory (default: a temp dir, removed on success)")
+	faultCancel = flag.Bool("cancel", false,
+		"torture: also drive cancellation/timeout/overload traffic against a governed store (docs/TESTING.md)")
 )
 
 // benchResult is one measured row of the machine-readable output.
@@ -132,6 +144,7 @@ func main() {
 		{"E11", "volatile vs persistent manipulation (PC §2)", runE11},
 		{"E12", "crash recovery (repair-on-open)", runE12},
 		{"E13", "multi-core read path: parallel forall and concurrent deref", runE13},
+		{"E14", "resource governance: admission control, deadlines, bounded WAL", runE14},
 	}
 	for _, e := range experiments {
 		if len(wanted) > 0 && !wanted[e.id] {
@@ -183,11 +196,15 @@ func runFaults() int {
 	if *faultOps != 0 {
 		fmt.Printf(" -ops %d", *faultOps)
 	}
+	if *faultCancel {
+		fmt.Printf(" -cancel")
+	}
 	fmt.Println()
 	res, err := torture.Run(torture.Config{
 		Seed:        seed,
 		Rounds:      *faultRounds,
 		OpsPerRound: *faultOps,
+		Cancel:      *faultCancel,
 		Dir:         dir,
 		Log:         os.Stdout,
 	})
@@ -195,8 +212,8 @@ func runFaults() int {
 		fmt.Fprintf(os.Stderr, "ode-bench: torture failed (store kept at %s): %v\n", dir, err)
 		return 1
 	}
-	fmt.Printf("\ntorture passed: rounds=%d ops=%d commits=%d aborts=%d faults=%d recoveries=%d resurrected=%d\n",
-		res.Rounds, res.Ops, res.Commits, res.Aborts, res.Faults, res.Recoveries, res.Resurrected)
+	fmt.Printf("\ntorture passed: rounds=%d ops=%d commits=%d aborts=%d kills=%d overloads=%d faults=%d recoveries=%d resurrected=%d\n",
+		res.Rounds, res.Ops, res.Commits, res.Aborts, res.Kills, res.Overloads, res.Faults, res.Recoveries, res.Resurrected)
 	if len(res.SitesFired) > 0 {
 		sites := make([]string, 0, len(res.SitesFired))
 		for s := range res.SitesFired {
@@ -934,6 +951,177 @@ func runE13() error {
 			float64(looks+st.Object.CacheMisses-st0.Object.CacheMisses)
 		fmt.Printf("  (decoded-object cache hit rate during deref: %.1f%%; pool shards: %d)\n",
 			hitPct, st.Pool.Shards)
+	}
+	return nil
+}
+
+func rowE14(label string, d time.Duration, extra map[string]float64) {
+	fmt.Printf("  %-34s %12s", label, d.Round(time.Microsecond))
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%.0f", k, extra[k])
+	}
+	fmt.Println()
+	record(label, d, 0, extra)
+}
+
+func runE14() error {
+	slots := *maxTx
+	if slots <= 0 {
+		slots = 1
+	}
+	offered := slots * *overload
+	if offered <= slots {
+		offered = slots + 1
+	}
+	perG := scale(200)
+	if perG < 20 {
+		perG = 20
+	}
+
+	// burst drives `offered` writer goroutines, each attempting perG
+	// single-object updates under the per-transaction -deadline, and
+	// classifies every outcome by the typed error taxonomy. The mean
+	// latency column is commits only. Each transaction holds its
+	// admission slot for `hold` (a slow client) — without that, µs-scale
+	// commits recycle the slots so fast the gate never engages.
+	const hold = 500 * time.Microsecond
+	burst := func(label string, opts *ode.Options) error {
+		w, err := bench.NewWorld(opts)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		oids, err := w.LoadStock(64)
+		if err != nil {
+			return err
+		}
+		var commits, rejects, timeouts, commitNs atomic.Int64
+		var failure atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < offered; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < perG; k++ {
+					oid := oids[(g*7919+k)%len(oids)]
+					ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+					t0 := time.Now()
+					err := w.DB.RunTxCtx(ctx, func(tx *ode.Tx) error {
+						o, err := tx.Deref(oid)
+						if err != nil {
+							return err
+						}
+						time.Sleep(hold)
+						o.MustSet("qty", ode.Int(o.MustGet("qty").Int()+1))
+						return tx.Update(oid, o)
+					})
+					cancel()
+					switch {
+					case err == nil:
+						commits.Add(1)
+						commitNs.Add(time.Since(t0).Nanoseconds())
+					case errors.Is(err, ode.ErrOverloaded):
+						rejects.Add(1)
+					case errors.Is(err, ode.ErrTxTimeout), errors.Is(err, ode.ErrCanceled):
+						timeouts.Add(1)
+					default:
+						failure.CompareAndSwap(nil, &err)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if p := failure.Load(); p != nil {
+			return *p
+		}
+		var mean time.Duration
+		if n := commits.Load(); n > 0 {
+			mean = time.Duration(commitNs.Load() / n)
+		}
+		st := w.DB.Stats()
+		rowE14(label, mean, map[string]float64{
+			"commits":  float64(commits.Load()),
+			"rejects":  float64(rejects.Load()),
+			"timeouts": float64(timeouts.Load()),
+			"waits":    float64(st.Txn.AdmissionWaits),
+			"tps":      float64(commits.Load()) / elapsed.Seconds(),
+		})
+		return nil
+	}
+
+	fmt.Printf("  offered load: %d writers x %d tx, slots=%d, deadline=%v\n",
+		offered, perG, slots, *deadline)
+	if err := burst("ungoverned", &ode.Options{NoSync: true}); err != nil {
+		return err
+	}
+	if err := burst(fmt.Sprintf("governed slots=%d queue=none", slots),
+		&ode.Options{NoSync: true, MaxConcurrentTx: slots, MaxQueuedTx: -1}); err != nil {
+		return err
+	}
+	if err := burst(fmt.Sprintf("governed slots=%d queue=%d", slots, 2*slots),
+		&ode.Options{NoSync: true, MaxConcurrentTx: slots}); err != nil {
+		return err
+	}
+
+	// Bounded WAL growth: an append-heavy writer under a 64 KiB soft /
+	// 256 KiB hard limit. The soft limit kicks the background
+	// checkpointer; the hard limit stalls commits when the writer
+	// outruns it. The observed peak must stay near the hard bound.
+	const soft, hard = 64 << 10, 256 << 10
+	w, err := bench.NewWorld(&ode.Options{
+		NoSync: true, WALSoftLimit: soft, WALHardLimit: hard,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	payload := strings.Repeat("x", 1024)
+	var peak int64
+	n := scale(2000)
+	if n < 200 {
+		n = 200
+	}
+	d, err := timeIt(n, func() error {
+		err := w.DB.RunTx(func(tx *ode.Tx) error {
+			o := ode.NewObject(w.Stock)
+			o.MustSet("name", ode.Str(payload))
+			o.MustSet("price", ode.Float(1))
+			o.MustSet("qty", ode.Int(1))
+			o.MustSet("threshold", ode.Int(0))
+			_, err := tx.PNew(w.Stock, o)
+			return err
+		})
+		if wb := w.DB.Stats().WALBytes; wb > peak {
+			peak = wb
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	// Give the background checkpointer a moment to drain the tail so
+	// the auto_ckpt column reflects the kicks the soft limit issued.
+	for wait := time.Now(); w.DB.Stats().WALBytes >= soft &&
+		time.Since(wait) < time.Second; {
+		time.Sleep(time.Millisecond)
+	}
+	st := w.DB.Stats()
+	rowE14(fmt.Sprintf("bounded WAL soft=%dKiB hard=%dKiB", soft>>10, hard>>10), d,
+		map[string]float64{
+			"commits":     float64(n),
+			"peak_wal_kb": float64(peak >> 10),
+			"auto_ckpt":   float64(st.WAL.AutoCheckpoints),
+			"stalls":      float64(st.WAL.BackpressureStalls),
+		})
+	if peak > hard+(64<<10) {
+		return fmt.Errorf("WAL peaked at %d bytes, far beyond the %d hard limit", peak, hard)
 	}
 	return nil
 }

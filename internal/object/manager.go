@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ode/internal/btree"
 	"ode/internal/core"
@@ -82,7 +83,10 @@ type Manager struct {
 	cluster *btree.Tree // (classID, oid) -> ()
 	index   *btree.Tree // (classID, slot, key-encoded value, oid) -> ()
 
-	nextOID    uint64
+	// nextOID is atomic, not mu-guarded: AllocOID runs on transaction
+	// goroutines while a background checkpoint (persistBoot) snapshots
+	// the counter, possibly with mu already held by a DDL caller.
+	nextOID    atomic.Uint64
 	clusters   map[core.ClassID]bool
 	indexes    map[indexID]bool
 	catalogRID storage.RID
@@ -130,12 +134,12 @@ func Create(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Ma
 		ver:      btree.New(pool, storage.InvalidPage),
 		cluster:  btree.New(pool, storage.InvalidPage),
 		index:    btree.New(pool, storage.InvalidPage),
-		nextOID:  1,
 		clusters: make(map[core.ClassID]bool),
 		indexes:  make(map[indexID]bool),
 		cache:    newObjCache(DefaultObjectCacheSize),
 		met:      &obs.ObjectMetrics{},
 	}
+	m.nextOID.Store(1)
 	if err := m.writeCatalog(); err != nil {
 		return nil, err
 	}
@@ -158,7 +162,6 @@ func Open(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Mana
 		ver:      btree.New(pool, storage.PageID(binary.LittleEndian.Uint32(boot[bootVer:]))),
 		cluster:  btree.New(pool, storage.PageID(binary.LittleEndian.Uint32(boot[bootCluster:]))),
 		index:    btree.New(pool, storage.PageID(binary.LittleEndian.Uint32(boot[bootIndex:]))),
-		nextOID:  binary.LittleEndian.Uint64(boot[bootNextOID:]),
 		clusters: make(map[core.ClassID]bool),
 		indexes:  make(map[indexID]bool),
 		cache:    newObjCache(DefaultObjectCacheSize),
@@ -168,6 +171,7 @@ func Open(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Mana
 			Slot: binary.LittleEndian.Uint16(boot[bootCatSlot:]),
 		},
 	}
+	m.nextOID.Store(binary.LittleEndian.Uint64(boot[bootNextOID:]))
 	if err := m.loadCatalog(); err != nil {
 		return nil, err
 	}
@@ -189,7 +193,12 @@ func (m *Manager) persistBoot(clean bool) error {
 	binary.LittleEndian.PutUint32(boot[bootCluster:], uint32(m.cluster.Root()))
 	binary.LittleEndian.PutUint32(boot[bootIndex:], uint32(m.index.Root()))
 	binary.LittleEndian.PutUint32(boot[bootHeap:], uint32(m.heap.Head()))
-	binary.LittleEndian.PutUint64(boot[bootNextOID:], m.nextOID)
+	// The allocator is read atomically: a background checkpoint races
+	// transactions calling AllocOID. A concurrently burned id that
+	// misses the snapshot is safe — its objects only become durable via
+	// a later commit, which lands in the post-truncation WAL where
+	// replay re-raises the allocator (NoteOID).
+	binary.LittleEndian.PutUint64(boot[bootNextOID:], m.nextOID.Load())
 	binary.LittleEndian.PutUint32(boot[bootCatPage:], uint32(m.catalogRID.Page))
 	binary.LittleEndian.PutUint16(boot[bootCatSlot:], m.catalogRID.Slot)
 	if clean {
@@ -365,19 +374,17 @@ func (m *Manager) ObjectCacheLen() int { return m.cache.len() }
 // AllocOID reserves a fresh object id. Ids burned by aborted
 // transactions are never reused.
 func (m *Manager) AllocOID() core.OID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	oid := m.nextOID
-	m.nextOID++
-	return core.OID(oid)
+	return core.OID(m.nextOID.Add(1) - 1)
 }
 
 // NoteOID raises the OID allocator above oid; used during WAL replay.
 func (m *Manager) NoteOID(oid core.OID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if uint64(oid) >= m.nextOID {
-		m.nextOID = uint64(oid) + 1
+	want := uint64(oid) + 1
+	for {
+		cur := m.nextOID.Load()
+		if cur >= want || m.nextOID.CompareAndSwap(cur, want) {
+			return
+		}
 	}
 }
 

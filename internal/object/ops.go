@@ -96,9 +96,7 @@ func (m *Manager) applyPut(op *wal.Op) error {
 		if err := m.cluster.Put(clusterKey(cid, oid), nil); err != nil {
 			return err
 		}
-		if uint64(oid) >= m.nextOID {
-			m.nextOID = uint64(oid) + 1
-		}
+		m.NoteOID(oid)
 		m.met.Creates.Inc()
 		return m.updateIndexEntries(cid, oid, nil, newObj)
 	default:

@@ -219,10 +219,12 @@ type StorageMetrics struct {
 
 // WALMetrics instruments the write-ahead log.
 type WALMetrics struct {
-	Appends     Counter   // commit batches appended
-	AppendBytes Counter   // bytes appended (records + commit markers)
-	Fsyncs      Counter   // log fsyncs issued
-	FsyncNS     Histogram // log fsync latency
+	Appends            Counter   // commit batches appended
+	AppendBytes        Counter   // bytes appended (records + commit markers)
+	Fsyncs             Counter   // log fsyncs issued
+	FsyncNS            Histogram // log fsync latency
+	AutoCheckpoints    Counter   // checkpoints triggered by the WAL soft limit
+	BackpressureStalls Counter   // commits stalled by the WAL hard limit
 }
 
 // TxnMetrics instruments the transaction engine and lock manager.
@@ -232,7 +234,13 @@ type TxnMetrics struct {
 	Aborts               Counter   // transactions aborted (incl. deadlock victims)
 	ConstraintViolations Counter   // commits rejected by class constraints
 	LockWaits            Counter   // lock requests that had to block
+	LockWaitTimeouts     Counter   // lock waits abandoned by deadline or cancellation
 	Deadlocks            Counter   // waits-for cycles detected
+	Cancels              Counter   // transactions that failed on an expired/cancelled context
+	AdmissionWaits       Counter   // Begin calls that queued for an admission slot
+	AdmissionRejects     Counter   // Begin calls rejected with ErrOverloaded
+	AdmissionActive      Gauge     // transactions currently holding an admission slot
+	AdmissionQueued      Gauge     // Begin calls currently waiting for a slot
 	CommitNS             Histogram // Commit() latency (constraint checks through log+apply)
 }
 
@@ -306,10 +314,12 @@ type StorageStats struct {
 
 // WALStats is a point-in-time copy of WALMetrics.
 type WALStats struct {
-	Appends     uint64
-	AppendBytes uint64
-	Fsyncs      uint64
-	FsyncNS     HistogramSnapshot
+	Appends            uint64
+	AppendBytes        uint64
+	Fsyncs             uint64
+	FsyncNS            HistogramSnapshot
+	AutoCheckpoints    uint64
+	BackpressureStalls uint64
 }
 
 // TxnStats is a point-in-time copy of TxnMetrics.
@@ -319,7 +329,13 @@ type TxnStats struct {
 	Aborts               uint64
 	ConstraintViolations uint64
 	LockWaits            uint64
+	LockWaitTimeouts     uint64
 	Deadlocks            uint64
+	Cancels              uint64
+	AdmissionWaits       uint64
+	AdmissionRejects     uint64
+	AdmissionActive      int64
+	AdmissionQueued      int64
 	CommitNS             HistogramSnapshot
 }
 
@@ -388,10 +404,12 @@ func (m *Metrics) Stats() Snapshot {
 			DWFlushes:  m.Storage.DWFlushes.Load(),
 		},
 		WAL: WALStats{
-			Appends:     m.WAL.Appends.Load(),
-			AppendBytes: m.WAL.AppendBytes.Load(),
-			Fsyncs:      m.WAL.Fsyncs.Load(),
-			FsyncNS:     m.WAL.FsyncNS.Snapshot(),
+			Appends:            m.WAL.Appends.Load(),
+			AppendBytes:        m.WAL.AppendBytes.Load(),
+			Fsyncs:             m.WAL.Fsyncs.Load(),
+			FsyncNS:            m.WAL.FsyncNS.Snapshot(),
+			AutoCheckpoints:    m.WAL.AutoCheckpoints.Load(),
+			BackpressureStalls: m.WAL.BackpressureStalls.Load(),
 		},
 		Txn: TxnStats{
 			Begins:               m.Txn.Begins.Load(),
@@ -399,7 +417,13 @@ func (m *Metrics) Stats() Snapshot {
 			Aborts:               m.Txn.Aborts.Load(),
 			ConstraintViolations: m.Txn.ConstraintViolations.Load(),
 			LockWaits:            m.Txn.LockWaits.Load(),
+			LockWaitTimeouts:     m.Txn.LockWaitTimeouts.Load(),
 			Deadlocks:            m.Txn.Deadlocks.Load(),
+			Cancels:              m.Txn.Cancels.Load(),
+			AdmissionWaits:       m.Txn.AdmissionWaits.Load(),
+			AdmissionRejects:     m.Txn.AdmissionRejects.Load(),
+			AdmissionActive:      m.Txn.AdmissionActive.Load(),
+			AdmissionQueued:      m.Txn.AdmissionQueued.Load(),
 			CommitNS:             m.Txn.CommitNS.Snapshot(),
 		},
 		Object: ObjectStats{
@@ -456,12 +480,20 @@ func NewMetrics(reg *Registry) *Metrics {
 		{"wal.append_bytes", &m.WAL.AppendBytes},
 		{"wal.fsyncs", &m.WAL.Fsyncs},
 		{"wal.fsync_ns", &m.WAL.FsyncNS},
+		{"wal.auto_checkpoints", &m.WAL.AutoCheckpoints},
+		{"wal.backpressure_stalls", &m.WAL.BackpressureStalls},
 		{"txn.begins", &m.Txn.Begins},
 		{"txn.commits", &m.Txn.Commits},
 		{"txn.aborts", &m.Txn.Aborts},
 		{"txn.constraint_violations", &m.Txn.ConstraintViolations},
 		{"txn.lock_waits", &m.Txn.LockWaits},
+		{"txn.lock_wait_timeouts", &m.Txn.LockWaitTimeouts},
 		{"txn.deadlocks", &m.Txn.Deadlocks},
+		{"txn.cancels", &m.Txn.Cancels},
+		{"txn.admission_waits", &m.Txn.AdmissionWaits},
+		{"txn.admission_rejects", &m.Txn.AdmissionRejects},
+		{"txn.admission_active", &m.Txn.AdmissionActive},
+		{"txn.admission_queued", &m.Txn.AdmissionQueued},
 		{"txn.commit_ns", &m.Txn.CommitNS},
 		{"object.creates", &m.Object.Creates},
 		{"object.updates", &m.Object.Updates},

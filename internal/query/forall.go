@@ -247,6 +247,11 @@ func (q *Query) gatherEach(fn func(Item) (bool, error)) error {
 		q.met().PlanExtentScan.Inc()
 	}
 	for _, c := range q.classes() {
+		// Extent boundary: a scan over a class hierarchy re-checks the
+		// transaction context between extents.
+		if err := q.tx.Err(); err != nil {
+			return err
+		}
 		err := q.tx.Manager().ScanCluster(c, func(oid core.OID) (bool, error) {
 			if dirty[oid] {
 				return true, nil
@@ -379,6 +384,14 @@ func (q *Query) runParallel(fn func(Item) (bool, error)) error {
 				if ci >= nchunks {
 					return
 				}
+				// Chunk boundary: each worker re-checks the transaction
+				// context before claiming more work, so a Parallel(n)
+				// scan stops within one chunk of cancellation.
+				if err := q.tx.Err(); err != nil {
+					chunkErr[ci] = err
+					stop.Store(true)
+					return
+				}
 				lo, hi := ci*chunk, (ci+1)*chunk
 				if hi > len(oids) {
 					hi = len(oids)
@@ -428,8 +441,15 @@ func starIf(b bool) string {
 }
 
 // fetch loads the tx-visible state of oid and reports whether it binds
-// the loop variable (exists, not deleted, class matches).
+// the loop variable (exists, not deleted, class matches). It is the
+// per-row cancellation point of every scan shape: an expired or
+// canceled transaction context stops the loop with a typed error even
+// when the row would have been served from tx-local state without a
+// lock wait.
 func (q *Query) fetch(oid core.OID) (Item, bool, error) {
+	if err := q.tx.Err(); err != nil {
+		return Item{}, false, err
+	}
 	q.met().RowsScanned.Inc()
 	if q.tx.IsDeleted(oid) {
 		return Item{}, false, nil

@@ -6,9 +6,11 @@ import (
 	"testing"
 )
 
-// TestPoolConcurrentFetch hammers the pool from many goroutines, each
-// reading and occasionally writing its own page, under eviction
-// pressure. Run with -race.
+// TestPoolConcurrentFetch hammers the pool from many goroutines, all
+// reading (and one writing) a shared page set under eviction pressure.
+// The pool synchronizes frames, not page content — content access is
+// guarded by per-page locks here, as the engine's lock manager does.
+// Run with -race.
 func TestPoolConcurrentFetch(t *testing.T) {
 	fs, bp := newTestPool(t, 8)
 	const pages = 32
@@ -26,6 +28,7 @@ func TestPoolConcurrentFetch(t *testing.T) {
 
 	const workers = 8
 	const rounds = 500
+	var pageMu [pages]sync.RWMutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -38,17 +41,24 @@ func TestPoolConcurrentFetch(t *testing.T) {
 					t.Errorf("fetch: %v", err)
 					return
 				}
-				hi := binary.LittleEndian.Uint64(p.Payload()) >> 32
-				if hi != uint64(idx) {
-					t.Errorf("page %d contains data for %d", idx, hi)
-					bp.Unpin(ids[idx], false)
-					return
+				dirty := w == 0 // one writer bumps a counter per round
+				if dirty {
+					pageMu[idx].Lock()
+				} else {
+					pageMu[idx].RLock()
 				}
-				dirty := false
-				if w == 0 { // one writer bumps a counter in its own pages
+				hi := binary.LittleEndian.Uint64(p.Payload()) >> 32
+				if dirty {
 					lo := binary.LittleEndian.Uint64(p.Payload()) & 0xFFFFFFFF
 					binary.LittleEndian.PutUint64(p.Payload(), uint64(idx)<<32|(lo+1))
-					dirty = true
+					pageMu[idx].Unlock()
+				} else {
+					pageMu[idx].RUnlock()
+				}
+				if hi != uint64(idx) {
+					t.Errorf("page %d contains data for %d", idx, hi)
+					bp.Unpin(ids[idx], dirty)
+					return
 				}
 				bp.Unpin(ids[idx], dirty)
 			}

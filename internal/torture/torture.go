@@ -29,12 +29,14 @@
 package torture
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"ode"
 	"ode/internal/failpoint"
@@ -53,6 +55,15 @@ type Config struct {
 	// the harness never deletes it (CI uploads it as an artifact on
 	// failure).
 	Dir string
+	// Cancel turns on resource-governance traffic: the store opens with
+	// admission control (MaxConcurrentTx, no wait queue) and WAL growth
+	// bounds, and rounds mix in deadline-bound transactions, pre-canceled
+	// transactions, lock-wait timeouts against a sleeping holder, and
+	// admission-overload read bursts — composed with the usual armed
+	// failpoints. The invariant under test: a transaction killed by its
+	// context or rejected at admission is a clean abort, so the model
+	// advances only on commits and every recovery still verifies.
+	Cancel bool
 	// Log, if non-nil, receives one progress line per round.
 	Log io.Writer
 }
@@ -66,6 +77,8 @@ type Result struct {
 	Faults      uint64 // injected faults that actually fired
 	Recoveries  int    // recovery opens (incl. idempotence re-crashes)
 	Resurrected int    // errored commits that recovery resolved as committed
+	Kills       int    // transactions killed by deadline/cancellation (clean aborts)
+	Overloads   int    // admission rejections (ErrOverloaded)
 	SitesFired  map[string]uint64
 }
 
@@ -247,7 +260,19 @@ func (r *run) runAll() error {
 
 func (r *run) open() error {
 	schema, stock := Schema()
-	db, err := ode.Open(r.path, schema, &ode.Options{PoolPages: 48})
+	opts := &ode.Options{PoolPages: 48}
+	if r.cfg.Cancel {
+		// Tight governance: few admission slots with no wait queue (so
+		// overload bursts reject), and WAL bounds small enough that the
+		// background checkpointer and commit backpressure run constantly
+		// under the armed failpoints.
+		opts.MaxConcurrentTx = 3
+		opts.MaxQueuedTx = -1
+		opts.WALSoftLimit = 8 << 10
+		opts.WALHardLimit = 32 << 10
+		opts.CloseTimeout = 2 * time.Second
+	}
+	db, err := ode.Open(r.path, schema, opts)
 	if err != nil {
 		return err
 	}
@@ -304,11 +329,20 @@ func (r *run) round(round int) error {
 		r.res.Ops++
 		var err error
 		var p *pending
+		// The Cancel arms short-circuit before consuming randomness, so
+		// plain-mode runs draw exactly the sequence they always did and
+		// old seeds stay reproducible.
 		switch {
 		case r.rng.Intn(15) == 0:
 			err = r.db.Checkpoint()
 		case r.rng.Intn(10) == 0:
 			err = r.deliberateAbort()
+		case r.cfg.Cancel && r.rng.Intn(4) == 0:
+			p, err = r.governedTransaction()
+		case r.cfg.Cancel && r.rng.Intn(6) == 0:
+			err = r.lockTimeoutPair()
+		case r.cfg.Cancel && r.rng.Intn(6) == 0:
+			err = r.overloadBurst()
 		default:
 			p, err = r.transaction()
 		}
@@ -457,8 +491,20 @@ func (r *run) planActivate(p *pending, oid ode.OID) {
 // operations on distinct objects. On success the model is advanced; on
 // error the returned pending lets the caller resolve the outcome.
 func (r *run) transaction() (*pending, error) {
-	nops := 1 + r.rng.Intn(3)
-	p := r.plan(nops)
+	p := r.plan(3)
+	r.planOps(p, 1+r.rng.Intn(3))
+	if len(p.after) == 0 {
+		return nil, nil // degenerate plan; skip
+	}
+	if err := r.execute(p); err != nil {
+		return p, err
+	}
+	r.commitModel(p)
+	return nil, nil
+}
+
+// planOps fills p with nops random operation plans.
+func (r *run) planOps(p *pending, nops int) {
 	for i := 0; i < nops; i++ {
 		switch r.rng.Intn(10) {
 		case 0, 1, 2:
@@ -495,20 +541,130 @@ func (r *run) transaction() (*pending, error) {
 			}
 		}
 	}
+}
+
+// governedTransaction plans a normal transaction but executes it under
+// a context that is pre-canceled, carries a deadline tight enough to
+// expire anywhere inside the transaction, or is generous enough to
+// commit. A context kill must be a clean abort (the model is untouched);
+// only an injected fault leaves the outcome uncertain.
+func (r *run) governedTransaction() (*pending, error) {
+	p := r.plan(3)
+	r.planOps(p, 1+r.rng.Intn(3))
 	if len(p.after) == 0 {
-		return nil, nil // degenerate plan; skip
+		return nil, nil
 	}
-	if err := r.execute(p); err != nil {
-		return p, err
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	switch r.rng.Intn(3) {
+	case 0: // already dead: nothing may commit
+		ctx, cancel = context.WithCancel(ctx)
+		cancel()
+	case 1: // races the transaction's own operations
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(r.rng.Intn(2000))*time.Microsecond)
+	default: // normally commits
+		ctx, cancel = context.WithTimeout(ctx, time.Second)
 	}
-	r.commitModel(p)
-	return nil, nil
+	defer cancel()
+	err := r.executeCtx(ctx, p)
+	switch {
+	case err == nil:
+		r.commitModel(p)
+		return nil, nil
+	case errors.Is(err, ode.ErrCanceled) || errors.Is(err, ode.ErrTxTimeout) || errors.Is(err, ode.ErrOverloaded):
+		// Governance kill: clean abort, nothing durable, model untouched.
+		r.res.Kills++
+		return nil, nil
+	default:
+		return p, err // injected faults resolve via the uncertain path
+	}
+}
+
+// lockTimeoutPair pins an object under an exclusive lock (a sleeping
+// peer) and asserts that a second transaction with a short deadline
+// times out on the wait and resolves as a clean abort.
+func (r *run) lockTimeoutPair() error {
+	p := r.plan(1)
+	oid := r.pickLive(p)
+	if oid == ode.NilOID {
+		return nil
+	}
+	holder := r.db.Begin()
+	defer holder.Abort() // the holder never commits: model untouched
+	o, err := holder.Deref(oid)
+	if err != nil {
+		return err
+	}
+	o.MustSet("qty", ode.Int(o.MustGet("qty").Int()))
+	if err := holder.Update(oid, o); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+r.rng.Intn(10))*time.Millisecond)
+	defer cancel()
+	victim := r.db.BeginCtx(ctx)
+	defer victim.Abort()
+	switch _, verr := victim.Deref(oid); {
+	case errors.Is(verr, ode.ErrTxTimeout):
+		r.res.Kills++
+		return nil
+	case verr == nil:
+		return fmt.Errorf("lock-wait victim read @%d through the holder's X lock", oid)
+	default:
+		return verr
+	}
+}
+
+// overloadBurst fires more concurrent read transactions than the
+// admission gate admits. Every outcome must be typed — success,
+// ErrOverloaded, a context kill, or an injected fault — and reads are
+// state-neutral, so the model is untouched regardless of scheduling.
+func (r *run) overloadBurst() error {
+	p := r.plan(1)
+	oid := r.pickLive(p)
+	if oid == ode.NilOID {
+		return nil
+	}
+	const burst = 8
+	errs := make(chan error, burst)
+	for i := 0; i < burst; i++ {
+		go func() {
+			errs <- r.db.View(func(tx *ode.Tx) error {
+				_, err := tx.Deref(oid)
+				if err == nil {
+					// Hold the admission slot long enough for the burst
+					// to overlap.
+					time.Sleep(2 * time.Millisecond)
+				}
+				return err
+			})
+		}()
+	}
+	var firstErr error
+	for i := 0; i < burst; i++ {
+		switch err := <-errs; {
+		case err == nil:
+		case errors.Is(err, ode.ErrOverloaded):
+			r.res.Overloads++
+		case errors.Is(err, ode.ErrTxTimeout) || errors.Is(err, ode.ErrCanceled):
+			r.res.Kills++
+		default:
+			if firstErr == nil {
+				firstErr = err // injected faults end the round; reads are state-neutral
+			}
+		}
+	}
+	return firstErr
 }
 
 // execute applies the plan through one database transaction.
 func (r *run) execute(p *pending) error {
+	return r.executeCtx(context.Background(), p)
+}
+
+// executeCtx applies the plan through one transaction begun under ctx.
+func (r *run) executeCtx(ctx context.Context, p *pending) error {
 	targets := keys(p.after) // stable copy: the pnew case re-keys the maps
-	tx := r.db.Begin()
+	tx := r.db.BeginCtx(ctx)
 	defer tx.Abort() // no-op after commit
 	for _, oid := range targets {
 		a, b := p.after[oid], p.before[oid]

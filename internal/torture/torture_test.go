@@ -40,15 +40,48 @@ func TestTortureFixedSeeds(t *testing.T) {
 	}
 }
 
+// TestTortureCancelFixedSeeds runs the governance traffic mode: the
+// store opens with admission control and WAL bounds, and rounds mix
+// deadline-killed transactions, lock-wait timeouts, and overload bursts
+// into the usual fault-injected traffic. A transaction killed by its
+// context must be a clean abort — the model advances only on commits,
+// and every recovery must still verify.
+func TestTortureCancelFixedSeeds(t *testing.T) {
+	for _, seed := range []int64{7, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			res, err := Run(Config{
+				Seed:        seed,
+				Rounds:      6,
+				OpsPerRound: 25,
+				Dir:         t.TempDir(),
+				Cancel:      true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed %d: rounds=%d ops=%d commits=%d aborts=%d kills=%d overloads=%d faults=%d recoveries=%d resurrected=%d fired=%v",
+				seed, res.Rounds, res.Ops, res.Commits, res.Aborts, res.Kills, res.Overloads, res.Faults, res.Recoveries, res.Resurrected, res.SitesFired)
+			if res.Commits == 0 {
+				t.Error("run committed nothing; workload is broken")
+			}
+			if res.Kills == 0 {
+				t.Error("no transaction was killed by deadline/cancellation; cancel traffic is broken")
+			}
+		})
+	}
+}
+
 // TestTortureCI is the environment-driven entry point used by the CI
 // torture matrix. TORTURE_SEED is a number, or the string RANDOM for a
 // time-derived seed that is logged so a failure can be reproduced:
 //
 //	TORTURE_SEED=12345 go test -run TestTortureCI -v ./internal/torture
 //
-// TORTURE_ROUNDS, TORTURE_OPS, and TORTURE_DIR tune the run; with
-// TORTURE_DIR set, the store files survive the test for artifact
-// upload on failure.
+// TORTURE_ROUNDS, TORTURE_OPS, and TORTURE_DIR tune the run;
+// TORTURE_MODE=cancel turns on the resource-governance traffic
+// (Config.Cancel). With TORTURE_DIR set, the store files survive the
+// test for artifact upload on failure.
 func TestTortureCI(t *testing.T) {
 	seedEnv := os.Getenv("TORTURE_SEED")
 	if seedEnv == "" {
@@ -76,13 +109,15 @@ func TestTortureCI(t *testing.T) {
 	if v := os.Getenv("TORTURE_OPS"); v != "" {
 		cfg.OpsPerRound, _ = strconv.Atoi(v)
 	}
-	t.Logf("torture seed %d (reproduce: TORTURE_SEED=%d go test -run TestTortureCI -v ./internal/torture)", seed, seed)
+	cfg.Cancel = strings.EqualFold(os.Getenv("TORTURE_MODE"), "cancel")
+	t.Logf("torture seed %d mode=%s (reproduce: TORTURE_SEED=%d TORTURE_MODE=%s go test -run TestTortureCI -v ./internal/torture)",
+		seed, os.Getenv("TORTURE_MODE"), seed, os.Getenv("TORTURE_MODE"))
 	res, err := Run(cfg)
 	if err != nil {
-		t.Fatalf("torture failed (reproduce with TORTURE_SEED=%d): %v", seed, err)
+		t.Fatalf("torture failed (reproduce with TORTURE_SEED=%d TORTURE_MODE=%s): %v", seed, os.Getenv("TORTURE_MODE"), err)
 	}
-	t.Logf("rounds=%d ops=%d commits=%d aborts=%d faults=%d recoveries=%d resurrected=%d fired=%v",
-		res.Rounds, res.Ops, res.Commits, res.Aborts, res.Faults, res.Recoveries, res.Resurrected, res.SitesFired)
+	t.Logf("rounds=%d ops=%d commits=%d aborts=%d kills=%d overloads=%d faults=%d recoveries=%d resurrected=%d fired=%v",
+		res.Rounds, res.Ops, res.Commits, res.Aborts, res.Kills, res.Overloads, res.Faults, res.Recoveries, res.Resurrected, res.SitesFired)
 }
 
 type testWriter struct{ t *testing.T }

@@ -1,0 +1,48 @@
+package txn
+
+import (
+	"context"
+	"errors"
+)
+
+// Typed resource-governance errors. Callers branch on these with
+// errors.Is; every path through the engine wraps rather than replaces
+// them.
+var (
+	// ErrTxTimeout aborts a transaction whose context deadline expired
+	// (at a lock wait, a scan boundary, or commit backpressure). The
+	// transaction is dead but the conflict is transient: IsRetryable
+	// reports true, so a caller with time left may rerun it.
+	ErrTxTimeout = errors.New("txn: transaction deadline exceeded")
+	// ErrCanceled aborts a transaction whose context was canceled.
+	// Cancellation is a caller decision, not a transient conflict, so
+	// it is not retryable.
+	ErrCanceled = errors.New("txn: transaction canceled")
+	// ErrOverloaded rejects a transaction at admission: the concurrency
+	// gate is full and the wait queue is at its bound. Overload must
+	// degrade to fast rejection — retrying immediately would rebuild
+	// the queue — so it is not retryable.
+	ErrOverloaded = errors.New("txn: overloaded, too many concurrent transactions")
+	// ErrDBClosed rejects work against a database that is closing or
+	// closed.
+	ErrDBClosed = errors.New("txn: database is closed")
+)
+
+// IsRetryable reports whether err names a transient conflict that an
+// abort-and-rerun loop (the paper's transaction discipline) should
+// retry: deadlock victims and deadline expiries, yes; cancellation,
+// overload rejection, closed database, and deterministic failures such
+// as constraint violations, no.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTxTimeout)
+}
+
+// FromContextErr maps a context failure onto the engine's typed
+// errors: DeadlineExceeded becomes ErrTxTimeout, everything else
+// (Canceled) becomes ErrCanceled.
+func FromContextErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTxTimeout
+	}
+	return ErrCanceled
+}

@@ -1,0 +1,93 @@
+package txn
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"ode/internal/obs"
+)
+
+// Governor is the admission-control gate in front of Begin: at most
+// maxActive transactions run at once, at most maxQueue Begin calls
+// wait for a slot, and everything beyond that is rejected immediately
+// with ErrOverloaded. The point is the shape of the failure — under
+// overload the system degrades to fast typed rejections instead of an
+// ever-growing lock queue whose waiters time each other out.
+//
+// Slots are a buffered channel: the zero-contention path is one
+// non-blocking send. The queue is only counted, not ordered — waiters
+// race for freed slots, which is fair enough at this granularity and
+// keeps Release O(1).
+type Governor struct {
+	slots    chan struct{}
+	maxQueue int
+	queued   atomic.Int64
+	met      *obs.TxnMetrics // never nil
+}
+
+// NewGovernor builds a gate admitting maxActive concurrent
+// transactions (must be > 0) with a wait queue bounded at maxQueue
+// (<= 0 means no queue: reject as soon as the slots are full). The
+// caller picks any defaulting — ode.Options maps "0 = 2*MaxConcurrentTx,
+// negative = no queue" before constructing. met may be nil for an
+// unregistered set.
+func NewGovernor(maxActive, maxQueue int, met *obs.TxnMetrics) *Governor {
+	if maxActive <= 0 {
+		panic("txn: NewGovernor maxActive must be positive")
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if met == nil {
+		met = &obs.TxnMetrics{}
+	}
+	return &Governor{
+		slots:    make(chan struct{}, maxActive),
+		maxQueue: maxQueue,
+		met:      met,
+	}
+}
+
+// Acquire claims an admission slot, waiting (governed by ctx) when the
+// gate is full and the queue has room. It returns ErrOverloaded when
+// the queue is full too, and ErrTxTimeout/ErrCanceled when ctx dies
+// while queued. Every nil return must be paired with a Release.
+func (g *Governor) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.met.AdmissionActive.Add(1)
+		return nil
+	default:
+	}
+	if n := g.queued.Add(1); int(n) > g.maxQueue {
+		g.queued.Add(-1)
+		g.met.AdmissionRejects.Inc()
+		return fmt.Errorf("%w (%d active, %d queued)", ErrOverloaded, cap(g.slots), g.maxQueue)
+	}
+	g.met.AdmissionWaits.Inc()
+	g.met.AdmissionQueued.Add(1)
+	defer func() {
+		g.queued.Add(-1)
+		g.met.AdmissionQueued.Add(-1)
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.met.AdmissionActive.Add(1)
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w (while queued for admission)", FromContextErr(ctx.Err()))
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (g *Governor) Release() {
+	<-g.slots
+	g.met.AdmissionActive.Add(-1)
+}
+
+// Capacity returns the concurrent-transaction bound.
+func (g *Governor) Capacity() int { return cap(g.slots) }
+
+// Active returns how many slots are currently claimed.
+func (g *Governor) Active() int { return len(g.slots) }

@@ -12,6 +12,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,7 +43,8 @@ var ErrDeadlock = errors.New("txn: deadlock detected; transaction chosen as vict
 
 // LockManager implements strict 2PL over OIDs with waits-for-graph
 // deadlock detection (the victim is the requester that would close a
-// cycle).
+// cycle). Waits are cancellable: a blocked Acquire observes its
+// context and abandons the wait on deadline expiry or cancellation.
 type LockManager struct {
 	mu       sync.Mutex
 	locks    map[core.OID]*lockState
@@ -50,10 +52,15 @@ type LockManager struct {
 	met      *obs.TxnMetrics            // never nil; Engine.SetMetrics swaps it
 }
 
+// lockState is one OID's lock word. Instead of a sync.Cond — whose
+// Wait cannot be raced against a context — release is broadcast by
+// closing the wake channel and installing a fresh one; a waiter
+// snapshots the channel under lm.mu and then selects on it against its
+// context's Done channel.
 type lockState struct {
-	cond    *sync.Cond
 	holders map[uint64]LockMode
 	waiting int
+	wake    chan struct{}
 }
 
 // NewLockManager returns an empty lock table.
@@ -66,15 +73,16 @@ func NewLockManager() *LockManager {
 }
 
 // Acquire takes (or upgrades to) the given lock for tx on oid, blocking
-// until compatible or until the request would deadlock (ErrDeadlock).
-// Re-acquiring a held lock (same or weaker mode) is a no-op.
-func (lm *LockManager) Acquire(txid uint64, oid core.OID, mode LockMode) error {
+// until compatible, until the request would deadlock (ErrDeadlock), or
+// until ctx expires (ErrTxTimeout) or is canceled (ErrCanceled).
+// Re-acquiring a held lock (same or weaker mode) is a no-op. ctx must
+// be non-nil (use context.Background for an unbounded wait).
+func (lm *LockManager) Acquire(ctx context.Context, txid uint64, oid core.OID, mode LockMode) error {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	ls, ok := lm.locks[oid]
 	if !ok {
-		ls = &lockState{holders: make(map[uint64]LockMode)}
-		ls.cond = sync.NewCond(&lm.mu)
+		ls = &lockState{holders: make(map[uint64]LockMode), wake: make(chan struct{})}
 		lm.locks[oid] = ls
 	}
 	for {
@@ -115,14 +123,44 @@ func (lm *LockManager) Acquire(txid uint64, oid core.OID, mode LockMode) error {
 		lm.waitsFor[txid] = blockers
 		if lm.cycleFrom(txid) {
 			delete(lm.waitsFor, txid)
+			lm.dropIfIdle(oid, ls)
 			lm.met.Deadlocks.Inc()
 			return fmt.Errorf("%w (tx %d on @%d %s)", ErrDeadlock, txid, oid, mode)
 		}
+		// An already-dead context must not sleep at all.
+		if err := ctx.Err(); err != nil {
+			delete(lm.waitsFor, txid)
+			lm.dropIfIdle(oid, ls)
+			lm.met.LockWaitTimeouts.Inc()
+			return fmt.Errorf("%w (tx %d on @%d %s)", FromContextErr(err), txid, oid, mode)
+		}
 		lm.met.LockWaits.Inc()
 		ls.waiting++
-		ls.cond.Wait()
+		wake := ls.wake
+		lm.mu.Unlock()
+		var ctxErr error
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+		}
+		lm.mu.Lock()
 		ls.waiting--
 		delete(lm.waitsFor, txid)
+		if ctxErr != nil {
+			lm.dropIfIdle(oid, ls)
+			lm.met.LockWaitTimeouts.Inc()
+			return fmt.Errorf("%w (tx %d on @%d %s)", FromContextErr(ctxErr), txid, oid, mode)
+		}
+	}
+}
+
+// dropIfIdle removes oid's lock word when nothing holds or waits on it
+// any more (a wait abandoned on the last reference must not leak the
+// entry). Caller holds lm.mu.
+func (lm *LockManager) dropIfIdle(oid core.OID, ls *lockState) {
+	if len(ls.holders) == 0 && ls.waiting == 0 {
+		delete(lm.locks, oid)
 	}
 }
 
@@ -158,7 +196,9 @@ func (lm *LockManager) ReleaseAll(txid uint64) {
 		if _, ok := ls.holders[txid]; ok {
 			delete(ls.holders, txid)
 			if ls.waiting > 0 {
-				ls.cond.Broadcast()
+				// Broadcast: every waiter snapshotted the old channel.
+				close(ls.wake)
+				ls.wake = make(chan struct{})
 			}
 			if len(ls.holders) == 0 && ls.waiting == 0 {
 				delete(lm.locks, oid)
@@ -178,4 +218,22 @@ func (lm *LockManager) HeldLocks(txid uint64) map[core.OID]LockMode {
 		}
 	}
 	return out
+}
+
+// TableSize reports how many OIDs currently have lock words (tests:
+// abandoned waits must not leak entries).
+func (lm *LockManager) TableSize() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.locks)
+}
+
+// Waiting reports how many waiters are blocked on oid (tests).
+func (lm *LockManager) Waiting(oid core.OID) int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if ls, ok := lm.locks[oid]; ok {
+		return ls.waiting
+	}
+	return 0
 }

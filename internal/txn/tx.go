@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,6 +32,7 @@ const (
 	stateActive = iota
 	stateCommitted
 	stateAborted
+	stateFailed // never admitted: Begin itself was rejected
 )
 
 // Sentinel errors.
@@ -52,6 +54,7 @@ type Engine struct {
 	locks  *LockManager
 	nextID atomic.Uint64
 	met    *obs.Metrics // full set: txn counters plus the query layer's
+	closed atomic.Bool  // set by MarkClosed; checked under commitMu
 
 	commitMu sync.Mutex
 
@@ -66,6 +69,17 @@ type Engine struct {
 	// PostAbort, if set, runs after an abort; the database layer
 	// cancels trigger actions scheduled by this transaction.
 	PostAbort func(tx *Tx)
+	// Backpressure, if set, runs in Commit for transactions with a
+	// non-empty write set, before the commit lock is taken (so a
+	// checkpoint — which needs the commit lock — can drain the log
+	// while committers stall here). Returning an error aborts the
+	// transaction. The database layer installs the WAL hard-limit
+	// stall.
+	Backpressure func(ctx context.Context) error
+	// AfterAppend, if set, is called (under the commit lock) after
+	// each WAL append with the new log size. The database layer uses
+	// it to kick the background checkpointer past the soft limit.
+	AfterAppend func(walSize int64)
 }
 
 // NewEngine builds a transaction engine over a manager and its WAL.
@@ -92,16 +106,50 @@ func (e *Engine) Manager() *object.Manager { return e.mgr }
 // Locks exposes the lock manager (diagnostics and tests).
 func (e *Engine) Locks() *LockManager { return e.locks }
 
-// Begin starts a transaction.
-func (e *Engine) Begin() *Tx {
+// MarkClosed flags the engine as closed: subsequent commits with a
+// write set fail with ErrDBClosed (checked under the commit lock, so
+// nothing reaches the WAL after the flag is observed set there).
+func (e *Engine) MarkClosed() { e.closed.Store(true) }
+
+// WithCommitLock runs fn while holding the commit lock, excluding
+// every WAL append and apply. Checkpoints run under it so a concurrent
+// commit cannot slip an append between the pool flush and the log
+// truncation (which would silently drop the committed batch).
+func (e *Engine) WithCommitLock(fn func() error) error {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	return fn()
+}
+
+// Begin starts a transaction with no deadline (context.Background).
+func (e *Engine) Begin() *Tx { return e.BeginCtx(context.Background()) }
+
+// BeginCtx starts a transaction governed by ctx: its deadline and
+// cancellation are observed at lock waits, scan batch boundaries, and
+// commit, aborting the transaction with ErrTxTimeout / ErrCanceled.
+// A nil ctx means context.Background.
+func (e *Engine) BeginCtx(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.met.Txn.Begins.Inc()
 	return &Tx{
 		engine:  e,
 		id:      e.nextID.Add(1),
+		ctx:     ctx,
 		writes:  make(map[core.OID]*txWrite),
 		frozen:  make(map[core.VRef]*core.Object),
 		current: make(map[core.OID]uint32),
 	}
+}
+
+// FailedTx returns a transaction that was never admitted: every
+// operation on it, including Commit, returns err (typically
+// ErrOverloaded or ErrDBClosed). It keeps Begin-shaped call sites
+// total — the database layer hands one out when admission control
+// rejects a Begin — and Abort on it is a no-op.
+func FailedTx(e *Engine, err error) *Tx {
+	return &Tx{engine: e, state: stateFailed, failErr: err, ctx: context.Background()}
 }
 
 // txWrite is the buffered state of one object in a transaction.
@@ -119,16 +167,64 @@ type txWrite struct {
 // A Tx is not safe for concurrent use by multiple goroutines (as in
 // database/sql); concurrency comes from running many transactions.
 type Tx struct {
-	engine *Engine
-	id     uint64
-	state  int
+	engine  *Engine
+	id      uint64
+	state   int
+	ctx     context.Context // never nil; Background without a governor
+	failErr error           // stateFailed: the admission rejection
+	noted   atomic.Bool     // Cancels metric latch (parallel scans share a Tx)
 
 	writes  map[core.OID]*txWrite
 	ops     []wal.Op
 	frozen  map[core.VRef]*core.Object // buffered newversion snapshots
 	current map[core.OID]uint32        // buffered current-version numbers
 
+	onFinish []func() // run once, after locks release
+
 	// Touched is exported through accessors for the trigger layer.
+}
+
+// OnFinish registers fn to run exactly once when the transaction
+// finishes (commit or abort), after its locks are released. The
+// database layer uses it to return admission slots and untrack the
+// transaction. Register before sharing the Tx; a finished or failed
+// transaction never runs late registrations.
+func (tx *Tx) OnFinish(fn func()) {
+	tx.onFinish = append(tx.onFinish, fn)
+}
+
+// Context returns the context governing the transaction (never nil).
+func (tx *Tx) Context() context.Context { return tx.ctx }
+
+// Err maps the transaction context's state onto the engine's typed
+// errors: nil while live, ErrTxTimeout after a deadline expiry,
+// ErrCanceled after cancellation. The query layer polls it between
+// scan batches; it is one atomic load on the live path.
+func (tx *Tx) Err() error {
+	if err := tx.ctx.Err(); err != nil {
+		return tx.noteCtxErr(err)
+	}
+	return nil
+}
+
+// noteCtxErr types a context failure and counts the transaction as
+// canceled exactly once (parallel scan workers share the Tx, so the
+// latch is atomic).
+func (tx *Tx) noteCtxErr(err error) error {
+	if tx.noted.CompareAndSwap(false, true) {
+		tx.engine.met.Txn.Cancels.Inc()
+	}
+	return fmt.Errorf("%w (tx %d)", FromContextErr(err), tx.id)
+}
+
+// noteIfCtx latches the Cancels metric when err is a context-typed
+// failure surfaced by a lower layer (lock manager, backpressure).
+func (tx *Tx) noteIfCtx(err error) {
+	if errors.Is(err, ErrTxTimeout) || errors.Is(err, ErrCanceled) {
+		if tx.noted.CompareAndSwap(false, true) {
+			tx.engine.met.Txn.Cancels.Inc()
+		}
+	}
 }
 
 // ID returns the transaction id.
@@ -146,6 +242,9 @@ func (tx *Tx) Metrics() *obs.Metrics { return tx.engine.met }
 func (tx *Tx) Schema() *core.Schema { return tx.engine.mgr.Schema() }
 
 func (tx *Tx) ensureActive() error {
+	if tx.state == stateFailed {
+		return tx.failErr
+	}
 	if tx.state != stateActive {
 		return ErrTxDone
 	}
@@ -401,9 +500,18 @@ func sortUint32(s []uint32) {
 	}
 }
 
-// lock acquires a lock through the engine's lock manager.
+// lock acquires a lock through the engine's lock manager, under the
+// transaction's context: every Deref and mutation passes through here,
+// so deadline/cancellation checks cover each page-fetch boundary.
 func (tx *Tx) lock(oid core.OID, mode LockMode) error {
-	return tx.engine.locks.Acquire(tx.id, oid, mode)
+	if err := tx.ctx.Err(); err != nil {
+		return tx.noteCtxErr(err)
+	}
+	err := tx.engine.locks.Acquire(tx.ctx, tx.id, oid, mode)
+	if err != nil {
+		tx.noteIfCtx(err)
+	}
+	return err
 }
 
 // WriteSet returns the OIDs this transaction created, updated, or
@@ -466,8 +574,32 @@ func (tx *Tx) Commit() error {
 	}
 	ops := tx.buildOps()
 	e := tx.engine
+	if len(ops) > 0 {
+		// A dead context aborts before anything reaches the WAL, so a
+		// canceled transaction is always a clean abort, never an
+		// ambiguous commit.
+		if err := tx.ctx.Err(); err != nil {
+			terr := tx.noteCtxErr(err)
+			tx.Abort()
+			return terr
+		}
+		// Hard-limit stall before the commit lock: the checkpointer
+		// needs that lock to drain the log.
+		if bp := e.Backpressure; bp != nil {
+			if err := bp(tx.ctx); err != nil {
+				tx.noteIfCtx(err)
+				tx.Abort()
+				return err
+			}
+		}
+	}
 	e.commitMu.Lock()
 	if len(ops) > 0 {
+		if e.closed.Load() {
+			e.commitMu.Unlock()
+			tx.Abort()
+			return fmt.Errorf("%w (commit of tx %d rejected)", ErrDBClosed, tx.id)
+		}
 		if err := fpCommitWAL.Check(); err != nil {
 			e.commitMu.Unlock()
 			tx.Abort()
@@ -477,6 +609,9 @@ func (tx *Tx) Commit() error {
 			e.commitMu.Unlock()
 			tx.Abort()
 			return fmt.Errorf("txn: wal append: %w", err)
+		}
+		if fn := e.AfterAppend; fn != nil {
+			fn(e.log.Size())
 		}
 		if err := fpCommitApply.Check(); err != nil {
 			e.commitMu.Unlock()
@@ -543,7 +678,8 @@ func (tx *Tx) buildOps() []wal.Op {
 }
 
 // Abort rolls the transaction back: buffered writes are discarded and
-// locks released. Abort of a finished transaction is a no-op.
+// locks released. Abort of a finished (or never-admitted) transaction
+// is a no-op.
 func (tx *Tx) Abort() {
 	if tx.state != stateActive {
 		return
@@ -562,6 +698,10 @@ func (tx *Tx) finish(state int) {
 		tx.engine.met.Txn.Aborts.Inc()
 	}
 	tx.engine.locks.ReleaseAll(tx.id)
+	for _, fn := range tx.onFinish {
+		fn()
+	}
+	tx.onFinish = nil
 }
 
 // Active reports whether the transaction can still be used.

@@ -25,6 +25,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"ode/internal/failpoint"
@@ -106,12 +107,15 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrCorrupt reports a malformed (non-torn-tail) log.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Log is an append-only write-ahead log file.
+// Log is an append-only write-ahead log file. Append and Truncate are
+// serialized by the caller (the engine's commit lock); end is atomic
+// only so Size can be polled concurrently by the WAL-bound governor
+// (backpressure stalls, the background checkpointer).
 type Log struct {
 	f    *os.File
 	path string
-	end  int64 // append position (after the last valid record)
-	sync bool  // fsync on commit (disabled only for benchmarks)
+	end  atomic.Int64 // append position (after the last valid record)
+	sync bool         // fsync on commit (disabled only for benchmarks)
 	met  *obs.WALMetrics
 }
 
@@ -128,7 +132,7 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	l.end = end
+	l.end.Store(end)
 	if err := f.Truncate(end); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
@@ -184,20 +188,21 @@ func (l *Log) Append(txid uint64, ops []Op) error {
 		buf = appendRecord(buf, &op)
 	}
 	buf = appendRecord(buf, &Op{Type: OpCommit, TxID: txid})
+	end := l.end.Load()
 	if k, ferr := fpAppend.CheckIO(len(buf)); ferr != nil {
 		// Simulated crash mid-append: a prefix of the batch lands on
 		// disk as a torn tail. l.end is not advanced — on a real crash
 		// the in-memory Log is gone anyway, and the next Open truncates
 		// the tail.
 		if k > 0 {
-			l.f.WriteAt(buf[:k], l.end)
+			l.f.WriteAt(buf[:k], end)
 		}
 		return fmt.Errorf("wal: append: %w", ferr)
 	}
-	if _, err := l.f.WriteAt(buf, l.end); err != nil {
+	if _, err := l.f.WriteAt(buf, end); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	l.end += int64(len(buf))
+	l.end.Store(end + int64(len(buf)))
 	l.met.Appends.Inc()
 	l.met.AppendBytes.Add(uint64(len(buf)))
 	if l.sync {
@@ -237,7 +242,7 @@ func (l *Log) Replay(fn func(op *Op) error) error {
 	var off int64
 	pending := make(map[uint64][]*Op)
 	var hdr [frameHeader]byte
-	for off < l.end {
+	for off < l.end.Load() {
 		if err := fpReplay.Check(); err != nil {
 			return fmt.Errorf("wal: replay: %w", err)
 		}
@@ -301,15 +306,16 @@ func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	l.end = 0
+	l.end.Store(0)
 	return l.f.Sync()
 }
 
-// Size returns the current log length in bytes.
-func (l *Log) Size() int64 { return l.end }
+// Size returns the current log length in bytes (safe to poll
+// concurrently with appends).
+func (l *Log) Size() int64 { return l.end.Load() }
 
 // Empty reports whether the log holds no records.
-func (l *Log) Empty() bool { return l.end == 0 }
+func (l *Log) Empty() bool { return l.end.Load() == 0 }
 
 // Close closes the log file.
 func (l *Log) Close() error { return l.f.Close() }

@@ -44,9 +44,13 @@
 package ode
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ode/internal/btree"
@@ -86,6 +90,31 @@ type Options struct {
 	// demonstrate that it detects the durability bug this introduces
 	// (see docs/TESTING.md); never set it in production.
 	UnsafeSkipDoubleWrite bool
+	// MaxConcurrentTx caps the transactions admitted concurrently
+	// through Begin/RunTx/View (0 = unlimited). Past the cap, Begin
+	// calls queue (bounded by MaxQueuedTx) and are then rejected with
+	// ErrOverloaded, so overload degrades to fast typed rejection
+	// instead of lock-queue collapse. Trigger-action transactions run
+	// inside the engine and are exempt (gating them against user
+	// transactions could deadlock commit against admission).
+	MaxConcurrentTx int
+	// MaxQueuedTx bounds Begin calls waiting for an admission slot
+	// when MaxConcurrentTx is set (0 = default, 2*MaxConcurrentTx;
+	// negative = no queue, reject as soon as the slots are full).
+	MaxQueuedTx int
+	// WALSoftLimit, in bytes, triggers an automatic background
+	// checkpoint when a commit grows the log past it (0 = no automatic
+	// checkpoints; the log grows until Checkpoint or Close).
+	WALSoftLimit int64
+	// WALHardLimit, in bytes, applies commit backpressure: a commit
+	// with a write set stalls (observing its context) until a
+	// checkpoint brings the log back under the limit (0 = no
+	// backpressure). Setting only WALHardLimit implies a soft limit of
+	// half of it, so the checkpointer kicks in before commits stall.
+	WALHardLimit int64
+	// CloseTimeout bounds how long Close waits for active transactions
+	// to drain before canceling them (default 5s).
+	CloseTimeout time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -98,6 +127,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.ObjectCacheSize == 0 {
 		out.ObjectCacheSize = object.DefaultObjectCacheSize
+	}
+	if out.WALHardLimit > 0 && out.WALSoftLimit <= 0 {
+		out.WALSoftLimit = out.WALHardLimit / 2
+	}
+	if out.CloseTimeout <= 0 {
+		out.CloseTimeout = 5 * time.Second
 	}
 	return out
 }
@@ -121,7 +156,18 @@ type DB struct {
 	schema   *core.Schema
 	reg      *obs.Registry
 	met      *obs.Metrics
-	closed   bool
+
+	gov      *txn.Governor // nil when MaxConcurrentTx is 0
+	activeTx atomic.Int64  // user transactions begun and not yet finished
+	closing  atomic.Bool   // set first thing in Close; gates BeginCtx
+	closed   bool          // files released (Close/CrashForTesting ran)
+
+	cancelMu sync.Mutex
+	cancels  map[uint64]context.CancelFunc // live txid -> cancel, for Close
+
+	ckptKick chan struct{} // non-blocking kicks from commits past the soft limit
+	ckptStop chan struct{} // closed to stop the checkpointer
+	ckptDone chan struct{} // closed when the checkpointer has exited
 }
 
 // Open opens (creating if missing) the database at path against the
@@ -254,7 +300,7 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 	mgr.SetMetrics(&met.Object)
 	engine.SetMetrics(met)
 	svc.SetMetrics(&met.Trigger)
-	return &DB{
+	db := &DB{
 		path:     path,
 		opts:     o,
 		fs:       fs,
@@ -268,7 +314,33 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 		schema:   schema,
 		reg:      reg,
 		met:      met,
-	}, nil
+		cancels:  make(map[uint64]context.CancelFunc),
+	}
+	if o.MaxConcurrentTx > 0 {
+		queue := o.MaxQueuedTx
+		switch {
+		case queue == 0:
+			queue = 2 * o.MaxConcurrentTx
+		case queue < 0:
+			queue = 0
+		}
+		db.gov = txn.NewGovernor(o.MaxConcurrentTx, queue, &met.Txn)
+	}
+	if o.WALHardLimit > 0 {
+		engine.Backpressure = db.commitBackpressure
+	}
+	if o.WALSoftLimit > 0 {
+		db.ckptKick = make(chan struct{}, 1)
+		db.ckptStop = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		engine.AfterAppend = func(walSize int64) {
+			if walSize >= o.WALSoftLimit {
+				db.kickCheckpointer()
+			}
+		}
+		go db.checkpointLoop()
+	}
+	return db, nil
 }
 
 // Schema returns the database's class catalog.
@@ -277,17 +349,119 @@ func (db *DB) Schema() *core.Schema { return db.schema }
 // Path returns the data file path.
 func (db *DB) Path() string { return db.path }
 
-// Begin starts a transaction.
-func (db *DB) Begin() *Tx { return db.engine.Begin() }
+// Begin starts a transaction with no deadline. When the database is
+// overloaded (MaxConcurrentTx) or closing, the returned transaction is
+// poisoned: every operation on it, including Commit, returns the typed
+// rejection (ErrOverloaded, ErrDBClosed), and Abort is a no-op.
+func (db *DB) Begin() *Tx { return db.BeginCtx(context.Background()) }
+
+// BeginCtx starts a transaction governed by ctx: its deadline and
+// cancellation are observed while queued at admission, at every lock
+// wait and Deref, between forall scan batches, and at commit, aborting
+// the transaction with ErrTxTimeout / ErrCanceled. A nil ctx means
+// context.Background. Rejections are reported as with Begin.
+func (db *DB) BeginCtx(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if db.closing.Load() {
+		return txn.FailedTx(db.engine, ErrDBClosed)
+	}
+	if db.gov != nil {
+		if err := db.gov.Acquire(ctx); err != nil {
+			return txn.FailedTx(db.engine, err)
+		}
+		if db.closing.Load() {
+			db.gov.Release()
+			return txn.FailedTx(db.engine, ErrDBClosed)
+		}
+	}
+	// Each transaction gets a cancelable context so Close can abandon
+	// stragglers (mid-lock-wait or mid-scan) after its drain deadline.
+	cctx, cancel := context.WithCancel(ctx)
+	tx := db.engine.BeginCtx(cctx)
+	db.activeTx.Add(1)
+	id := tx.ID()
+	db.cancelMu.Lock()
+	db.cancels[id] = cancel
+	db.cancelMu.Unlock()
+	tx.OnFinish(func() {
+		db.cancelMu.Lock()
+		delete(db.cancels, id)
+		db.cancelMu.Unlock()
+		cancel()
+		if db.gov != nil {
+			db.gov.Release()
+		}
+		db.activeTx.Add(-1)
+	})
+	return tx
+}
+
+// Retry policy for RunTx: capped exponential backoff with jitter. The
+// envelope doubles from retryBase per attempt up to retryCap; the
+// sleep is envelope/2 plus a random half, so repeat deadlock victims
+// under sustained contention spread out instead of re-colliding in
+// lockstep (the jitter) while still backing off monotonically (the
+// envelope).
+const (
+	maxTxRetries = 200
+	retryBase    = 100 * time.Microsecond
+	retryCap     = 10 * time.Millisecond
+)
+
+// retryRng is seeded (not time-seeded) so backoff schedules are
+// reproducible run to run; the mutex makes RunTx safe to race.
+var retryRng = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(0x0de))}
+
+// retryEnvelope returns the deterministic upper bound of the sleep
+// before retry attempt (0-based): min(retryBase << attempt, retryCap).
+func retryEnvelope(attempt int) time.Duration {
+	d := retryBase << uint(attempt)
+	if d <= 0 || d > retryCap { // <= 0: shifted past 63 bits
+		d = retryCap
+	}
+	return d
+}
+
+// retryBackoff returns the jittered sleep for a retry attempt, in
+// [envelope/2, envelope].
+func retryBackoff(attempt int) time.Duration {
+	d := retryEnvelope(attempt)
+	retryRng.Lock()
+	j := time.Duration(retryRng.Int63n(int64(d)/2 + 1))
+	retryRng.Unlock()
+	return d/2 + j
+}
 
 // RunTx runs fn inside a transaction, committing on nil return and
-// aborting otherwise. Transactions that lose a deadlock are retried
-// (up to a small bound), matching the abort-and-rerun discipline the
-// paper's single-program transactions imply.
+// aborting otherwise. Transient conflicts (IsRetryable: deadlock
+// victims, deadline expiries) are retried under capped exponential
+// backoff with jitter, up to a retry budget — matching the
+// abort-and-rerun discipline the paper's single-program transactions
+// imply. Deterministic failures (constraint violations) and governance
+// rejections (ErrOverloaded, ErrCanceled, ErrDBClosed) return
+// immediately: retrying them cannot succeed, or would rebuild the
+// overload they report.
 func (db *DB) RunTx(fn func(tx *Tx) error) error {
-	const maxRetries = 200
+	return db.RunTxCtx(context.Background(), fn)
+}
+
+// RunTxCtx is RunTx under a context: every attempt runs with ctx's
+// deadline, and the retry loop stops as soon as ctx itself is dead,
+// reporting ErrTxTimeout/ErrCanceled rather than whatever retryable
+// conflict lost the final attempt. (An ErrTxTimeout against a live
+// ctx — e.g. raced against Close — is not respun either; the caller
+// decides whether to rerun.)
+func (db *DB) RunTxCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for attempt := 0; ; attempt++ {
-		tx := db.Begin()
+		tx := db.BeginCtx(ctx)
 		err := fn(tx)
 		if err == nil {
 			err = tx.Commit()
@@ -297,20 +471,41 @@ func (db *DB) RunTx(fn func(tx *Tx) error) error {
 		if err == nil {
 			return nil
 		}
-		if errors.Is(err, txn.ErrDeadlock) && attempt < maxRetries {
-			// Brief growing backoff so repeat victims under high
-			// contention stop colliding with the same winners.
-			backoff := time.Duration(attempt%8+1) * 100 * time.Microsecond
-			time.Sleep(backoff)
-			continue
+		if db.closing.Load() && !errors.Is(err, ErrDBClosed) {
+			// A transaction canceled out from under us by Close reports
+			// the close, not the incidental cancellation.
+			if errors.Is(err, txn.ErrCanceled) || errors.Is(err, txn.ErrTxTimeout) {
+				return fmt.Errorf("%w (transaction canceled by Close)", ErrDBClosed)
+			}
 		}
-		return err
+		if !txn.IsRetryable(err) || attempt >= maxTxRetries || ctx.Err() != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil && txn.IsRetryable(err) {
+				// The loop stopped because the caller's ctx died, not
+				// because the error is permanent; report the deadline
+				// (or cancellation), not the incidental conflict that
+				// lost the final attempt.
+				want := txn.ErrTxTimeout
+				if errors.Is(ctxErr, context.Canceled) {
+					want = txn.ErrCanceled
+				}
+				if !errors.Is(err, want) {
+					err = fmt.Errorf("%w (last attempt: %v)", want, err)
+				}
+			}
+			return err
+		}
+		time.Sleep(retryBackoff(attempt))
 	}
 }
 
 // View runs fn in a transaction that is always aborted (read-only use).
 func (db *DB) View(fn func(tx *Tx) error) error {
-	tx := db.Begin()
+	return db.ViewCtx(context.Background(), fn)
+}
+
+// ViewCtx is View under a context (deadline-bounded reads).
+func (db *DB) ViewCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	tx := db.BeginCtx(ctx)
 	defer tx.Abort()
 	return fn(tx)
 }
@@ -366,12 +561,84 @@ func (db *DB) DropIndex(c *Class, field string) error {
 }
 
 // Checkpoint makes all committed work durable in the data file and
-// truncates the WAL.
+// truncates the WAL. It runs under the engine's commit lock: a commit
+// cannot append to the log between the page flush and the truncation
+// (such an append would be silently dropped).
 func (db *DB) Checkpoint() error {
-	if err := db.mgr.Checkpoint(false); err != nil {
-		return err
+	return db.engine.WithCommitLock(func() error {
+		if err := db.mgr.Checkpoint(false); err != nil {
+			return err
+		}
+		return db.log.Truncate()
+	})
+}
+
+// kickCheckpointer nudges the background checkpointer without
+// blocking; a kick while one is pending coalesces.
+func (db *DB) kickCheckpointer() {
+	if db.ckptKick == nil {
+		return
 	}
-	return db.log.Truncate()
+	select {
+	case db.ckptKick <- struct{}{}:
+	default:
+	}
+}
+
+// checkpointLoop is the background checkpointer: each kick (a commit
+// growing the WAL past the soft limit, or a backpressure stall) runs
+// one checkpoint. Errors are swallowed — the next kick retries, and a
+// persistently failing store surfaces the error on the next explicit
+// Checkpoint, Commit, or Close.
+func (db *DB) checkpointLoop() {
+	defer close(db.ckptDone)
+	for {
+		select {
+		case <-db.ckptStop:
+			return
+		case <-db.ckptKick:
+		}
+		if db.log.Size() < db.opts.WALSoftLimit {
+			continue // a competing checkpoint already drained the log
+		}
+		if err := db.Checkpoint(); err == nil {
+			db.met.WAL.AutoCheckpoints.Inc()
+		}
+	}
+}
+
+// commitBackpressure stalls a commit while the WAL is at or past the
+// hard limit, kicking the checkpointer and polling until the log
+// drains, the transaction's context dies, or the database closes. It
+// runs before the commit lock is taken, so the checkpointer (which
+// needs that lock) can always make progress past the stalled
+// committers.
+func (db *DB) commitBackpressure(ctx context.Context) error {
+	hard := db.opts.WALHardLimit
+	if db.log.Size() < hard {
+		return nil
+	}
+	db.met.WAL.BackpressureStalls.Inc()
+	for {
+		db.kickCheckpointer()
+		if db.ckptKick == nil {
+			// No checkpointer to drain the log (soft limit disabled
+			// explicitly): checkpoint inline rather than deadlock.
+			if err := db.Checkpoint(); err != nil {
+				return fmt.Errorf("ode: wal hard limit: %w", err)
+			}
+		}
+		if db.log.Size() < hard {
+			return nil
+		}
+		if db.closing.Load() {
+			return fmt.Errorf("%w (commit stalled at wal hard limit)", ErrDBClosed)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w (commit stalled at wal hard limit)", txn.FromContextErr(err))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
 }
 
 // ExpireTimedTriggers fires timeout actions for timed activations whose
@@ -416,6 +683,8 @@ func (db *DB) MetricsRegistry() *obs.Registry { return db.reg }
 // state a process crash leaves behind. The next Open runs recovery.
 // For tests and benchmarks only.
 func (db *DB) CrashForTesting() {
+	db.closing.Store(true)
+	db.stopCheckpointer()
 	if db.closed {
 		return
 	}
@@ -426,18 +695,65 @@ func (db *DB) CrashForTesting() {
 	db.fs.Close()
 }
 
-// Close drains trigger actions, checkpoints (marking a clean
-// shutdown), truncates the WAL, and closes the files.
+// stopCheckpointer shuts the background checkpointer down and waits
+// for any in-flight checkpoint to finish (it must not touch files that
+// are about to close). Safe to call twice and without a checkpointer.
+func (db *DB) stopCheckpointer() {
+	if db.ckptStop == nil {
+		return
+	}
+	select {
+	case <-db.ckptStop: // already stopped
+	default:
+		close(db.ckptStop)
+	}
+	<-db.ckptDone
+}
+
+// Close shuts the database down gracefully: new transactions are
+// rejected with ErrDBClosed, active ones get CloseTimeout to finish
+// and are then canceled (aborting with ErrCanceled at their next lock
+// wait or scan boundary; RunTx reports that as ErrDBClosed), trigger
+// actions drain, the checkpointer stops, a final checkpoint marks a
+// clean shutdown and truncates the WAL, and the files close. A
+// concurrent or repeated Close is a no-op.
 func (db *DB) Close() error {
+	if !db.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	deadline := time.Now().Add(db.opts.CloseTimeout)
+	for db.activeTx.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	if db.activeTx.Load() > 0 {
+		// The drain deadline expired: cancel the stragglers and give
+		// them one more window to observe it and abort.
+		db.cancelMu.Lock()
+		for _, cancel := range db.cancels {
+			cancel()
+		}
+		db.cancelMu.Unlock()
+		grace := time.Now().Add(db.opts.CloseTimeout)
+		for db.activeTx.Load() > 0 && time.Now().Before(grace) {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	db.triggers.Wait()
+	// From here commits with a write set are rejected under the commit
+	// lock: nothing can reach the WAL once the final checkpoint runs.
+	db.engine.MarkClosed()
+	db.stopCheckpointer()
 	if db.closed {
 		return nil
 	}
 	db.closed = true
-	db.triggers.Wait()
-	if err := db.mgr.Checkpoint(true); err != nil {
-		return err
-	}
-	if err := db.log.Truncate(); err != nil {
+	err := db.engine.WithCommitLock(func() error {
+		if err := db.mgr.Checkpoint(true); err != nil {
+			return err
+		}
+		return db.log.Truncate()
+	})
+	if err != nil {
 		return err
 	}
 	var first error

@@ -235,11 +235,28 @@ var (
 	ErrConstraintViolation = txn.ErrConstraintViolation
 	// ErrDeadlock: the transaction lost a deadlock and must be rerun.
 	ErrDeadlock = txn.ErrDeadlock
+	// ErrTxTimeout: the transaction's context deadline expired (at a
+	// lock wait, scan boundary, or commit); retryable with time left.
+	ErrTxTimeout = txn.ErrTxTimeout
+	// ErrCanceled: the transaction's context was canceled.
+	ErrCanceled = txn.ErrCanceled
+	// ErrOverloaded: admission control rejected the transaction
+	// (MaxConcurrentTx slots and the wait queue are full).
+	ErrOverloaded = txn.ErrOverloaded
+	// ErrDBClosed: the database is closing or closed.
+	ErrDBClosed = txn.ErrDBClosed
 	// ErrSchemaMismatch: the registered schema does not match the file.
 	ErrSchemaMismatch = object.ErrSchemaMismatch
 	// ErrNoTrigger: activation of an undeclared trigger.
 	ErrNoTrigger = trigger.ErrNoTrigger
 )
+
+// IsRetryable reports whether err names a transient conflict an
+// abort-and-rerun loop should retry (deadlock victims, deadline
+// expiries) as opposed to a deterministic or governance failure
+// (constraint violations, cancellation, overload, closed database).
+// RunTx applies this taxonomy internally.
+func IsRetryable(err error) bool { return txn.IsRetryable(err) }
 
 // timeNow is indirected for tests of timed triggers.
 var timeNow = time.Now
