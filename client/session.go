@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+
+	"ode/internal/wire"
+)
+
+// Session is a remote O++ shell session: it pins one connection so the
+// server-side interpreter state (declared classes, the ambient
+// transaction opened by `begin`) persists across Exec calls. This is
+// what ode-sh -connect speaks.
+type Session struct {
+	c    *Client
+	cn   *wconn
+	done bool
+}
+
+// Session pins a connection for remote O++ execution. Close releases
+// it (the server aborts any ambient transaction when the pin drops).
+func (c *Client) Session(ctx context.Context) (*Session, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	// Verify the pin with a ping so a shed connection fails here, not
+	// mid-script.
+	resp, err := cn.roundTrip(ctx, wire.CmdPing, nil)
+	if err == nil {
+		err = respErrOnly(resp)
+	}
+	if err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	return &Session{c: c, cn: cn}, nil
+}
+
+// Exec runs O++ source on the server and returns its printed output.
+// A statement error arrives as the error; output printed before the
+// failure is still returned.
+func (s *Session) Exec(ctx context.Context, src string) (string, error) {
+	if s.done {
+		return "", ErrClosed
+	}
+	cn := s.cn
+	cn.nextID++
+	id := cn.nextID
+	buf := wire.AppendFrame(nil, &wire.Frame{ReqID: id, Type: wire.CmdOQL, Body: wire.AppendString(nil, src)})
+	var out string
+	var execErr error
+	err := cn.do(ctx, func() error {
+		if err := cn.send(buf); err != nil {
+			return err
+		}
+		for {
+			f, err := cn.recv(id)
+			if err != nil {
+				return err
+			}
+			switch f.Type {
+			case wire.RespText:
+				d := wire.NewDec(f.Body)
+				out = d.String()
+				if err := d.Err(); err != nil {
+					cn.broken = true
+					return err
+				}
+			case wire.RespOK:
+				return nil
+			case wire.RespErr:
+				execErr = wire.DecodeErrBody(f.Body)
+				return nil
+			default:
+				cn.broken = true
+				return protoErr("oql: unexpected response 0x%02x", f.Type)
+			}
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, execErr
+}
+
+// Close releases the pinned connection.
+func (s *Session) Close() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.c.put(s.cn)
+}

@@ -1,0 +1,223 @@
+package client
+
+import (
+	"context"
+
+	"ode"
+	"ode/internal/object"
+	"ode/internal/wire"
+)
+
+// Tx is a remote transaction. Its methods mirror ode.Tx; each is one
+// network round trip unless batched through Pipeline. A Tx pins one
+// connection and must be used by one goroutine, like its embedded
+// counterpart. The begin context governs every round trip: its
+// deadline bounds the socket, and the server enforces the same
+// deadline on locks, scans, and commit.
+type Tx struct {
+	c    *Client
+	cn   *wconn
+	ctx  context.Context
+	id   uint64
+	done bool
+}
+
+func (tx *Tx) context() context.Context { return tx.ctx }
+
+// ID returns the server-side transaction id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// finish releases the pinned connection back to the pool.
+func (tx *Tx) finish() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.c.put(tx.cn)
+}
+
+// Commit commits the remote transaction. Like embedded Commit, the
+// returned error is typed: constraint violations, deadline expiry at
+// commit, deadlock — all satisfy the same errors.Is tests.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ode.ErrTxDone
+	}
+	resp, err := tx.cn.roundTrip(tx.context(), wire.CmdCommit, nil)
+	tx.finish()
+	if err != nil {
+		return err
+	}
+	return respErrOnly(resp)
+}
+
+// Abort aborts the remote transaction; safe to call after failure or
+// repeatedly.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	resp, err := tx.cn.roundTrip(tx.context(), wire.CmdAbort, nil)
+	if err == nil {
+		_ = respErrOnly(resp)
+	}
+	tx.finish()
+}
+
+// op performs one round trip, returning the response frame or a typed
+// error.
+func (tx *Tx) op(typ byte, body []byte) (*wire.Frame, error) {
+	if tx.done {
+		return nil, ode.ErrTxDone
+	}
+	resp, err := tx.cn.roundTrip(tx.context(), typ, body)
+	if err != nil {
+		return nil, err
+	}
+	if err := respErr(resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// PNew creates a persistent object of class c initialized from init,
+// returning its new OID.
+func (tx *Tx) PNew(c *ode.Class, init *ode.Object) (ode.OID, error) {
+	body := wire.AppendString(nil, c.Name)
+	body = wire.AppendBytes(body, object.Encode(init))
+	resp, err := tx.op(wire.CmdPNew, body)
+	if err != nil {
+		return ode.NilOID, err
+	}
+	d := wire.NewDec(resp.Body)
+	oid := ode.OID(d.Uvarint())
+	if err := d.Err(); err != nil {
+		tx.cn.broken = true
+		return ode.NilOID, err
+	}
+	return oid, nil
+}
+
+// Deref reads the current image of oid.
+func (tx *Tx) Deref(oid ode.OID) (*ode.Object, error) {
+	resp, err := tx.op(wire.CmdDeref, wire.AppendUvarint(nil, uint64(oid)))
+	if err != nil {
+		return nil, err
+	}
+	return tx.decodeObjResp(resp)
+}
+
+// Update replaces the image of oid.
+func (tx *Tx) Update(oid ode.OID, o *ode.Object) error {
+	body := wire.AppendUvarint(nil, uint64(oid))
+	body = wire.AppendBytes(body, object.Encode(o))
+	resp, err := tx.op(wire.CmdUpdate, body)
+	if err != nil {
+		return err
+	}
+	return respErrOnly(resp)
+}
+
+// PDelete deletes oid.
+func (tx *Tx) PDelete(oid ode.OID) error {
+	resp, err := tx.op(wire.CmdPDelete, wire.AppendUvarint(nil, uint64(oid)))
+	if err != nil {
+		return err
+	}
+	return respErrOnly(resp)
+}
+
+// CurrentVersion returns the newest frozen version number of oid.
+func (tx *Tx) CurrentVersion(oid ode.OID) (uint32, error) {
+	resp, err := tx.op(wire.CmdCurrentVersion, wire.AppendUvarint(nil, uint64(oid)))
+	if err != nil {
+		return 0, err
+	}
+	return tx.decodeVersionResp(resp)
+}
+
+// NewVersion freezes the current image of oid as a new version.
+func (tx *Tx) NewVersion(oid ode.OID) (ode.VRef, error) {
+	resp, err := tx.op(wire.CmdNewVersion, wire.AppendUvarint(nil, uint64(oid)))
+	if err != nil {
+		return ode.VRef{}, err
+	}
+	v, err := tx.decodeVersionResp(resp)
+	if err != nil {
+		return ode.VRef{}, err
+	}
+	return ode.VRef{OID: oid, Version: v}, nil
+}
+
+// Versions lists the frozen version numbers of oid.
+func (tx *Tx) Versions(oid ode.OID) ([]uint32, error) {
+	resp, err := tx.op(wire.CmdVersions, wire.AppendUvarint(nil, uint64(oid)))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespVersions {
+		tx.cn.broken = true
+		return nil, protoErr("versions: unexpected response 0x%02x", resp.Type)
+	}
+	d := wire.NewDec(resp.Body)
+	n := d.Uvarint()
+	out := make([]uint32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, uint32(d.Uvarint()))
+	}
+	if err := d.Err(); err != nil {
+		tx.cn.broken = true
+		return nil, err
+	}
+	return out, nil
+}
+
+// DerefVersion reads a frozen version image.
+func (tx *Tx) DerefVersion(ref ode.VRef) (*ode.Object, error) {
+	body := wire.AppendUvarint(nil, uint64(ref.OID))
+	body = wire.AppendUvarint(body, uint64(ref.Version))
+	resp, err := tx.op(wire.CmdDerefVersion, body)
+	if err != nil {
+		return nil, err
+	}
+	return tx.decodeObjResp(resp)
+}
+
+// DeleteVersion deletes one frozen version.
+func (tx *Tx) DeleteVersion(ref ode.VRef) error {
+	body := wire.AppendUvarint(nil, uint64(ref.OID))
+	body = wire.AppendUvarint(body, uint64(ref.Version))
+	resp, err := tx.op(wire.CmdDeleteVersion, body)
+	if err != nil {
+		return err
+	}
+	return respErrOnly(resp)
+}
+
+func (tx *Tx) decodeObjResp(resp *wire.Frame) (*ode.Object, error) {
+	if resp.Type != wire.RespObject {
+		tx.cn.broken = true
+		return nil, protoErr("unexpected response 0x%02x, want object", resp.Type)
+	}
+	d := wire.NewDec(resp.Body)
+	image := d.Bytes()
+	if err := d.Err(); err != nil {
+		tx.cn.broken = true
+		return nil, err
+	}
+	return object.Decode(tx.c.schema, image)
+}
+
+func (tx *Tx) decodeVersionResp(resp *wire.Frame) (uint32, error) {
+	if resp.Type != wire.RespVersion {
+		tx.cn.broken = true
+		return 0, protoErr("unexpected response 0x%02x, want version", resp.Type)
+	}
+	d := wire.NewDec(resp.Body)
+	v := uint32(d.Uvarint())
+	if err := d.Err(); err != nil {
+		tx.cn.broken = true
+		return 0, err
+	}
+	return v, nil
+}

@@ -41,7 +41,9 @@ import (
 	"time"
 
 	"ode"
+	"ode/client"
 	"ode/internal/bench"
+	"ode/internal/server"
 	"ode/internal/torture"
 )
 
@@ -64,6 +66,9 @@ var (
 	faultDir    = flag.String("dir", "", "torture store directory (default: a temp dir, removed on success)")
 	faultCancel = flag.Bool("cancel", false,
 		"torture: also drive cancellation/timeout/overload traffic against a governed store (docs/TESTING.md)")
+
+	connectAddr = flag.String("connect", "",
+		"E15: measure against this remote ode-server (started with -bench-schema) instead of an in-process loopback server")
 )
 
 // benchResult is one measured row of the machine-readable output.
@@ -112,12 +117,24 @@ func main() {
 			}
 			return db.MetricsRegistry().Snapshot()
 		}))
+		// The registry snapshot is also served plain (not wrapped in
+		// expvar's key/value envelope) for scrapers that want the
+		// documented metric names as top-level JSON keys.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			db := liveDB.Load()
+			if db == nil {
+				w.Write([]byte("{}\n"))
+				return
+			}
+			json.NewEncoder(w).Encode(db.MetricsRegistry().Snapshot())
+		})
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "ode-bench: metrics server:", err)
 			}
 		}()
-		fmt.Printf("serving expvar metrics on %s/debug/vars\n", *httpAddr)
+		fmt.Printf("serving metrics on %s/metrics (JSON) and /debug/vars (expvar)\n", *httpAddr)
 	}
 
 	wanted := map[string]bool{}
@@ -145,6 +162,7 @@ func main() {
 		{"E12", "crash recovery (repair-on-open)", runE12},
 		{"E13", "multi-core read path: parallel forall and concurrent deref", runE13},
 		{"E14", "resource governance: admission control, deadlines, bounded WAL", runE14},
+		{"E15", "network server: embedded vs remote wire protocol", runE15},
 	}
 	for _, e := range experiments {
 		if len(wanted) > 0 && !wanted[e.id] {
@@ -1123,5 +1141,195 @@ func runE14() error {
 	if peak > hard+(64<<10) {
 		return fmt.Errorf("WAL peaked at %d bytes, far beyond the %d hard limit", peak, hard)
 	}
+	return nil
+}
+
+// runE15 measures the cost of the network hop: the same operations
+// embedded (function call into the engine) and remote (wire protocol
+// round trip to a server), plus the pipelined variant that amortizes
+// round trips. By default the server runs in-process on loopback; with
+// -connect it is an external ode-server daemon started with
+// -bench-schema (whose class registration matches bench.Schema).
+func runE15() error {
+	nItems := scale(5000)
+	const txBatch = 20
+	reps := scale(400)
+	if reps < txBatch {
+		reps = txBatch
+	}
+
+	// Embedded baseline.
+	w, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	oids, err := w.LoadStock(nItems)
+	if err != nil {
+		return err
+	}
+	newStock := func(c *ode.Class, i int) *ode.Object {
+		o := ode.NewObject(c)
+		o.MustSet("name", ode.Str(fmt.Sprintf("e15-%07d", i)))
+		o.MustSet("price", ode.Float(1))
+		o.MustSet("qty", ode.Int(int64(i)))
+		o.MustSet("threshold", ode.Int(100))
+		return o
+	}
+	embPNew, err := timeIt(reps/txBatch, func() error {
+		return w.DB.RunTx(func(tx *ode.Tx) error {
+			for i := 0; i < txBatch; i++ {
+				if _, err := tx.PNew(w.Stock, newStock(w.Stock, i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	var k int
+	embDeref, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			for i := 0; i < reps; i++ {
+				k = (k + 7919) % len(oids)
+				if _, err := tx.Deref(oids[k]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	embDeref /= time.Duration(reps)
+	embScan, err := timeIt(3, func() error {
+		return w.DB.View(func(tx *ode.Tx) error {
+			_, err := ode.Forall(tx, w.Stock).
+				SuchThat(ode.Field("qty").Ge(ode.Int(int64(nItems / 2)))).Count()
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Remote side: external daemon (-connect) or in-process loopback.
+	addr := *connectAddr
+	var srv *server.Server
+	if addr == "" {
+		rw, err := bench.NewWorld(nil)
+		if err != nil {
+			return err
+		}
+		defer rw.Close()
+		srv = server.New(rw.DB, nil)
+		a, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(nil)
+		defer srv.Close()
+		addr = a.String()
+	}
+	schema, cw := bench.Schema()
+	c, err := client.Dial(addr, schema, nil)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	var roids []ode.OID
+	if err := c.RunTx(ctx, func(tx *client.Tx) error {
+		p := tx.Pipeline()
+		futs := make([]*client.Future, nItems)
+		for i := range futs {
+			futs[i] = p.PNew(cw.Stock, newStock(cw.Stock, i))
+		}
+		if err := p.Flush(); err != nil {
+			return err
+		}
+		roids = roids[:0]
+		for _, f := range futs {
+			oid, err := f.OID()
+			if err != nil {
+				return err
+			}
+			roids = append(roids, oid)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("remote load: %w", err)
+	}
+
+	remPNew, err := timeIt(reps/txBatch, func() error {
+		return c.RunTx(ctx, func(tx *client.Tx) error {
+			for i := 0; i < txBatch; i++ {
+				if _, err := tx.PNew(cw.Stock, newStock(cw.Stock, i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	remPNewPipe, err := timeIt(reps/txBatch, func() error {
+		return c.RunTx(ctx, func(tx *client.Tx) error {
+			p := tx.Pipeline()
+			futs := make([]*client.Future, txBatch)
+			for i := range futs {
+				futs[i] = p.PNew(cw.Stock, newStock(cw.Stock, i))
+			}
+			if err := p.Flush(); err != nil {
+				return err
+			}
+			for _, f := range futs {
+				if _, err := f.OID(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	remDeref, err := timeIt(3, func() error {
+		return c.RunTx(ctx, func(tx *client.Tx) error {
+			for i := 0; i < reps; i++ {
+				k = (k + 7919) % len(roids)
+				if _, err := tx.Deref(roids[k]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	remDeref /= time.Duration(reps)
+	remScan, err := timeIt(3, func() error {
+		return c.RunTx(ctx, func(tx *client.Tx) error {
+			_, err := tx.Count(&client.Scan{
+				Class: cw.Stock, Field: "qty", Op: client.CmpGe, Value: ode.Int(int64(nItems / 2)),
+			})
+			return err
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	perOp := func(d time.Duration) time.Duration { return d / txBatch }
+	row(fmt.Sprintf("pnew/op (tx of %d)", txBatch), "embedded", perOp(embPNew),
+		"remote", perOp(remPNew), "remote pipelined", perOp(remPNewPipe))
+	row("deref/op", "embedded", embDeref, "remote", remDeref)
+	row(fmt.Sprintf("suchthat scan (n=%d)", nItems), "embedded", embScan, "remote", remScan)
 	return nil
 }

@@ -1,0 +1,157 @@
+// ode-server is the network daemon: it opens an Ode database file and
+// serves it over TCP to remote clients (the ode/client package, ode-sh
+// -connect, ode-bench -connect) using the internal/wire protocol.
+//
+// Usage:
+//
+//	ode-server -db inventory.odb -addr :6339 schema.oql
+//	ode-server -db bench.odb -bench-schema -metrics :6340
+//
+// The schema rule is the same as for embedded openers of a shared
+// file: clients must register the identical class list. A schema is
+// supplied either as .oql scripts (class declarations, as ode-sh
+// accepts), or with -bench-schema (the benchmark catalog, for remote
+// ode-bench and CI smoke), or left empty for pure remote-O++ use —
+// remote shells can declare classes over the wire.
+//
+// -metrics serves the engine+server metric registry on HTTP as both
+// expvar (/debug/vars) and a plain JSON snapshot (/metrics); the same
+// snapshot is available in-band over the wire protocol. docs/SERVER.md
+// documents the deployment surface, docs/OBSERVABILITY.md the metric
+// names.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ode"
+	"ode/internal/bench"
+	"ode/internal/oql"
+	"ode/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:6339", "listen address for the wire protocol")
+		dbPath      = flag.String("db", "", "database file (required)")
+		poolPages   = flag.Int("pool", 4096, "buffer pool size in pages")
+		cacheSize   = flag.Int("cache", 0, "decoded-object cache entries (0: engine default)")
+		noSync      = flag.Bool("nosync", false, "skip fsync on commit (crash-unsafe; benchmarks only)")
+		maxTx       = flag.Int("max-tx", 0, "admission control: concurrent transaction slots (0: unlimited)")
+		maxQueued   = flag.Int("max-queued", 0, "admission control: queued transactions beyond the slots")
+		walSoft     = flag.Int64("wal-soft", 0, "WAL soft limit in bytes (0: engine default)")
+		walHard     = flag.Int64("wal-hard", 0, "WAL hard limit in bytes (0: engine default)")
+		maxConns    = flag.Int("max-conns", 256, "session table bound; excess connections are shed")
+		maxDeadline = flag.Duration("max-deadline", 0, "clamp client transaction deadlines (0: unclamped)")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		metricsAddr = flag.String("metrics", "", "serve /metrics (JSON) and /debug/vars (expvar) on this address")
+		benchSchema = flag.Bool("bench-schema", false, "register the benchmark catalog (for remote ode-bench)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ode-server -db FILE [-addr HOST:PORT] [schema.oql ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Assemble the schema: benchmark catalog, .oql class declarations,
+	// or empty (remote shells declare classes over the wire).
+	var schema *ode.Schema
+	if *benchSchema {
+		schema, _ = bench.Schema()
+	} else {
+		schema = ode.NewSchema()
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := oql.SplitSchema(string(src), schema); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+
+	db, err := ode.Open(*dbPath, schema, &ode.Options{
+		PoolPages:       *poolPages,
+		ObjectCacheSize: *cacheSize,
+		NoSync:          *noSync,
+		MaxConcurrentTx: *maxTx,
+		MaxQueuedTx:     *maxQueued,
+		WALSoftLimit:    *walSoft,
+		WALHardLimit:    *walHard,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	// Classes served for remote pnew need their clusters; create any
+	// that are missing (idempotent across restarts).
+	for _, c := range db.Schema().Classes() {
+		if !db.HasCluster(c) {
+			if err := db.CreateCluster(c); err != nil {
+				fatal(fmt.Errorf("create cluster %s: %w", c.Name, err))
+			}
+		}
+	}
+
+	srv := server.New(db, &server.Options{
+		MaxConns:     *maxConns,
+		MaxDeadline:  *maxDeadline,
+		DrainTimeout: *drain,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+
+	if *metricsAddr != "" {
+		expvar.Publish("ode", expvar.Func(func() any { return db.MetricsRegistry().Snapshot() }))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(db.MetricsRegistry().Snapshot())
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ode-server: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics (JSON) and /debug/vars (expvar)\n", *metricsAddr)
+	}
+
+	lnAddr, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ode-server: serving %s on %s (max-conns %d, drain %v)\n", *dbPath, lnAddr, *maxConns, *drain)
+
+	// SIGINT/SIGTERM drain gracefully: stop accepting, give active
+	// sessions the drain window, then cancel and close.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "ode-server: %v: draining...\n", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(nil); err != nil && err != server.ErrServerClosed {
+		fatal(err)
+	}
+	fmt.Println("ode-server: shut down cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ode-server:", err)
+	os.Exit(1)
+}

@@ -6,32 +6,45 @@
 //
 //	ode-sh -db inventory.odb schema.oql [script.oql ...]
 //	ode-sh -db inventory.odb            # REPL on stdin
+//	ode-sh -connect host:6339           # remote: statements run on ode-server
 //
 // When reopening an existing database, pass the same schema scripts
 // first: classes must be registered before the file is opened so the
 // catalog can be verified. Class declarations found in any script are
 // registered before Open; the remaining statements run afterwards.
+//
+// With -connect the shell speaks the wire protocol to an ode-server
+// daemon instead of opening a file: statements execute in a pinned
+// server-side session, so declared classes and `begin` transactions
+// persist across lines exactly as they do locally.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"ode"
+	"ode/client"
 	"ode/internal/oql"
 )
 
 func main() {
-	dbPath := flag.String("db", "", "database file (required)")
+	dbPath := flag.String("db", "", "database file (required unless -connect)")
+	connect := flag.String("connect", "", "run against a remote ode-server at host:port")
 	poolPages := flag.Int("pool", 1024, "buffer pool size in pages")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ode-sh -db FILE [script.oql ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ode-sh -db FILE [script.oql ...]\n       ode-sh -connect HOST:PORT [script.oql ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *connect != "" {
+		remote(*connect, flag.Args())
+		return
+	}
 	if *dbPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -111,6 +124,71 @@ func main() {
 		fatal(err)
 	}
 	db.Triggers().Wait()
+}
+
+// remote runs scripts (or the REPL) against an ode-server daemon. The
+// whole interpreter lives server-side; each statement batch is one
+// wire round trip and the printed output comes back as text.
+func remote(addr string, scripts []string) {
+	c, err := client.Dial(addr, ode.NewSchema(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	sess, err := c.Session(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+
+	exec := func(src string) error {
+		out, err := sess.Exec(ctx, src)
+		if out != "" {
+			fmt.Print(out)
+		}
+		return err
+	}
+
+	if len(scripts) > 0 {
+		for _, path := range scripts {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := exec(string(src)); err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+		}
+		return
+	}
+
+	fmt.Printf("ode-sh — connected to %s. End statements with ';'. Ctrl-D to exit.\n", addr)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "ode> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			break
+		}
+		buf.WriteString(scanner.Text())
+		buf.WriteByte('\n')
+		src := buf.String()
+		if !complete(src) {
+			prompt = "...> "
+			continue
+		}
+		buf.Reset()
+		prompt = "ode> "
+		if strings.TrimSpace(src) == "" {
+			continue
+		}
+		if err := exec(src); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
 }
 
 // complete reports whether the input forms a complete statement batch:

@@ -113,6 +113,26 @@ func Decode(schema *core.Schema, data []byte) (*core.Object, error) {
 	return o, nil
 }
 
+// EncodeValue serializes one value standalone, in the same
+// self-describing form the object codec uses for slots. The wire
+// protocol carries predicate operands this way.
+func EncodeValue(v core.Value) []byte { return appendValue(nil, v) }
+
+// DecodeValue deserializes one value from the front of data, returning
+// the remainder.
+func DecodeValue(data []byte) (core.Value, []byte, error) { return decodeValue(data) }
+
+// ImageClassID peeks the class id of a serialized object without
+// decoding it (the wire layer verifies client and server schemas agree
+// before applying a remote image).
+func ImageClassID(image []byte) (core.ClassID, error) {
+	cid, n := binary.Uvarint(image)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: class id", ErrCodec)
+	}
+	return core.ClassID(cid), nil
+}
+
 func decodeValue(data []byte) (core.Value, []byte, error) {
 	if len(data) == 0 {
 		return core.Null, nil, fmt.Errorf("%w: truncated value", ErrCodec)

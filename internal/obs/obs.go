@@ -178,6 +178,15 @@ func (r *Registry) register(name string, m metric) {
 // the per-DB Metrics set. Duplicate names panic, as with register.
 func (r *Registry) RegisterCounter(name string, c *Counter) { r.register(name, c) }
 
+// RegisterGauge registers an externally owned gauge under name (the
+// network server attaches its session-table gauge this way).
+func (r *Registry) RegisterGauge(name string, g *Gauge) { r.register(name, g) }
+
+// RegisterHistogram registers an externally owned histogram under name
+// (the network server attaches its per-command latency histograms this
+// way).
+func (r *Registry) RegisterHistogram(name string, h *Histogram) { r.register(name, h) }
+
 // Names returns every registered metric name, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()

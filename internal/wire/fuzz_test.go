@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the frame decoder with corrupted streams.
+// The invariants: DecodeFrame never panics, never claims to consume
+// more bytes than it was given, and on success re-encoding the decoded
+// frame reproduces exactly the consumed bytes (the codec is canonical).
+// The seed corpus covers the interesting failure classes: truncated
+// frames, oversized length prefixes, and CRC-corrupted payloads.
+func FuzzDecodeFrame(f *testing.F) {
+	good := AppendFrame(nil, &Frame{ReqID: 7, Type: CmdBegin, Body: AppendUvarint(nil, 500)})
+	f.Add(good)
+	f.Add(good[:len(good)-3]) // truncated trailer
+	f.Add(good[:5])           // truncated payload
+	f.Add([]byte{})           // empty
+	corrupt := append([]byte(nil), good...)
+	corrupt[9] ^= 0x40 // flip a payload bit: CRC mismatch
+	f.Add(corrupt)
+	huge := binary.BigEndian.AppendUint32(nil, uint32(DefaultMaxFrame)+1)
+	f.Add(append(huge, good[4:]...)) // oversized length prefix
+	tiny := binary.BigEndian.AppendUint32(nil, 3)
+	f.Add(append(tiny, 0, 0, 0, 0, 0, 0, 0)) // payload below reqID+type
+	// Two frames back to back: decoding must stop at the first.
+	f.Add(append(append([]byte(nil), good...), good...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, 0)
+		if err != nil {
+			if fr != nil {
+				t.Fatalf("error %v with non-nil frame", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendFrame(nil, fr)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data[:n])
+		}
+		// The body decoders must tolerate arbitrary bodies.
+		_, _ = DecodeForallReq(fr.Body, true)
+		_, _ = DecodeForallReq(fr.Body, false)
+		_ = DecodeErrBody(fr.Body)
+	})
+}

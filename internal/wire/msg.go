@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Body encoding: uvarints for integers, length-prefixed bytes for
+// strings, images, and value operands. Images and predicate operands
+// use the object codec (object.Encode / object.EncodeValue) and travel
+// here as opaque byte strings, so the wire layer never decodes objects
+// itself.
+
+// AppendUvarint appends a uvarint to a body under construction.
+func AppendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(b, s []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Dec is a sticky-error body decoder. After any failure, every
+// subsequent read returns a zero value and Err reports the first
+// failure; handlers decode a whole body and check Err once.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec wraps a frame body for decoding.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the first decode failure, or nil.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated body", ErrMalformed)
+	}
+}
+
+// Uvarint reads one uvarint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Byte reads one byte.
+func (d *Dec) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
+}
+
+// Bytes reads one length-prefixed byte string (aliasing the body).
+func (d *Dec) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.fail()
+		return nil
+	}
+	s := d.b[:n]
+	d.b = d.b[n:]
+	return s
+}
+
+// String reads one length-prefixed string.
+func (d *Dec) String() string { return string(d.Bytes()) }
+
+// Rest returns the undecoded remainder of the body.
+func (d *Dec) Rest() []byte { return d.b }
+
+// ForallReq is the body of a CmdForall (and, without Batch, a
+// CmdExplain) request. Field == "" means no suchthat clause; Value is
+// an object.EncodeValue operand.
+type ForallReq struct {
+	Class string
+	Flags byte
+	Field string
+	Op    byte // query.CmpOp when Field != ""
+	Value []byte
+	Batch uint64 // requested rows per RespBatch frame (CmdForall only)
+}
+
+// Append serializes the request body.
+func (r *ForallReq) Append(b []byte, withBatch bool) []byte {
+	b = AppendString(b, r.Class)
+	b = append(b, r.Flags)
+	b = AppendString(b, r.Field)
+	if r.Field != "" {
+		b = append(b, r.Op)
+		b = AppendBytes(b, r.Value)
+	}
+	if withBatch {
+		b = AppendUvarint(b, r.Batch)
+	}
+	return b
+}
+
+// DecodeForallReq parses a CmdForall/CmdExplain body.
+func DecodeForallReq(body []byte, withBatch bool) (*ForallReq, error) {
+	d := NewDec(body)
+	r := &ForallReq{}
+	r.Class = d.String()
+	r.Flags = d.Byte()
+	r.Field = d.String()
+	if d.Err() == nil && r.Field != "" {
+		r.Op = d.Byte()
+		r.Value = d.Bytes()
+	}
+	if withBatch {
+		r.Batch = d.Uvarint()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ErrBody builds a RespErr body.
+func ErrBody(code uint16, msg string) []byte {
+	b := AppendUvarint(nil, uint64(code))
+	return AppendString(b, msg)
+}
+
+// DecodeErrBody parses a RespErr body into a typed error.
+func DecodeErrBody(body []byte) error {
+	d := NewDec(body)
+	code := d.Uvarint()
+	msg := d.String()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return CodeErr(uint16(code), msg)
+}

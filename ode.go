@@ -437,6 +437,15 @@ func retryBackoff(attempt int) time.Duration {
 	return d/2 + j
 }
 
+// RetryBackoff returns the jittered sleep RunTx would take before
+// retry attempt (0-based). Exported so remote clients apply the same
+// backoff policy as the embedded retry loop; MaxTxRetries is the
+// matching budget.
+func RetryBackoff(attempt int) time.Duration { return retryBackoff(attempt) }
+
+// MaxTxRetries is RunTx's retry budget, exported for remote clients.
+const MaxTxRetries = maxTxRetries
+
 // RunTx runs fn inside a transaction, committing on nil return and
 // aborting otherwise. Transient conflicts (IsRetryable: deadlock
 // victims, deadline expiries) are retried under capped exponential

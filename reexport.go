@@ -235,6 +235,8 @@ var (
 	ErrConstraintViolation = txn.ErrConstraintViolation
 	// ErrDeadlock: the transaction lost a deadlock and must be rerun.
 	ErrDeadlock = txn.ErrDeadlock
+	// ErrTxDone: an operation on a finished transaction.
+	ErrTxDone = txn.ErrTxDone
 	// ErrTxTimeout: the transaction's context deadline expired (at a
 	// lock wait, scan boundary, or commit); retryable with time left.
 	ErrTxTimeout = txn.ErrTxTimeout
