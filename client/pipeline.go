@@ -59,8 +59,14 @@ func (f *Future) Object(s *ode.Schema) (*ode.Object, error) {
 	return f.obj, f.err
 }
 
-// enqueue appends one request frame and its future.
+// enqueue appends one request frame and its future. Once the
+// transaction is done its connection belongs to the pool (and possibly
+// a new owner), so a late enqueue must not touch it: the future carries
+// ErrTxDone and nothing is queued.
 func (p *Pipeline) enqueue(typ, want byte, body []byte) *Future {
+	if p.tx.done {
+		return &Future{err: ode.ErrTxDone}
+	}
 	p.tx.cn.nextID++
 	f := &Future{reqID: p.tx.cn.nextID, want: want}
 	p.buf = wire.AppendFrame(p.buf, &wire.Frame{ReqID: f.reqID, Type: typ, Body: body})

@@ -16,8 +16,9 @@ type Session struct {
 	done bool
 }
 
-// Session pins a connection for remote O++ execution. Close releases
-// it (the server aborts any ambient transaction when the pin drops).
+// Session pins a connection for remote O++ execution. Close tears the
+// connection down (the server aborts any ambient transaction and
+// discards the interpreter state when the socket drops).
 func (c *Client) Session(ctx context.Context) (*Session, error) {
 	cn, err := c.get()
 	if err != nil {
@@ -83,11 +84,17 @@ func (s *Session) Exec(ctx context.Context, src string) (string, error) {
 	return out, execErr
 }
 
-// Close releases the pinned connection.
+// Close tears down the pinned connection. The connection is never
+// returned to the pool: the server-side interpreter state (declared
+// classes, variables, an ambient transaction opened by `begin`) lives
+// on it and is only discarded when the socket closes — pooling it
+// would hand that state, and any locks the ambient transaction holds,
+// to the connection's next owner.
 func (s *Session) Close() {
 	if s.done {
 		return
 	}
 	s.done = true
+	s.cn.broken = true
 	s.c.put(s.cn)
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -183,23 +184,33 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.met.ConnsTotal.Inc()
 		c := &conn{s: s, nc: nc}
+		// The closing check and wg.Add happen under s.mu as one step:
+		// Close sets closing before taking s.mu to drain, so any accept
+		// that gets past this check has already bumped the WaitGroup
+		// before Close can reach wg.Wait (Add concurrent with Wait at a
+		// zero counter is forbidden, and the goroutine would escape the
+		// drain).
 		s.mu.Lock()
-		full := len(s.conns) >= s.opts.MaxConns || s.closing.Load()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		full := len(s.conns) >= s.opts.MaxConns
 		if !full {
 			s.conns[c] = struct{}{}
 			s.met.Conns.Set(int64(len(s.conns)))
 		}
+		s.wg.Add(1)
 		s.mu.Unlock()
 		if full {
 			s.met.Sheds.Inc()
-			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
 				s.shed(nc)
 			}()
 			continue
 		}
-		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			c.serve()
@@ -481,13 +492,24 @@ func (c *conn) handleBegin(f *wire.Frame) error {
 	if err := d.Err(); err != nil {
 		return c.replyErr(f.ReqID, protoErr("begin: %v", err))
 	}
+	// A deadline too large to represent as a time.Duration would
+	// overflow to a negative value and dodge the MaxDeadline clamp;
+	// saturate it to "no deadline" first so the clamp still applies.
+	if ms > uint64(math.MaxInt64/int64(time.Millisecond)) {
+		ms = 0
+	}
 	deadline := time.Duration(ms) * time.Millisecond
 	if max := c.s.opts.MaxDeadline; max > 0 && (deadline == 0 || deadline > max) {
 		deadline = max
 	}
-	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	// Every transaction gets a cancelable context, deadline or not, so
+	// force() during Close can interrupt lock waits and scan boundaries.
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if deadline > 0 {
-		ctx, cancel = context.WithTimeout(ctx, deadline)
+		ctx, cancel = context.WithTimeout(context.Background(), deadline)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
 	}
 	tx := c.s.db.BeginCtx(ctx)
 	if !tx.Active() {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net"
 	"path/filepath"
 	"strings"
@@ -647,6 +648,19 @@ func TestPipeline(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
+	// Operations queued after Commit must not touch the connection (it
+	// belongs to the pool again); the future carries the typed failure
+	// and nothing is queued.
+	late := p.PNew(stock, item(stock, "late", 1, 1))
+	if _, err := late.OID(); !errors.Is(err, ode.ErrTxDone) {
+		t.Errorf("late pnew err = %v, want ErrTxDone", err)
+	}
+	if p.Len() != 0 {
+		t.Errorf("late enqueue queued a frame: len = %d", p.Len())
+	}
+	if err := p.Flush(); err != nil {
+		t.Errorf("empty flush after done: %v", err)
+	}
 }
 
 // TestRemoteOQL drives the server-side O++ interpreter through a
@@ -787,5 +801,127 @@ func TestRemoteRunTxRetry(t *testing.T) {
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSessionCloseDiscardsServerState: Session.Close must tear the
+// pinned connection down rather than return it to the pool — the
+// server-side interpreter state (variables, declared classes, the
+// uncommitted ambient transaction and its locks) lives on the
+// connection and is only discarded when the socket drops. Pooling it
+// would hand all of that to the connection's next owner.
+func TestSessionCloseDiscardsServerState(t *testing.T) {
+	_, _, c, stock := startEnv(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	sess, err := c.Session(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpreter variable state plus an uncommitted ambient-transaction
+	// write that holds a lock on the new object.
+	if _, err := sess.Exec(ctx, `x := 21; s := pnew stockitem{name: "leak", qty: 1, price: 1.0};`); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	// A new session (which would be handed the pooled connection had
+	// Close pooled it) must not inherit the old interpreter state.
+	sess2, err := c.Session(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	if _, err := sess2.Exec(ctx, `print(x);`); err == nil {
+		t.Fatal("interpreter state survived Session.Close")
+	}
+
+	// The ambient transaction died with the socket: a wire transaction
+	// scans the cluster without blocking on its locks, and the
+	// uncommitted pnew is invisible.
+	scanCtx, scanCancel := context.WithTimeout(ctx, 5*time.Second)
+	defer scanCancel()
+	tx, err := c.Begin(scanCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	n, err := tx.Count(&client.Scan{Class: stock})
+	if err != nil {
+		t.Fatalf("scan after session close: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("uncommitted session write visible after close: %d rows", n)
+	}
+}
+
+// TestBeginDeadlineOverflowClamped sends a deadline too large for
+// time.Duration: it must not overflow to a negative duration and dodge
+// the MaxDeadline clamp — the transaction still expires on schedule.
+func TestBeginDeadlineOverflowClamped(t *testing.T) {
+	_, _, addr, stock := startServer(t, filepath.Join(t.TempDir(), "ovf.odb"),
+		&server.Options{MaxDeadline: 50 * time.Millisecond})
+	rc := dialRaw(t, addr)
+	defer rc.nc.Close()
+	rc.ok(wire.CmdBegin, wire.AppendUvarint(nil, math.MaxUint64))
+	time.Sleep(150 * time.Millisecond)
+	body := wire.AppendUvarint(nil, 1)
+	body = wire.AppendBytes(body, object.Encode(item(stock, "late", 1, 1)))
+	f := rc.roundTrip(wire.CmdUpdate, body)
+	if f.Type != wire.RespErr {
+		t.Fatalf("update on expired tx: response 0x%02x, want error", f.Type)
+	}
+	err := wire.DecodeErrBody(f.Body)
+	if !errors.Is(err, ode.ErrTxTimeout) && !errors.Is(err, ode.ErrCanceled) {
+		t.Fatalf("err = %v, want deadline taxonomy (MaxDeadline clamp skipped?)", err)
+	}
+}
+
+// TestCloseCancelsUnboundedLockWait: a transaction begun with no
+// deadline at all (client ms=0, MaxDeadline=0) must still carry a
+// cancelable context, or Close cannot interrupt its lock waits and
+// shutdown hangs behind the blocked handler.
+func TestCloseCancelsUnboundedLockWait(t *testing.T) {
+	db, srv, addr, stock := startServer(t, filepath.Join(t.TempDir(), "wait.odb"),
+		&server.Options{DrainTimeout: 200 * time.Millisecond})
+
+	var oid ode.OID
+	if err := db.RunTx(func(tx *ode.Tx) error {
+		var err error
+		oid, err = tx.PNew(stock, item(stock, "held", 1, 1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An embedded transaction takes the exclusive lock and keeps it.
+	holder := db.Begin()
+	if err := holder.Update(oid, item(stock, "held", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Abort()
+
+	// Remote no-deadline transaction blocks in the write-lock wait; the
+	// response is never read — the handler is parked server-side.
+	rc := dialRaw(t, addr)
+	defer rc.nc.Close()
+	rc.ok(wire.CmdBegin, wire.AppendUvarint(nil, 0))
+	body := wire.AppendUvarint(nil, uint64(oid))
+	body = wire.AppendBytes(body, object.Encode(item(stock, "held", 3, 1)))
+	rc.id++
+	if _, err := wire.WriteFrame(rc.nc, &wire.Frame{ReqID: rc.id, Type: wire.CmdUpdate, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the handler enter the lock wait
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: the unbounded lock wait was not canceled")
 	}
 }
