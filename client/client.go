@@ -242,6 +242,18 @@ func (c *Client) RunTx(ctx context.Context, fn func(tx *Tx) error) error {
 	}
 }
 
+// View runs fn in a read-only transaction: begin, fn, abort. Nothing
+// fn does is committed, mirroring the embedded DB.View contract. It is
+// the read path Replicated routes to replicas.
+func (c *Client) View(ctx context.Context, fn func(tx *Tx) error) error {
+	tx, err := c.Begin(ctx)
+	if err != nil {
+		return err
+	}
+	defer tx.Abort()
+	return fn(tx)
+}
+
 // Begin opens a remote transaction pinned to one pooled connection.
 // The context's deadline (or Options.TxDeadline when it has none)
 // travels to the server and bounds the transaction there — lock

@@ -1,0 +1,188 @@
+package client
+
+import (
+	"context"
+	"sync/atomic"
+
+	"ode/internal/wire"
+)
+
+// ReplStatus is a node's replication position, as reported by
+// CmdReplStatus: its role (ReadOnly = replica), replication id, and
+// last applied LSN.
+type ReplStatus struct {
+	ReadOnly bool
+	ReplID   string
+	LSN      uint64
+}
+
+// ReplStatus queries the server's replication position. Works against
+// primaries and replicas alike.
+func (c *Client) ReplStatus(ctx context.Context) (*ReplStatus, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	defer c.put(cn)
+	resp, err := cn.roundTrip(ctx, wire.CmdReplStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := respErr(resp); err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespReplStatus {
+		cn.broken = true
+		return nil, protoErr("repl-status: unexpected response 0x%02x", resp.Type)
+	}
+	st, err := wire.DecodeReplStatus(resp.Body)
+	if err != nil {
+		cn.broken = true
+		return nil, err
+	}
+	return &ReplStatus{ReadOnly: st.ReadOnly, ReplID: st.ReplID, LSN: st.LSN}, nil
+}
+
+// Promote asks the server to promote itself: detach from its primary
+// and accept writes (the wire twin of SIGUSR1 on ode-server). The
+// caller is the failover operator — make sure the old primary is dead
+// or fenced first; see docs/REPLICATION.md.
+func (c *Client) Promote(ctx context.Context) error {
+	cn, err := c.get()
+	if err != nil {
+		return err
+	}
+	defer c.put(cn)
+	resp, err := cn.roundTrip(ctx, wire.CmdPromote, nil)
+	if err != nil {
+		return err
+	}
+	return respErrOnly(resp)
+}
+
+// Replicated routes traffic across one replication group: writes go to
+// the primary, reads are load-balanced round-robin across replicas
+// with a freshness floor, so a session always reads its own writes —
+// every commit's LSN becomes the floor, and a replica serves a read
+// only once it has applied at least that much of the stream. With no
+// replica fresh enough (or none reachable), reads fall back to the
+// primary.
+//
+// A Replicated is safe for concurrent use; the freshness floor is
+// shared, so one goroutine's commits bound every goroutine's reads.
+type Replicated struct {
+	primary  *Client
+	replicas []*replicaState
+	rr       atomic.Uint64
+	lastLSN  atomic.Uint64 // highest commit LSN this session must observe
+}
+
+// replicaState caches a replica's applied position. The cache is
+// monotonic and refreshed by polling ReplStatus only when a read needs
+// more freshness than the cache proves.
+type replicaState struct {
+	c   *Client
+	lsn atomic.Uint64
+}
+
+// NewReplicated assembles a router over an already-dialed primary and
+// replicas. The Replicated owns the clients from here: Close closes
+// all of them.
+func NewReplicated(primary *Client, replicas ...*Client) *Replicated {
+	r := &Replicated{primary: primary}
+	for _, c := range replicas {
+		r.replicas = append(r.replicas, &replicaState{c: c})
+	}
+	return r
+}
+
+// Primary returns the write-side client.
+func (r *Replicated) Primary() *Client { return r.primary }
+
+// Observe folds an externally learned commit LSN into the session's
+// freshness floor — e.g. from a transaction the caller began on
+// Primary() directly: r.Observe(tx.CommitLSN()) after its Commit.
+func (r *Replicated) Observe(lsn uint64) {
+	for {
+		cur := r.lastLSN.Load()
+		if lsn <= cur || r.lastLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// RunTx runs a write transaction on the primary (with the usual retry
+// policy) and raises the session freshness floor to its commit LSN.
+func (r *Replicated) RunTx(ctx context.Context, fn func(tx *Tx) error) error {
+	var last *Tx
+	err := r.primary.RunTx(ctx, func(tx *Tx) error {
+		last = tx
+		return fn(tx)
+	})
+	if err == nil && last != nil {
+		r.Observe(last.CommitLSN())
+	}
+	return err
+}
+
+// Begin opens a write transaction on the primary. The router cannot
+// see its Commit; pass tx.CommitLSN() to Observe afterwards if later
+// View calls must read the writes.
+func (r *Replicated) Begin(ctx context.Context) (*Tx, error) { return r.primary.Begin(ctx) }
+
+// View runs fn read-only at the session freshness floor (reads your
+// own RunTx writes).
+func (r *Replicated) View(ctx context.Context, fn func(tx *Tx) error) error {
+	return r.ViewAt(ctx, r.lastLSN.Load(), fn)
+}
+
+// ViewAt runs fn read-only on a node whose applied LSN is at least
+// minLSN — a replica when one is fresh enough, the primary otherwise.
+func (r *Replicated) ViewAt(ctx context.Context, minLSN uint64, fn func(tx *Tx) error) error {
+	if c := r.pick(ctx, minLSN); c != nil {
+		return c.View(ctx, fn)
+	}
+	return r.primary.View(ctx, fn)
+}
+
+// pick returns a replica at or past minLSN, round-robin. A replica
+// whose cached position is too stale gets one ReplStatus poll; one
+// that is unreachable or still behind is skipped.
+func (r *Replicated) pick(ctx context.Context, minLSN uint64) *Client {
+	n := len(r.replicas)
+	if n == 0 {
+		return nil
+	}
+	start := int(r.rr.Add(1) - 1)
+	for i := 0; i < n; i++ {
+		rs := r.replicas[(start+i)%n]
+		if rs.lsn.Load() >= minLSN {
+			return rs.c
+		}
+		st, err := rs.c.ReplStatus(ctx)
+		if err != nil {
+			continue
+		}
+		for {
+			cur := rs.lsn.Load()
+			if st.LSN <= cur || rs.lsn.CompareAndSwap(cur, st.LSN) {
+				break
+			}
+		}
+		if rs.lsn.Load() >= minLSN {
+			return rs.c
+		}
+	}
+	return nil
+}
+
+// Close closes the primary and every replica client.
+func (r *Replicated) Close() error {
+	err := r.primary.Close()
+	for _, rs := range r.replicas {
+		if cerr := rs.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -20,6 +20,7 @@ type Tx struct {
 	ctx  context.Context
 	id   uint64
 	done bool
+	lsn  uint64 // commit LSN, set by Commit
 }
 
 func (tx *Tx) context() context.Context { return tx.ctx }
@@ -48,8 +49,25 @@ func (tx *Tx) Commit() error {
 	if err != nil {
 		return err
 	}
-	return respErrOnly(resp)
+	if err := respErrOnly(resp); err != nil {
+		return err
+	}
+	// The RespOK body carries the commit's LSN (absent from pre-
+	// replication servers, so a short body is not an error).
+	if len(resp.Body) > 0 {
+		d := wire.NewDec(resp.Body)
+		if lsn := d.Uvarint(); d.Err() == nil {
+			tx.lsn = lsn
+		}
+	}
+	return nil
 }
+
+// CommitLSN returns the log position the transaction committed at
+// (valid after a successful Commit; 0 for read-only transactions).
+// Replicated.ViewAt accepts it as a freshness floor: a read at this
+// LSN observes the commit.
+func (tx *Tx) CommitLSN() uint64 { return tx.lsn }
 
 // Abort aborts the remote transaction; safe to call after failure or
 // repeatedly.

@@ -19,10 +19,22 @@
 // snapshot is available in-band over the wire protocol. docs/SERVER.md
 // documents the deployment surface, docs/OBSERVABILITY.md the metric
 // names.
+//
+// -replica-of HOST:PORT starts the node as a read replica: it
+// subscribes to the primary's WAL stream, applies committed batches,
+// and serves reads while rejecting writes with a typed read-only
+// error. If the primary cannot serve the replica's position, the
+// daemon exits unless -resync permits wiping the local copy and
+// bootstrapping from a full snapshot. SIGUSR1 (or the wire promote
+// command) promotes the replica: it detaches and accepts writes.
+// Every node also accepts subscribers of its own, so replicas can
+// cascade and a promoted node keeps its followers. docs/REPLICATION.md
+// is the operations guide.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -35,6 +47,7 @@ import (
 	"ode"
 	"ode/internal/bench"
 	"ode/internal/oql"
+	"ode/internal/repl"
 	"ode/internal/server"
 )
 
@@ -54,6 +67,8 @@ func main() {
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 		metricsAddr = flag.String("metrics", "", "serve /metrics (JSON) and /debug/vars (expvar) on this address")
 		benchSchema = flag.Bool("bench-schema", false, "register the benchmark catalog (for remote ode-bench)")
+		replicaOf   = flag.String("replica-of", "", "follow the primary at HOST:PORT as a read replica")
+		resync      = flag.Bool("resync", false, "with -replica-of: permit wiping the local copy for a full snapshot resync")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ode-server -db FILE [-addr HOST:PORT] [schema.oql ...]\n")
@@ -83,33 +98,96 @@ func main() {
 		}
 	}
 
-	db, err := ode.Open(*dbPath, schema, &ode.Options{
-		PoolPages:       *poolPages,
-		ObjectCacheSize: *cacheSize,
-		NoSync:          *noSync,
-		MaxConcurrentTx: *maxTx,
-		MaxQueuedTx:     *maxQueued,
-		WALSoftLimit:    *walSoft,
-		WALHardLimit:    *walHard,
-	})
+	openDB := func() *ode.DB {
+		db, err := ode.Open(*dbPath, schema, &ode.Options{
+			PoolPages:       *poolPages,
+			ObjectCacheSize: *cacheSize,
+			NoSync:          *noSync,
+			MaxConcurrentTx: *maxTx,
+			MaxQueuedTx:     *maxQueued,
+			WALSoftLimit:    *walSoft,
+			WALHardLimit:    *walHard,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Classes served for remote pnew need their clusters; create any
+		// that are missing (idempotent across restarts). DDL is not
+		// replicated — each node, replica or primary, creates its own.
+		for _, c := range db.Schema().Classes() {
+			if !db.HasCluster(c) {
+				if err := db.CreateCluster(c); err != nil {
+					fatal(fmt.Errorf("create cluster %s: %w", c.Name, err))
+				}
+			}
+		}
+		return db
+	}
+
+	// replSetup attaches the replication source (every node accepts
+	// subscribers — cascading replicas, and followers after promotion)
+	// and, with -replica-of, starts following the primary.
+	replSetup := func(db *ode.DB) (*repl.Source, *repl.Replica, error) {
+		rmet := &repl.Metrics{}
+		rmet.Attach(db.MetricsRegistry())
+		src := repl.NewSource(db, rmet, nil)
+		if *replicaOf == "" {
+			return src, nil, nil
+		}
+		rep := repl.NewReplica(db, *replicaOf, rmet, nil)
+		if err := rep.Start(); err != nil {
+			return nil, nil, err
+		}
+		return src, rep, nil
+	}
+
+	db := openDB()
+	src, rep, err := replSetup(db)
+	if err != nil && errors.Is(err, repl.ErrResyncRequired) && *resync {
+		// The primary cannot serve our position (different database
+		// lineage, or our batches were truncated away). Wipe and
+		// bootstrap from a full snapshot: only an empty database may
+		// accept one.
+		fmt.Fprintln(os.Stderr, "ode-server: primary demands full resync; wiping local copy")
+		db.Close()
+		for _, suffix := range []string{"", ".wal", ".dw", ".rebuild"} {
+			os.Remove(*dbPath + suffix)
+		}
+		db = openDB()
+		src, rep, err = replSetup(db)
+	}
 	if err != nil {
+		if errors.Is(err, repl.ErrResyncRequired) {
+			fatal(fmt.Errorf("%w (restart with -resync to wipe and bootstrap)", err))
+		}
 		fatal(err)
 	}
 	defer db.Close()
-	// Classes served for remote pnew need their clusters; create any
-	// that are missing (idempotent across restarts).
-	for _, c := range db.Schema().Classes() {
-		if !db.HasCluster(c) {
-			if err := db.CreateCluster(c); err != nil {
-				fatal(fmt.Errorf("create cluster %s: %w", c.Name, err))
-			}
+
+	var promote func() error
+	if rep != nil {
+		promote = func() error {
+			fmt.Fprintln(os.Stderr, "ode-server: promoting: detaching from primary, accepting writes")
+			rep.Promote()
+			return nil
 		}
+		// A fatal replication failure (resync demand mid-run, apply
+		// error) stops the stream but not the server: reads keep
+		// working, just increasingly stale. Surface it.
+		go func() {
+			<-rep.Done()
+			if err := rep.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "ode-server: replication stopped: %v\n", err)
+			}
+		}()
 	}
 
 	srv := server.New(db, &server.Options{
 		MaxConns:     *maxConns,
 		MaxDeadline:  *maxDeadline,
 		DrainTimeout: *drain,
+		Repl:         src,
+		Promote:      promote,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -133,7 +211,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("ode-server: serving %s on %s (max-conns %d, drain %v)\n", *dbPath, lnAddr, *maxConns, *drain)
+	role := "primary"
+	if rep != nil {
+		role = "replica of " + *replicaOf
+	}
+	fmt.Printf("ode-server: serving %s on %s (%s, max-conns %d, drain %v)\n", *dbPath, lnAddr, role, *maxConns, *drain)
 
 	// SIGINT/SIGTERM drain gracefully: stop accepting, give active
 	// sessions the drain window, then cancel and close.
@@ -144,9 +226,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ode-server: %v: draining...\n", s)
 		srv.Close()
 	}()
+	// SIGUSR1 promotes a replica in place: stop following, accept
+	// writes, keep serving (the wire promote command does the same).
+	if rep != nil {
+		usr := make(chan os.Signal, 1)
+		signal.Notify(usr, syscall.SIGUSR1)
+		go func() {
+			for range usr {
+				promote()
+			}
+		}()
+	}
 
 	if err := srv.Serve(nil); err != nil && err != server.ErrServerClosed {
 		fatal(err)
+	}
+	if rep != nil {
+		rep.Stop() // stop applying before the deferred db.Close
 	}
 	fmt.Println("ode-server: shut down cleanly")
 }

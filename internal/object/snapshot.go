@@ -1,0 +1,124 @@
+package object
+
+import (
+	"errors"
+	"sort"
+
+	"ode/internal/btree"
+	"ode/internal/core"
+	"ode/internal/storage"
+	"ode/internal/wal"
+)
+
+// SnapshotOps streams the full live object state — every object's
+// current image plus its frozen versions, cluster by cluster — as
+// logical redo operations, the same shapes WAL replay applies. The
+// replication primary encodes them into synthetic batches to bootstrap
+// an empty replica.
+//
+// The dump is fuzzy by design: it holds the manager's read lock per
+// object, not for the whole scan, so commits proceed concurrently. An
+// object mutated after its dump is repaired by the replicated batches
+// that follow the snapshot (redo is idempotent); an object deleted
+// mid-dump is simply skipped. Consumers must therefore apply the
+// snapshot together with the live stream from the LSN at which the
+// dump started.
+func (m *Manager) SnapshotOps(fn func(op *wal.Op) error) error {
+	m.mu.RLock()
+	cids := make([]core.ClassID, 0, len(m.clusters))
+	for cid := range m.clusters {
+		cids = append(cids, cid)
+	}
+	m.mu.RUnlock()
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, cid := range cids {
+		c, ok := m.schema.ClassByID(cid)
+		if !ok {
+			continue // catalog-known cluster with no schema class (cannot hold objects)
+		}
+		oids, err := m.ClusterOIDs(c)
+		if err != nil {
+			return err
+		}
+		for _, oid := range oids {
+			ops, err := m.snapshotObject(oid)
+			if err != nil {
+				return err
+			}
+			for i := range ops {
+				if err := fn(&ops[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotObject reads one object's current image and frozen versions
+// (raw bytes, no decode) under the read lock. A nil, nil return means
+// the object vanished between the cluster scan and now.
+func (m *Manager) snapshotObject(oid core.OID) ([]wal.Op, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	entry, err := m.dir.Get(dirKey(oid))
+	if errors.Is(err, btree.ErrNotFound) {
+		return nil, nil // deleted mid-dump
+	}
+	if err != nil {
+		return nil, err
+	}
+	cid, cur, rid, err := decodeDirEntry(entry)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := m.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	_, _, _, image, err := DecodeHeapRecord(rec)
+	if err != nil {
+		return nil, err
+	}
+	ops := []wal.Op{{
+		Type:    wal.OpPut,
+		OID:     uint64(oid),
+		Version: cur,
+		ClassID: uint32(cid),
+		Image:   append([]byte(nil), image...),
+	}}
+	type frozen struct {
+		ver uint32
+		rid storage.RID
+	}
+	var vers []frozen
+	err = m.ver.ScanPrefix(dirKey(oid), func(k, v []byte) (bool, error) {
+		vrid, err := decodeRID(v)
+		if err != nil {
+			return false, err
+		}
+		vers = append(vers, frozen{verFromKey(k), vrid})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, fv := range vers {
+		vrec, err := m.heap.Get(fv.rid)
+		if err != nil {
+			return nil, err
+		}
+		_, _, _, vimage, err := DecodeHeapRecord(vrec)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, wal.Op{
+			Type:    wal.OpPutVersion,
+			OID:     uint64(oid),
+			Version: fv.ver,
+			ClassID: uint32(cid),
+			Image:   append([]byte(nil), vimage...),
+		})
+	}
+	return ops, nil
+}

@@ -1,0 +1,47 @@
+// Package repl is the replication layer of a served Ode database: a
+// primary ships committed WAL batches, in LSN order, to subscribed
+// replicas over the wire protocol's CmdWALSubscribe stream; each
+// replica applies them through DB.ApplyReplicatedBatch (durable in its
+// own WAL first, visible second), acknowledges its applied LSN, and
+// serves read-only traffic until an operator promotes it.
+//
+// docs/REPLICATION.md is the normative description of the protocol,
+// the LSN semantics, and the failure matrix.
+package repl
+
+import "ode/internal/obs"
+
+// Metrics instruments both roles of a node (Source for a primary,
+// Replica for a follower — a promoted node has used both). One set
+// exists per process; Attach registers it into the database's metric
+// registry under the repl.* names documented in docs/OBSERVABILITY.md.
+type Metrics struct {
+	FramesShipped obs.Counter // WAL frames written to subscribers (all subscribers summed)
+	BytesShipped  obs.Counter // raw batch bytes written to subscribers
+	FramesApplied obs.Counter // replicated batches applied locally (replica role)
+	BytesApplied  obs.Counter // raw batch bytes applied locally
+	Acks          obs.Counter // CmdWALAck frames received from subscribers
+	Reconnects    obs.Counter // replica reconnect attempts after a lost primary link
+	Snapshots     obs.Counter // full-resync snapshot dumps served (primary role)
+
+	Subscribers obs.Gauge // currently connected subscribers (primary role)
+	LSN         obs.Gauge // last shipped (primary) or applied (replica) LSN
+	LagLSN      obs.Gauge // max batches behind across connected subscribers; replica: local lag vs primary
+	LagBytes    obs.Gauge // bytes queued for the slowest connected subscriber
+}
+
+// Attach registers every replication metric into reg. Call once per
+// registry; duplicate registration panics, as elsewhere in obs.
+func (m *Metrics) Attach(reg *obs.Registry) {
+	reg.RegisterCounter("repl.frames_shipped", &m.FramesShipped)
+	reg.RegisterCounter("repl.bytes_shipped", &m.BytesShipped)
+	reg.RegisterCounter("repl.frames_applied", &m.FramesApplied)
+	reg.RegisterCounter("repl.bytes_applied", &m.BytesApplied)
+	reg.RegisterCounter("repl.acks", &m.Acks)
+	reg.RegisterCounter("repl.reconnects", &m.Reconnects)
+	reg.RegisterCounter("repl.snapshots", &m.Snapshots)
+	reg.RegisterGauge("repl.subscribers", &m.Subscribers)
+	reg.RegisterGauge("repl.lsn", &m.LSN)
+	reg.RegisterGauge("repl.lag_lsn", &m.LagLSN)
+	reg.RegisterGauge("repl.lag_bytes", &m.LagBytes)
+}

@@ -1,0 +1,38 @@
+package repl
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ode/internal/obs"
+)
+
+// TestReplMetricsDocComplete mirrors the root package's
+// TestObservabilityDocComplete for the repl.* family: every name a
+// Metrics registers must appear backticked in docs/OBSERVABILITY.md.
+// The repl names cannot be covered by the root test (importing repl
+// from the root package's test would not exercise an attached set),
+// so the diff lives here.
+func TestReplMetricsDocComplete(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	text := string(doc)
+
+	reg := obs.NewRegistry()
+	(&Metrics{}).Attach(reg)
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("Metrics.Attach registered nothing")
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "repl.") {
+			t.Errorf("metric %q: replication metrics must live under repl.*", name)
+		}
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("metric %q is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+}

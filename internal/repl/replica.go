@@ -1,0 +1,374 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ode"
+	"ode/internal/wire"
+)
+
+// ErrResyncRequired reports a subscription the primary cannot serve
+// from this replica's position: different replication id (not a copy
+// of that database), batches truncated past the replica's LSN, or a
+// replica ahead of the primary (split brain). The local copy must be
+// wiped and bootstrapped from a full snapshot; ode-server does that
+// when started with -resync.
+var ErrResyncRequired = wire.ErrResync
+
+// ReplicaOptions tunes the follower side of replication.
+type ReplicaOptions struct {
+	// DialTimeout bounds connect plus handshake (default 5s).
+	DialTimeout time.Duration
+	// Backoff is the first reconnect delay (default 100ms); it doubles
+	// per failed attempt up to MaxBackoff (default 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// MaxFrame bounds one incoming frame (default wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+func (o *ReplicaOptions) withDefaults() ReplicaOptions {
+	var out ReplicaOptions
+	if o != nil {
+		out = *o
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	if out.Backoff <= 0 {
+		out.Backoff = 100 * time.Millisecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 5 * time.Second
+	}
+	if out.MaxFrame <= 0 {
+		out.MaxFrame = wire.DefaultMaxFrame
+	}
+	return out
+}
+
+// Replica follows a primary: it subscribes at its current LSN, applies
+// every shipped batch through DB.ApplyReplicatedBatch (durable in the
+// local WAL before visible), and acknowledges the applied position.
+// The local database is held read-only from Start until Promote.
+//
+// Lost connections reconnect with exponential backoff — the replica
+// resubscribes at its new LSN and the primary replays the gap from its
+// WAL. Two failures are fatal and stop the loop instead: a position
+// the primary cannot serve (ErrResyncRequired — the copy must be
+// wiped) and a local apply error (the local store is suspect; restart
+// recovery must sort it out). Err reports the fatal error after Done.
+type Replica struct {
+	db   *ode.DB
+	addr string
+	met  *Metrics
+	opts ReplicaOptions
+
+	mu      sync.Mutex
+	conn    net.Conn // live connection, closed by Stop to unblock reads
+	stopped bool
+	err     error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReplica prepares a replica of the primary at addr. met may be nil
+// for an unregistered metric set.
+func NewReplica(db *ode.DB, addr string, met *Metrics, opts *ReplicaOptions) *Replica {
+	if met == nil {
+		met = &Metrics{}
+	}
+	return &Replica{
+		db:   db,
+		addr: addr,
+		met:  met,
+		opts: opts.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// replConn is one subscribed connection to the primary.
+type replConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Start switches the database read-only, connects, and subscribes. A
+// rejected position returns ErrResyncRequired synchronously (wipe the
+// local copy and call Start again on a fresh database); any other
+// connect failure is returned for the caller to retry. On success the
+// streaming loop runs until Stop, Promote, or a fatal error.
+//
+// Stop the replica before closing its database.
+func (r *Replica) Start() error {
+	r.db.SetReadOnly(true)
+	c, err := r.connect()
+	if err != nil {
+		return err
+	}
+	go r.loop(c)
+	return nil
+}
+
+// Stop terminates the streaming loop and waits for it. Idempotent;
+// the database stays read-only.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	started := r.conn != nil || r.stopped
+	if !r.stopped {
+		r.stopped = true
+		close(r.stop)
+	}
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}
+
+// Promote stops following and opens the local database for writes.
+// The caller is responsible for the old primary being dead or fenced:
+// with manual promotion, two writable copies fork history (split
+// brain), and the loser can only rejoin by full resync.
+func (r *Replica) Promote() {
+	r.Stop()
+	r.db.SetReadOnly(false)
+}
+
+// Done is closed when the streaming loop has exited.
+func (r *Replica) Done() <-chan struct{} { return r.done }
+
+// Err returns the fatal error that stopped the loop, or nil after a
+// clean Stop. Meaningful once Done is closed.
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Replica) setErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) stopping() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *Replica) setConn(nc net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return false
+	}
+	r.conn = nc
+	return true
+}
+
+// connect dials the primary and subscribes at the local position. The
+// returned connection has consumed the accept frame and delivers WAL
+// frames next.
+func (r *Replica) connect() (*replConn, error) {
+	nc, err := net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(r.opts.DialTimeout))
+	if err := wire.WriteHello(nc, wire.Version, 0); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	v, _, err := wire.ReadHello(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if v != wire.Version {
+		nc.Close()
+		return nil, fmt.Errorf("%w: primary speaks version %d, replica %d", wire.ErrVersion, v, wire.Version)
+	}
+	c := &replConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	// Subscribe at the local position. Only a virgin database (nothing
+	// ever committed or applied) accepts a full snapshot: overlaying a
+	// fuzzy dump onto existing state cannot undo local deletes.
+	req := &wire.SubscribeReq{
+		ReplID:      r.db.ReplicationID(),
+		LSN:         r.db.LSN(),
+		CanSnapshot: r.db.LSN() == 0,
+	}
+	if err := writeFrame(c.bw, 1, wire.CmdWALSubscribe, req.Append(nil)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	f, _, err := wire.ReadFrame(c.br, r.opts.MaxFrame)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch f.Type {
+	case wire.RespReplStatus:
+		// Accepted; the body's LSN is where the stream starts.
+	case wire.RespErr:
+		nc.Close()
+		return nil, wire.DecodeErrBody(f.Body)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("%w: unexpected subscribe response 0x%02x", wire.ErrProto, f.Type)
+	}
+	nc.SetDeadline(time.Time{})
+	if !r.setConn(nc) {
+		nc.Close()
+		return nil, errors.New("repl: replica stopped")
+	}
+	return c, nil
+}
+
+// fatalError marks a stream failure the reconnect loop must not retry.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// loop streams until Stop or a fatal error, reconnecting across
+// connection failures.
+func (r *Replica) loop(c *replConn) {
+	defer close(r.done)
+	backoff := r.opts.Backoff
+	for {
+		err := r.stream(c)
+		c.nc.Close()
+		if r.stopping() {
+			return
+		}
+		var fatal *fatalError
+		if errors.As(err, &fatal) {
+			r.setErr(fatal.err)
+			return
+		}
+		// Connection-level failure: reconnect with backoff from the
+		// current (advanced) LSN.
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(backoff):
+			}
+			r.met.Reconnects.Inc()
+			c2, err := r.connect()
+			if err == nil {
+				c = c2
+				backoff = r.opts.Backoff
+				break
+			}
+			if errors.Is(err, ErrResyncRequired) {
+				r.setErr(err)
+				return
+			}
+			if backoff *= 2; backoff > r.opts.MaxBackoff {
+				backoff = r.opts.MaxBackoff
+			}
+		}
+	}
+}
+
+// stream reads and applies frames from one connection until it fails
+// (reconnectable) or a fatal condition ends the replica.
+func (r *Replica) stream(c *replConn) error {
+	var (
+		inSnap  bool
+		snapID  string
+		snapLSN uint64
+	)
+	for {
+		f, _, err := wire.ReadFrame(c.br, r.opts.MaxFrame)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case wire.RespWALFrame:
+			lsn, raw, err := wire.DecodeWALFrame(f.Body)
+			if err != nil {
+				return err
+			}
+			if lsn == 0 && !inSnap {
+				return &fatalError{fmt.Errorf("%w: snapshot frame outside a snapshot", wire.ErrProto)}
+			}
+			if err := r.db.ApplyReplicatedBatch(lsn, raw); err != nil {
+				// The local store is suspect (or the stream has a gap);
+				// restart recovery must sort it out.
+				return &fatalError{err}
+			}
+			r.met.FramesApplied.Inc()
+			r.met.BytesApplied.Add(uint64(len(raw)))
+			if lsn != 0 {
+				r.met.LSN.Set(int64(lsn))
+				if err := r.ack(c, lsn); err != nil {
+					return err
+				}
+			}
+		case wire.RespWALSnapBegin:
+			snapID, snapLSN, err = wire.DecodeSnapBody(f.Body)
+			if err != nil {
+				return err
+			}
+			inSnap = true
+		case wire.RespWALSnapEnd:
+			if !inSnap {
+				return &fatalError{fmt.Errorf("%w: snapshot end without begin", wire.ErrProto)}
+			}
+			// The dump is fully applied: adopt the primary's identity
+			// and position; live frames continue from snapLSN+1.
+			if err := r.db.CompleteResync(snapLSN, snapID); err != nil {
+				return &fatalError{err}
+			}
+			inSnap = false
+			r.met.Snapshots.Inc()
+			r.met.LSN.Set(int64(snapLSN))
+			if err := r.ack(c, snapLSN); err != nil {
+				return err
+			}
+		case wire.RespErr:
+			// Mid-stream server error (e.g. the source dropped us for
+			// lagging): reconnect unless it is a resync demand.
+			err := wire.DecodeErrBody(f.Body)
+			if errors.Is(err, ErrResyncRequired) {
+				return &fatalError{err}
+			}
+			return err
+		default:
+			return fmt.Errorf("%w: unexpected stream frame 0x%02x", wire.ErrProto, f.Type)
+		}
+	}
+}
+
+// ack reports the applied LSN to the primary (flow control and
+// WAL-retention input; not a durability wait — shipping stays
+// asynchronous).
+func (r *Replica) ack(c *replConn, lsn uint64) error {
+	if err := writeFrame(c.bw, 1, wire.CmdWALAck, wire.AppendUvarint(nil, lsn)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

@@ -1,0 +1,336 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ode"
+	"ode/internal/wire"
+)
+
+// SourceOptions tunes the primary side of replication.
+type SourceOptions struct {
+	// MaxRetainBytes bounds how much WAL the retention gate will keep
+	// for lagging subscribers (default 256 MiB). Past the bound a
+	// checkpoint truncates anyway: a stalled replica must not hold the
+	// primary's log hostage, and will be forced into a full resync when
+	// it returns.
+	MaxRetainBytes int64
+	// QueueFrames bounds the per-subscriber in-flight frame queue
+	// (default 4096). A subscriber that falls further behind than the
+	// queue is dropped and must reconnect (catching up from the WAL, or
+	// resyncing).
+	QueueFrames int
+	// SnapshotOps is the operation count per synthetic snapshot batch
+	// (default 64).
+	SnapshotOps int
+}
+
+func (o *SourceOptions) withDefaults() SourceOptions {
+	var out SourceOptions
+	if o != nil {
+		out = *o
+	}
+	if out.MaxRetainBytes <= 0 {
+		out.MaxRetainBytes = 256 << 20
+	}
+	if out.QueueFrames <= 0 {
+		out.QueueFrames = 4096
+	}
+	if out.SnapshotOps <= 0 {
+		out.SnapshotOps = 64
+	}
+	return out
+}
+
+// shipFrame is one committed batch queued for a subscriber.
+type shipFrame struct {
+	lsn uint64
+	raw []byte
+}
+
+// subscriber is the source-side state of one connected replica.
+type subscriber struct {
+	ch     chan shipFrame
+	done   chan struct{} // closed to drop the subscriber
+	once   sync.Once
+	acked  atomic.Uint64 // last LSN the replica acknowledged applying
+	queued atomic.Int64  // bytes sitting in ch
+}
+
+func (sub *subscriber) kill() { sub.once.Do(func() { close(sub.done) }) }
+
+func (sub *subscriber) killed() bool {
+	select {
+	case <-sub.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Source is the primary side of replication: it fans every committed
+// batch out to connected subscribers and gates WAL truncation so a
+// briefly-lagging subscriber can catch up from the log instead of
+// resyncing. A Source is attached to every served database (a replica
+// carries one too, for cascading and for life after promotion).
+type Source struct {
+	db   *ode.DB
+	met  *Metrics
+	opts SourceOptions
+
+	// Lock order: the engine commit lock is always taken before mu
+	// (fanout and the retention gate run under the commit lock and
+	// acquire mu; nothing under mu re-enters the engine).
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+// NewSource attaches a replication source to db, installing the
+// commit fan-out and the WAL retention gate. Attach before serving
+// traffic. met may be nil for an unregistered metric set.
+func NewSource(db *ode.DB, met *Metrics, opts *SourceOptions) *Source {
+	if met == nil {
+		met = &Metrics{}
+	}
+	s := &Source{db: db, met: met, opts: opts.withDefaults(), subs: make(map[*subscriber]struct{})}
+	db.OnCommitBatch(s.fanout)
+	db.SetWALRetention(s.retain)
+	met.LSN.Set(int64(db.LSN()))
+	return s
+}
+
+// Close drops every connected subscriber and detaches the source's
+// hooks from the database.
+func (s *Source) Close() {
+	s.db.WithCommitLock(func() error {
+		s.db.OnCommitBatch(nil)
+		return nil
+	})
+	s.db.SetWALRetention(nil)
+	s.mu.Lock()
+	for sub := range s.subs {
+		sub.kill()
+	}
+	s.mu.Unlock()
+}
+
+// fanout runs under the commit lock after every committed batch and
+// queues it for each live subscriber.
+func (s *Source) fanout(lsn uint64, raw []byte) {
+	s.met.LSN.Set(int64(lsn))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	minAcked := lsn
+	var maxQueued int64
+	for sub := range s.subs {
+		if sub.killed() {
+			continue
+		}
+		select {
+		case sub.ch <- shipFrame{lsn, raw}:
+			sub.queued.Add(int64(len(raw)))
+		default:
+			// The replica is further behind than the whole queue; drop
+			// it rather than stall commits or buffer without bound. It
+			// reconnects and catches up from the WAL (or resyncs).
+			sub.kill()
+			continue
+		}
+		if a := sub.acked.Load(); a < minAcked {
+			minAcked = a
+		}
+		if q := sub.queued.Load(); q > maxQueued {
+			maxQueued = q
+		}
+	}
+	s.met.LagLSN.Set(int64(lsn - minAcked))
+	s.met.LagBytes.Set(maxQueued)
+}
+
+// retain is the checkpoint truncation gate: keep the WAL while a live
+// subscriber still needs batches from it, up to MaxRetainBytes.
+func (s *Source) retain(lsn uint64) bool {
+	if s.db.WALSize() >= s.opts.MaxRetainBytes {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sub := range s.subs {
+		if !sub.killed() && sub.acked.Load() < lsn {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Source) register(sub *subscriber) {
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	s.met.Subscribers.Set(int64(len(s.subs)))
+	s.mu.Unlock()
+}
+
+func (s *Source) unregister(sub *subscriber) {
+	sub.kill()
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.met.Subscribers.Set(int64(len(s.subs)))
+	s.mu.Unlock()
+}
+
+// errSubscriberDropped ends a subscriber stream the source killed
+// (queue overflow or source shutdown).
+var errSubscriberDropped = errors.New("repl: subscriber dropped (queue overflow or source shutdown)")
+
+// ServeSubscriber takes over a server connection after a
+// CmdWALSubscribe request and streams WAL frames on it until the
+// subscriber disconnects, falls too far behind, or the source closes.
+// The caller (the network server) must have flushed its own write
+// buffer first; all subsequent I/O on the connection belongs to the
+// stream. The return is the reason the stream ended; the caller just
+// closes the connection.
+//
+// The position logic, under the commit lock so it is exact:
+//
+//   - Same replication id and every batch after req.LSN still in the
+//     WAL: catch up from the log, then stream live.
+//   - Otherwise, if the subscriber is empty (CanSnapshot): full fuzzy
+//     snapshot at the current LSN, then stream live.
+//   - Otherwise: a typed resync error — the replica must wipe.
+func (s *Source) ServeSubscriber(nc net.Conn, br *bufio.Reader, reqID uint64, req *wire.SubscribeReq) error {
+	bw := bufio.NewWriter(nc)
+	sub := &subscriber{
+		ch:   make(chan shipFrame, s.opts.QueueFrames),
+		done: make(chan struct{}),
+	}
+	var (
+		backlog  []shipFrame
+		needSnap bool
+		startLSN uint64
+	)
+	err := s.db.WithCommitLock(func() error {
+		cur, base := s.db.LSN(), s.db.WALBaseLSN()
+		switch {
+		case req.ReplID == s.db.ReplicationID() && req.LSN >= base && req.LSN <= cur:
+			startLSN = req.LSN
+			if req.LSN < cur {
+				if err := s.db.ReadWALBatches(func(lsn uint64, raw []byte) error {
+					if lsn > req.LSN {
+						backlog = append(backlog, shipFrame{lsn, append([]byte(nil), raw...)})
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		case req.CanSnapshot:
+			needSnap = true
+			startLSN = cur
+		default:
+			return fmt.Errorf("%w: subscriber id=%q lsn=%d, primary id=%q wal=(%d,%d]",
+				wire.ErrResync, req.ReplID, req.LSN, s.db.ReplicationID(), base, cur)
+		}
+		// Register under the commit lock: live frames on sub.ch start
+		// exactly at startLSN+1, with no gap after the backlog/snapshot.
+		sub.acked.Store(startLSN)
+		s.register(sub)
+		return nil
+	})
+	if err != nil {
+		writeFrame(bw, reqID, wire.RespErr, wire.ErrBody(wire.Code(err), err.Error()))
+		bw.Flush()
+		return err
+	}
+	defer s.unregister(sub)
+
+	// Accept: the subscriber learns the position the stream starts from.
+	st := &wire.ReplStatus{ReadOnly: s.db.ReadOnly(), ReplID: s.db.ReplicationID(), LSN: startLSN}
+	if err := writeFrame(bw, reqID, wire.RespReplStatus, st.Append(nil)); err != nil {
+		return err
+	}
+	if needSnap {
+		s.met.Snapshots.Inc()
+		if err := writeFrame(bw, reqID, wire.RespWALSnapBegin, wire.SnapBody(s.db.ReplicationID(), startLSN)); err != nil {
+			return err
+		}
+		err := s.db.SnapshotBatches(s.opts.SnapshotOps, func(raw []byte) error {
+			s.met.FramesShipped.Inc()
+			s.met.BytesShipped.Add(uint64(len(raw)))
+			return writeFrame(bw, reqID, wire.RespWALFrame, wire.WALFrameBody(0, raw))
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(bw, reqID, wire.RespWALSnapEnd, wire.SnapBody(s.db.ReplicationID(), startLSN)); err != nil {
+			return err
+		}
+	}
+	for _, f := range backlog {
+		s.met.FramesShipped.Inc()
+		s.met.BytesShipped.Add(uint64(len(f.raw)))
+		if err := writeFrame(bw, reqID, wire.RespWALFrame, wire.WALFrameBody(f.lsn, f.raw)); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// Ack reader: the only frames a subscriber sends after subscribing
+	// are CmdWALAck (applied LSN). A read failure means the connection
+	// is gone.
+	connDead := make(chan error, 1)
+	go func() {
+		for {
+			f, _, err := wire.ReadFrame(br, 0)
+			if err != nil {
+				connDead <- err
+				return
+			}
+			if f.Type != wire.CmdWALAck {
+				continue
+			}
+			d := wire.NewDec(f.Body)
+			lsn := d.Uvarint()
+			if d.Err() == nil {
+				sub.acked.Store(lsn)
+				s.met.Acks.Inc()
+			}
+		}
+	}()
+
+	for {
+		select {
+		case f := <-sub.ch:
+			sub.queued.Add(-int64(len(f.raw)))
+			if err := writeFrame(bw, reqID, wire.RespWALFrame, wire.WALFrameBody(f.lsn, f.raw)); err != nil {
+				return err
+			}
+			s.met.FramesShipped.Inc()
+			s.met.BytesShipped.Add(uint64(len(f.raw)))
+			if len(sub.ch) == 0 {
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+			}
+		case <-sub.done:
+			return errSubscriberDropped
+		case err := <-connDead:
+			if errors.Is(err, io.EOF) {
+				return nil // subscriber went away cleanly
+			}
+			return err
+		}
+	}
+}
+
+func writeFrame(w io.Writer, reqID uint64, typ byte, body []byte) error {
+	_, err := wire.WriteFrame(w, &wire.Frame{ReqID: reqID, Type: typ, Body: body})
+	return err
+}

@@ -1,0 +1,307 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ode"
+	"ode/client"
+	"ode/internal/repl"
+	"ode/internal/server"
+)
+
+// startReplNode opens a database at path, attaches a replication
+// source, and serves it — the building block for a primary. promote is
+// installed as the server's promotion hook when non-nil.
+func startReplNode(t testing.TB, path string, src **repl.Source, promote func() error) (*ode.DB, *server.Server, string, *ode.Class) {
+	t.Helper()
+	schema, stock := invSchema()
+	db, err := ode.Open(path, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasCluster(stock) {
+		if err := db.CreateCluster(stock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rmet := &repl.Metrics{}
+	rmet.Attach(db.MetricsRegistry())
+	s := repl.NewSource(db, rmet, nil)
+	if src != nil {
+		*src = s
+	}
+	srv := server.New(db, &server.Options{Repl: s, Promote: promote})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(nil)
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return db, srv, addr.String(), stock
+}
+
+// replPair boots a primary and a replica following it, each served on
+// its own port, and returns both plus dialed clients.
+type replPair struct {
+	pdb, rdb     *ode.DB
+	psrv, rsrv   *server.Server
+	paddr, raddr string
+	rep          *repl.Replica
+	cp, cr       *client.Client
+	stock        *ode.Class
+}
+
+func startReplPair(t testing.TB) *replPair {
+	t.Helper()
+	dir := t.TempDir()
+	p := &replPair{}
+	p.pdb, p.psrv, p.paddr, p.stock = startReplNode(t, filepath.Join(dir, "primary.odb"), nil, nil)
+
+	// The replica node: its own database, its own source (for
+	// cascading / life after promotion), a promotion hook, and the
+	// follower loop.
+	var rsrc *repl.Source
+	promote := func() error { p.rep.Promote(); return nil }
+	p.rdb, p.rsrv, p.raddr, _ = startReplNode(t, filepath.Join(dir, "replica.odb"), &rsrc, promote)
+	_ = rsrc
+	p.rep = repl.NewReplica(p.rdb, p.paddr, nil, nil)
+	if err := p.rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.rep.Stop)
+
+	schema, _ := invSchema()
+	var err error
+	if p.cp, err = client.Dial(p.paddr, schema, nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.cp.Close() })
+	if p.cr, err = client.Dial(p.raddr, schema, nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.cr.Close() })
+	return p
+}
+
+// waitLSN polls until db has applied at least lsn (AppliedLSN: visible
+// to readers, not merely appended).
+func waitLSN(t testing.TB, db *ode.DB, lsn uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for db.AppliedLSN() < lsn {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at LSN %d, want >= %d", db.LSN(), lsn)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReplicationReadYourWrites commits on the primary and reads the
+// commit back at its LSN — directly from the replica once it has
+// caught up, and through the Replicated router's freshness floor.
+func TestReplicationReadYourWrites(t *testing.T) {
+	p := startReplPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	tx, err := p.cp.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := tx.PNew(p.stock, item(p.stock, "shipped", 7, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	lsn := tx.CommitLSN()
+	if lsn == 0 {
+		t.Fatal("commit returned LSN 0; server did not report the commit position")
+	}
+	if got := p.pdb.LSN(); got != lsn {
+		t.Fatalf("commit LSN %d, primary at %d", lsn, got)
+	}
+
+	// The replica converges to the same position and serves the object.
+	waitLSN(t, p.rdb, lsn)
+	if err := p.cr.View(ctx, func(tx *client.Tx) error {
+		o, err := tx.Deref(oid)
+		if err != nil {
+			return err
+		}
+		if o.MustGet("name").Str() != "shipped" {
+			t.Errorf("replica object state wrong: %v", o)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replica read: %v", err)
+	}
+
+	// Identity converged too: the replica adopted the primary's
+	// replication id.
+	if p.rdb.ReplicationID() != p.pdb.ReplicationID() {
+		t.Fatalf("replica id %q != primary id %q", p.rdb.ReplicationID(), p.pdb.ReplicationID())
+	}
+
+	// The router enforces the floor end to end: a write through RunTx
+	// is visible to the very next View.
+	r := client.NewReplicated(p.cp, p.cr)
+	var roid ode.OID
+	if err := r.RunTx(ctx, func(tx *client.Tx) error {
+		var err error
+		roid, err = tx.PNew(p.stock, item(p.stock, "routed", 1, 2))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.View(ctx, func(tx *client.Tx) error {
+		_, err := tx.Deref(roid)
+		return err
+	}); err != nil {
+		t.Fatalf("read-your-writes through router: %v", err)
+	}
+}
+
+// TestReplicaRejectsWrites sends a write to a read-only replica and
+// expects the typed error, while reads keep working.
+func TestReplicaRejectsWrites(t *testing.T) {
+	p := startReplPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	tx, err := p.cr.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	_, err = tx.PNew(p.stock, item(p.stock, "rejected", 1, 1))
+	if !errors.Is(err, ode.ErrReadOnly) {
+		t.Fatalf("replica write = %v, want ode.ErrReadOnly", err)
+	}
+
+	st, err := p.cr.ReplStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ReadOnly {
+		t.Error("replica reports ReadOnly=false")
+	}
+	pst, err := p.cp.ReplStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.ReadOnly {
+		t.Error("primary reports ReadOnly=true")
+	}
+}
+
+// TestPromoteOnFailure kills the primary, promotes the replica over
+// the wire, and verifies it accepts writes and retains the pre-failure
+// state.
+func TestPromoteOnFailure(t *testing.T) {
+	p := startReplPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	tx, err := p.cp.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := tx.PNew(p.stock, item(p.stock, "survivor", 3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	waitLSN(t, p.rdb, tx.CommitLSN())
+
+	// Primary dies.
+	p.psrv.Close()
+	p.pdb.Close()
+
+	// Operator promotes the replica through the wire command.
+	if err := p.cr.Promote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.rdb.ReadOnly() {
+		t.Fatal("replica still read-only after promote")
+	}
+
+	// The promoted node serves the replicated history and new writes.
+	if err := p.cr.RunTx(ctx, func(tx *client.Tx) error {
+		o, err := tx.Deref(oid)
+		if err != nil {
+			return err
+		}
+		o.MustSet("qty", ode.Int(4))
+		if err := tx.Update(oid, o); err != nil {
+			return err
+		}
+		_, err = tx.PNew(p.stock, item(p.stock, "post-failover", 1, 1))
+		return err
+	}); err != nil {
+		t.Fatalf("write on promoted node: %v", err)
+	}
+}
+
+// TestPromoteWithoutHook exercises the typed rejection on a node with
+// no promotion hook (a primary).
+func TestPromoteWithoutHook(t *testing.T) {
+	p := startReplPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.cp.Promote(ctx); err == nil {
+		t.Fatal("promote on a primary without hook succeeded")
+	}
+}
+
+// TestReplicaIncrementalCatchup stops the follower loop, commits more
+// on the primary, restarts the loop, and expects catch-up from the
+// primary's WAL (no snapshot: the replica is not empty).
+func TestReplicaIncrementalCatchup(t *testing.T) {
+	p := startReplPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	if err := p.cp.RunTx(ctx, func(tx *client.Tx) error {
+		_, err := tx.PNew(p.stock, item(p.stock, "first", 1, 1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitLSN(t, p.rdb, p.pdb.LSN())
+
+	p.rep.Stop()
+	var oid ode.OID
+	for i := 0; i < 10; i++ {
+		if err := p.cp.RunTx(ctx, func(tx *client.Tx) error {
+			var err error
+			oid, err = tx.PNew(p.stock, item(p.stock, "while-down", int64(i), 1))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep2 := repl.NewReplica(p.rdb, p.paddr, nil, nil)
+	if err := rep2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep2.Stop)
+	waitLSN(t, p.rdb, p.pdb.LSN())
+	if err := p.rdb.View(func(tx *ode.Tx) error {
+		_, err := tx.Deref(oid)
+		return err
+	}); err != nil {
+		t.Fatalf("object committed while replica was down: %v", err)
+	}
+}

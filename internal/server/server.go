@@ -36,6 +36,7 @@ import (
 	"ode/internal/obs"
 	"ode/internal/oql"
 	"ode/internal/query"
+	"ode/internal/repl"
 	"ode/internal/wire"
 )
 
@@ -60,6 +61,15 @@ type Options struct {
 	// MetricsRegistry). A second Server over the same database must
 	// supply its own registry — metric names register once.
 	Registry *obs.Registry
+	// Repl, when set, serves CmdWALSubscribe streams: replicas of this
+	// database subscribe here. Without it, subscription requests are
+	// rejected as protocol errors.
+	Repl *repl.Source
+	// Promote, when set, handles CmdPromote (the remote form of
+	// SIGUSR1 on ode-server): it should detach the node from its
+	// primary and open it for writes. Without it, promote requests are
+	// rejected as protocol errors.
+	Promote func() error
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -477,6 +487,12 @@ func (c *conn) dispatch(f *wire.Frame) error {
 		err = c.handleOQL(f)
 	case wire.CmdMetrics:
 		err = c.handleMetrics(f)
+	case wire.CmdWALSubscribe:
+		err = c.handleSubscribe(f)
+	case wire.CmdReplStatus:
+		err = c.handleReplStatus(f)
+	case wire.CmdPromote:
+		err = c.handlePromote(f)
 	default:
 		err = c.replyErr(f.ReqID, protoErr("unknown command 0x%02x", f.Type))
 	}
@@ -533,7 +549,9 @@ func (c *conn) handleCommit(f *wire.Frame) error {
 	if err != nil {
 		return c.replyErr(f.ReqID, err)
 	}
-	return c.reply(f.ReqID, wire.RespOK, nil)
+	// The body carries the commit's LSN so clients can demand
+	// read-your-writes freshness from replicas (client.Replicated).
+	return c.reply(f.ReqID, wire.RespOK, wire.AppendUvarint(nil, tx.CommitLSN()))
 }
 
 func (c *conn) handleAbort(f *wire.Frame) error {
@@ -867,3 +885,63 @@ func (c *conn) handleMetrics(f *wire.Frame) error {
 }
 
 func (c *conn) reg() map[string]any { return c.s.reg.Snapshot() }
+
+// handleSubscribe hands the connection over to the replication source:
+// after a CmdWALSubscribe the socket carries only WAL frames one way
+// and acks the other, until the subscriber disconnects or is dropped.
+// The return is always non-nil — a hijacked connection never rejoins
+// the request loop.
+func (c *conn) handleSubscribe(f *wire.Frame) error {
+	src := c.s.opts.Repl
+	if src == nil {
+		return c.replyErr(f.ReqID, protoErr("this server has no replication source"))
+	}
+	if c.sessionTx() != nil {
+		return c.replyErr(f.ReqID, protoErr("wal-subscribe on a connection with a transaction open"))
+	}
+	req, err := wire.DecodeSubscribeReq(f.Body)
+	if err != nil {
+		return c.replyErr(f.ReqID, protoErr("wal-subscribe: %v", err))
+	}
+	// Nothing useful can be buffered (a subscriber sends nothing before
+	// subscribing), but flush defensively: all writes now bypass c.bw.
+	if err := c.flush(); err != nil {
+		return err
+	}
+	// Mark the session idle so Close's drain closes the socket instead
+	// of waiting out the drain window: the stream is read-interruptible
+	// and holds no transaction.
+	c.busy.Store(false)
+	err = src.ServeSubscriber(c.nc, c.br, f.ReqID, req)
+	if err == nil {
+		err = io.EOF
+	}
+	return fmt.Errorf("wal-subscribe stream ended: %w", err)
+}
+
+// handleReplStatus reports the node's replication position: role
+// (read-only = replica), replication id, and applied LSN. Served from
+// the database directly, so it works on primaries and replicas alike.
+func (c *conn) handleReplStatus(f *wire.Frame) error {
+	st := &wire.ReplStatus{
+		ReadOnly: c.s.db.ReadOnly(),
+		ReplID:   c.s.db.ReplicationID(),
+		// AppliedLSN, not LSN: the position must not run ahead of read
+		// visibility — the Replicated router trusts it as a freshness
+		// proof.
+		LSN: c.s.db.AppliedLSN(),
+	}
+	return c.reply(f.ReqID, wire.RespReplStatus, st.Append(nil))
+}
+
+// handlePromote invokes the operator-supplied promotion hook (the wire
+// twin of SIGUSR1 on ode-server).
+func (c *conn) handlePromote(f *wire.Frame) error {
+	if c.s.opts.Promote == nil {
+		return c.replyErr(f.ReqID, protoErr("this server has no promotion hook"))
+	}
+	if err := c.s.opts.Promote(); err != nil {
+		return c.replyErr(f.ReqID, err)
+	}
+	return c.reply(f.ReqID, wire.RespOK, nil)
+}

@@ -1,0 +1,681 @@
+package torture
+
+// Replication torture: a primary with a real wire server and a replica
+// following its WAL stream, both in-process so the shared failpoint
+// sites fire on whichever node happens to do the I/O. Rounds drive
+// randomized traffic on the primary while killing either node at a
+// random point (process-style: CrashForTesting, recover from disk,
+// rejoin), occasionally wiping the replica outright so the snapshot
+// bootstrap path runs too. The invariant under test is byte-level
+// convergence: once traffic quiesces and the replica's applied LSN
+// matches the primary's, the two databases must hold identical object
+// state — every current image, every frozen version, and the secondary
+// index — and share one replication identity. The final round promotes
+// the replica and verifies it accepts writes.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ode"
+	"ode/internal/failpoint"
+	"ode/internal/repl"
+	"ode/internal/server"
+	"ode/internal/wal"
+)
+
+// ReplConfig parameterizes a replication torture run.
+type ReplConfig struct {
+	// Seed drives every random decision of the run.
+	Seed int64
+	// Rounds is the number of traffic/kill/converge/verify cycles.
+	Rounds int
+	// OpsPerRound bounds the transactions attempted per round.
+	OpsPerRound int
+	// Dir holds both stores' files. It must exist; the harness never
+	// deletes it (CI uploads it as an artifact on failure).
+	Dir string
+	// Log, if non-nil, receives one progress line per round.
+	Log io.Writer
+}
+
+// ReplResult summarizes a completed replication torture run.
+type ReplResult struct {
+	Rounds         int
+	Ops            int
+	Commits        int
+	Aborts         int
+	PrimaryCrashes int
+	ReplicaCrashes int
+	Wipes          int // deliberate replica wipes (forced snapshot bootstrap)
+	Resyncs        int // resync demands from the primary (wipe + snapshot)
+	Faults         uint64
+	SitesFired     map[string]uint64
+}
+
+// replRun carries the state of one replication torture run.
+type replRun struct {
+	cfg ReplConfig
+	rng *rand.Rand
+	log io.Writer
+
+	ppath, rpath string
+	addr         string // the primary's listen address, stable across its crashes
+
+	pdb   *ode.DB
+	src   *repl.Source
+	srv   *server.Server
+	stock *ode.Class
+
+	rdb     *ode.DB
+	rep     *repl.Replica
+	repDown bool // replica stream intentionally not running
+
+	oids []ode.OID // live objects on the primary (rebuilt from the extent after crashes)
+	res  ReplResult
+}
+
+// replicaOpts keeps reconnect latency negligible against test-scale
+// traffic: the primary restarts within milliseconds of a crash.
+func replicaOpts() *repl.ReplicaOptions {
+	return &repl.ReplicaOptions{
+		DialTimeout: 2 * time.Second,
+		Backoff:     5 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	}
+}
+
+// RunRepl executes one replication torture run; any divergence or
+// unexpected engine error is returned with the seed for reproduction.
+func RunRepl(cfg ReplConfig) (*ReplResult, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("torture: ReplConfig.Dir is required")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 8
+	}
+	if cfg.OpsPerRound <= 0 {
+		cfg.OpsPerRound = 30
+	}
+	logW := cfg.Log
+	if logW == nil {
+		logW = io.Discard
+	}
+	r := &replRun{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		log:   logW,
+		ppath: filepath.Join(cfg.Dir, "primary.odb"),
+		rpath: filepath.Join(cfg.Dir, "replica.odb"),
+	}
+	firesBefore := failpoint.FireCounts()
+	defer failpoint.DisarmAll()
+
+	err := r.runAll()
+	fires := failpoint.FireCounts()
+	r.res.SitesFired = make(map[string]uint64)
+	for site, n := range fires {
+		if d := n - firesBefore[site]; d > 0 {
+			r.res.SitesFired[site] = d
+			r.res.Faults += d
+		}
+	}
+	if err != nil {
+		return &r.res, fmt.Errorf("torture(repl): seed %d: %w (stores kept at %s)", cfg.Seed, err, cfg.Dir)
+	}
+	return &r.res, nil
+}
+
+func (r *replRun) runAll() error {
+	if err := r.startPrimary(); err != nil {
+		return fmt.Errorf("boot primary: %w", err)
+	}
+	defer func() {
+		if r.srv != nil {
+			r.srv.Close()
+		}
+		if r.pdb != nil {
+			r.pdb.Close()
+		}
+	}()
+	if err := r.openReplicaDB(); err != nil {
+		return fmt.Errorf("boot replica: %w", err)
+	}
+	defer func() {
+		if r.rep != nil {
+			r.rep.Stop()
+		}
+		if r.rdb != nil {
+			r.rdb.Close()
+		}
+	}()
+	if err := r.startReplica(); err != nil {
+		return fmt.Errorf("boot replica stream: %w", err)
+	}
+	if err := r.seed(); err != nil {
+		return fmt.Errorf("seed population: %w", err)
+	}
+
+	for round := 1; round <= r.cfg.Rounds; round++ {
+		if err := r.round(round); err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		r.res.Rounds++
+	}
+
+	// Final act: promote the replica and verify it accepts writes over
+	// the full replicated history.
+	r.rep.Promote()
+	r.rep = nil
+	if r.rdb.ReadOnly() {
+		return fmt.Errorf("promoted replica still read-only")
+	}
+	tx := r.rdb.Begin()
+	defer tx.Abort()
+	o := ode.NewObject(r.stock)
+	o.MustSet("name", ode.Str("post-promote"))
+	o.MustSet("qty", ode.Int(1))
+	if _, err := tx.PNew(r.stock, o); err != nil {
+		return fmt.Errorf("write on promoted replica: %w", err)
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("commit on promoted replica: %w", err)
+	}
+	return nil
+}
+
+// openNode opens one node's database with WAL bounds small enough that
+// checkpoints (and so WAL truncation, against the retention gate) run
+// constantly during the test.
+func (r *replRun) openNode(path string) (*ode.DB, *ode.Class, error) {
+	schema, stock := Schema()
+	db, err := ode.Open(path, schema, &ode.Options{
+		PoolPages:    48,
+		WALSoftLimit: 32 << 10,
+		WALHardLimit: 256 << 10,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// DDL is idempotent across retries: a fault may have crashed a
+	// previous attempt between cluster and index creation.
+	if !db.HasCluster(stock) {
+		if err := db.CreateCluster(stock); err != nil {
+			db.CrashForTesting()
+			return nil, nil, err
+		}
+	}
+	if !db.Manager().HasIndex(stock, "qty") {
+		if err := db.CreateIndex(stock, "qty"); err != nil {
+			db.CrashForTesting()
+			return nil, nil, err
+		}
+	}
+	return db, stock, nil
+}
+
+// openNodeRetry opens a node, retrying when the round's armed one-shot
+// fault fires inside recovery or DDL: the shot is spent as it fires,
+// so the next attempt runs clean — recovery under injected faults is
+// exactly what the crash/reopen cycle is for.
+func (r *replRun) openNodeRetry(path string) (*ode.DB, *ode.Class, error) {
+	for attempt := 0; ; attempt++ {
+		db, stock, err := r.openNode(path)
+		if err == nil {
+			return db, stock, nil
+		}
+		if !errors.Is(err, failpoint.ErrInjected) || attempt >= 4 {
+			return nil, nil, err
+		}
+	}
+}
+
+// startPrimary opens (or reopens after a crash) the primary and serves
+// it, reusing the address allocated at first boot so the replica's
+// reconnect loop finds it again.
+func (r *replRun) startPrimary() error {
+	db, stock, err := r.openNodeRetry(r.ppath)
+	if err != nil {
+		return err
+	}
+	r.pdb, r.stock = db, stock
+	r.src = repl.NewSource(db, nil, nil)
+	r.srv = server.New(db, &server.Options{Repl: r.src, DrainTimeout: 100 * time.Millisecond})
+	want := r.addr
+	if want == "" {
+		want = "127.0.0.1:0"
+	}
+	// Rebinding the just-closed port can transiently fail; retry briefly.
+	var lnAddr fmt.Stringer
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		lnAddr, err = r.srv.Listen(want)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rebind %s: %w", want, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.addr = lnAddr.String()
+	go r.srv.Serve(nil)
+	return r.reloadOIDs()
+}
+
+// reloadOIDs rebuilds the traffic target list from the primary's
+// extent — the durable truth after a crash resolves uncertain commits.
+func (r *replRun) reloadOIDs() error {
+	oids, err := r.pdb.Manager().ClusterOIDs(r.stock)
+	if err != nil {
+		return err
+	}
+	r.oids = oids
+	return nil
+}
+
+// crashPrimary kills the primary mid-flight and brings it back from
+// disk: server down, source detached, dirty state dropped, recovery.
+func (r *replRun) crashPrimary() error {
+	r.srv.Close()
+	r.src.Close()
+	r.pdb.CrashForTesting()
+	r.res.PrimaryCrashes++
+	return r.startPrimary()
+}
+
+func (r *replRun) openReplicaDB() error {
+	db, _, err := r.openNodeRetry(r.rpath)
+	if err != nil {
+		return err
+	}
+	r.rdb = db
+	return nil
+}
+
+// startReplica begins (or resumes) following the primary. A dial
+// failure retries briefly (the primary may be mid-restart); a resync
+// demand wipes the local copy and bootstraps from a snapshot, the same
+// recovery ode-server -resync performs.
+func (r *replRun) startReplica() error {
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		rep := repl.NewReplica(r.rdb, r.addr, nil, replicaOpts())
+		err := rep.Start()
+		if err == nil {
+			r.rep, r.repDown = rep, false
+			return nil
+		}
+		if errors.Is(err, repl.ErrResyncRequired) {
+			r.res.Resyncs++
+			fmt.Fprintf(r.log, "resync demanded; wiping replica\n")
+			if err := r.wipeReplica(); err != nil {
+				return err
+			}
+			continue
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica subscribe: %w", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// wipeReplica discards the replica's store entirely; the next
+// subscribe offers a snapshot bootstrap (only an empty database may).
+// The files are about to be deleted, so the store is dropped crash-
+// style — a clean Close would checkpoint through any still-armed
+// failpoint for nothing.
+func (r *replRun) wipeReplica() error {
+	r.rdb.CrashForTesting()
+	for _, suffix := range []string{"", ".wal", ".dw", ".rebuild"} {
+		os.Remove(r.rpath + suffix)
+	}
+	return r.openReplicaDB()
+}
+
+// crashReplica kills the replica and recovers its store from disk, but
+// leaves the stream down — the caller decides when it rejoins, so
+// traffic committed in between exercises incremental catch-up. A
+// second crash immediately after recovery (1 in 4) checks recovery
+// idempotence on the replica side too.
+func (r *replRun) crashReplica() error {
+	if r.rep != nil {
+		r.rep.Stop()
+		r.rep = nil
+	}
+	r.rdb.CrashForTesting()
+	r.res.ReplicaCrashes++
+	if err := r.openReplicaDB(); err != nil {
+		return fmt.Errorf("replica recovery: %w", err)
+	}
+	if r.rng.Intn(4) == 0 {
+		r.rdb.CrashForTesting()
+		if err := r.openReplicaDB(); err != nil {
+			return fmt.Errorf("replica idempotent re-recovery: %w", err)
+		}
+	}
+	r.repDown = true
+	return nil
+}
+
+// replicaDied drains a fatal stream exit, classifying it: a resync
+// demand or an injected-fault apply error is an expected hazard
+// (recover the store, rejoin later); anything else fails the run.
+func (r *replRun) replicaDied() error {
+	err := r.rep.Err()
+	switch {
+	case err == nil:
+		// Clean stop cannot happen here — only Stop closes the loop
+		// without an error, and the harness is the only caller.
+		return fmt.Errorf("replica stream exited with no error")
+	case errors.Is(err, repl.ErrResyncRequired):
+		r.rep.Stop()
+		r.rep = nil
+		r.res.Resyncs++
+		fmt.Fprintf(r.log, "resync demanded mid-stream; wiping replica\n")
+		if err := r.wipeReplica(); err != nil {
+			return err
+		}
+		r.repDown = true
+		return nil
+	case errors.Is(err, failpoint.ErrInjected):
+		// The armed fault fired inside the replica's apply path: its
+		// store is suspect, exactly like an errored local commit.
+		// Crash-recover it; the stream rejoins at the recovered LSN.
+		return r.crashReplica()
+	default:
+		return fmt.Errorf("replica stream died: %w", err)
+	}
+}
+
+// seed populates the primary so round one has targets.
+func (r *replRun) seed() error {
+	for i := 0; i < 30; i++ {
+		if err := r.transaction(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// round runs one arm/traffic/kill/converge/verify cycle. Kills land at
+// a random op index inside the traffic so the rejoining node has a
+// real gap to catch up across.
+func (r *replRun) round(round int) error {
+	wf := workloadFaults[r.rng.Intn(len(workloadFaults))]
+	spec := failpoint.Spec{
+		Action:  wf.actions[r.rng.Intn(len(wf.actions))],
+		AfterN:  uint64(r.rng.Intn(40)),
+		Seed:    r.rng.Int63(),
+		OneShot: true,
+	}
+	if err := failpoint.Arm(wf.site, spec); err != nil {
+		return err
+	}
+	// kill: 0 primary, 1 replica, 2 replica wipe (snapshot bootstrap),
+	// 3+ none (the armed fault may still crash a node on its own).
+	kill := r.rng.Intn(6)
+	killAt := r.rng.Intn(r.cfg.OpsPerRound)
+	fmt.Fprintf(r.log, "round %d: arm %s %v kill=%d at op %d\n", round, wf.site, spec, kill, killAt)
+
+	for op := 0; op < r.cfg.OpsPerRound; op++ {
+		r.res.Ops++
+		// A fatal stream exit surfaces asynchronously; check each op.
+		if r.rep != nil {
+			select {
+			case <-r.rep.Done():
+				if err := r.replicaDied(); err != nil {
+					return err
+				}
+			default:
+			}
+		}
+		if op == killAt {
+			switch kill {
+			case 0:
+				if err := r.crashPrimary(); err != nil {
+					return fmt.Errorf("primary recovery: %w", err)
+				}
+			case 1:
+				if err := r.crashReplica(); err != nil {
+					return err
+				}
+			case 2:
+				if r.rep != nil {
+					r.rep.Stop()
+					r.rep = nil
+				}
+				r.res.Wipes++
+				if err := r.wipeReplica(); err != nil {
+					return err
+				}
+				r.repDown = true
+			}
+		}
+		var err error
+		switch {
+		case r.rng.Intn(10) == 0:
+			err = r.pdb.Checkpoint()
+		case r.rng.Intn(8) == 0:
+			err = r.replicaProbe()
+		default:
+			err = r.transaction()
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, failpoint.ErrInjected):
+			// The primary erred mid-commit (or mid-checkpoint): crash it
+			// and recover, as a real deployment's restart would. The
+			// extent reload resolves any uncertain commit either way.
+			if err := r.crashPrimary(); err != nil {
+				return fmt.Errorf("primary recovery after fault: %w", err)
+			}
+		default:
+			return fmt.Errorf("unexpected engine error: %w", err)
+		}
+	}
+	failpoint.DisarmAll()
+
+	// Converge: quiesce traffic, rejoin the replica if it is down, and
+	// wait until its applied position reaches the primary's.
+	if r.repDown {
+		if err := r.startReplica(); err != nil {
+			return err
+		}
+	}
+	if err := r.waitConverged(); err != nil {
+		return err
+	}
+
+	// Verify: identical identity and byte-level state.
+	if pid, rid := r.pdb.ReplicationID(), r.rdb.ReplicationID(); pid != rid {
+		return fmt.Errorf("replication id diverged: primary %q, replica %q", pid, rid)
+	}
+	pd, err := r.digest(r.pdb)
+	if err != nil {
+		return fmt.Errorf("primary digest: %w", err)
+	}
+	rd, err := r.digest(r.rdb)
+	if err != nil {
+		return fmt.Errorf("replica digest: %w", err)
+	}
+	if pd != rd {
+		return fmt.Errorf("state diverged at LSN %d: primary %s, replica %s", r.pdb.LSN(), pd, rd)
+	}
+	fmt.Fprintf(r.log, "round %d: converged at LSN %d digest %s\n", round, r.pdb.LSN(), pd[:12])
+	return nil
+}
+
+// waitConverged blocks until the replica has applied the primary's
+// last committed batch, recovering the replica through any fatal
+// stream exit (resync demands, late fault damage) on the way.
+func (r *replRun) waitConverged() error {
+	target := r.pdb.AppliedLSN()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if r.rdb.AppliedLSN() >= target {
+			return nil
+		}
+		if r.rep == nil || r.repDown {
+			if err := r.startReplica(); err != nil {
+				return err
+			}
+		}
+		select {
+		case <-r.rep.Done():
+			if err := r.replicaDied(); err != nil {
+				return err
+			}
+		case <-time.After(time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica stuck at LSN %d, primary at %d", r.rdb.AppliedLSN(), target)
+		}
+	}
+}
+
+// transaction runs 1–3 random operations in one commit on the primary.
+// Targets come from the best-effort oid list; one that turns out dead
+// (an uncertain commit resolved the other way) is dropped and skipped.
+func (r *replRun) transaction() error {
+	tx := r.pdb.Begin()
+	defer tx.Abort()
+	var created []ode.OID
+	var deleted []ode.OID
+	nops := 1 + r.rng.Intn(3)
+	for i := 0; i < nops; i++ {
+		oid := r.pickOID()
+		var err error
+		switch k := r.rng.Intn(10); {
+		case k <= 2 || oid == ode.NilOID:
+			o := ode.NewObject(r.stock)
+			o.MustSet("name", ode.Str(fmt.Sprintf("item-%d", r.rng.Intn(1_000_000))))
+			o.MustSet("qty", ode.Int(int64(r.rng.Intn(1000))))
+			var newOID ode.OID
+			if newOID, err = tx.PNew(r.stock, o); err == nil {
+				created = append(created, newOID)
+			}
+		case k == 3 && len(r.oids) > 10:
+			if err = tx.PDelete(oid); err == nil {
+				deleted = append(deleted, oid)
+			}
+		case k == 4 || k == 5:
+			_, err = tx.NewVersion(oid)
+		case k == 6:
+			var vs []uint32
+			if vs, err = tx.Versions(oid); err == nil && len(vs) > 0 {
+				err = tx.DeleteVersion(ode.VRef{OID: oid, Version: vs[r.rng.Intn(len(vs))]})
+			}
+		default:
+			var o *ode.Object
+			if o, err = tx.Deref(oid); err == nil {
+				o.MustSet("qty", ode.Int(int64(r.rng.Intn(1000))))
+				err = tx.Update(oid, o)
+			}
+		}
+		if errors.Is(err, ode.ErrNoObject) {
+			r.dropOID(oid)
+			continue
+		}
+		if err != nil {
+			r.res.Aborts++
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		r.res.Aborts++
+		return err
+	}
+	r.res.Commits++
+	r.oids = append(r.oids, created...)
+	for _, oid := range deleted {
+		r.dropOID(oid)
+	}
+	return nil
+}
+
+func (r *replRun) pickOID() ode.OID {
+	if len(r.oids) == 0 {
+		return ode.NilOID
+	}
+	return r.oids[r.rng.Intn(len(r.oids))]
+}
+
+func (r *replRun) dropOID(oid ode.OID) {
+	for i, o := range r.oids {
+		if o == oid {
+			r.oids = append(r.oids[:i], r.oids[i+1:]...)
+			return
+		}
+	}
+}
+
+// replicaProbe exercises the replica's serving surface mid-stream: a
+// write must fail with the typed read-only error, and a read of a
+// recent primary object must either succeed or be cleanly absent
+// (replication lag) — never error otherwise.
+func (r *replRun) replicaProbe() error {
+	if r.repDown || r.rep == nil {
+		return nil
+	}
+	tx := r.rdb.Begin()
+	o := ode.NewObject(r.stock)
+	o.MustSet("name", ode.Str("probe"))
+	o.MustSet("qty", ode.Int(1))
+	_, err := tx.PNew(r.stock, o)
+	tx.Abort()
+	if !errors.Is(err, ode.ErrReadOnly) {
+		return fmt.Errorf("replica write = %v, want ode.ErrReadOnly", err)
+	}
+	oid := r.pickOID()
+	if oid == ode.NilOID {
+		return nil
+	}
+	err = r.rdb.View(func(tx *ode.Tx) error {
+		_, derr := tx.Deref(oid)
+		return derr
+	})
+	switch {
+	case err == nil || errors.Is(err, ode.ErrNoObject):
+		return nil
+	case errors.Is(err, failpoint.ErrInjected):
+		// The armed fault fired on the replica's read path; restart it
+		// the way a real deployment would.
+		return r.crashReplica()
+	default:
+		return fmt.Errorf("replica read @%d: %w", oid, err)
+	}
+}
+
+// digest hashes one node's full replicated state: every snapshot op
+// (current images and frozen versions, the exact bytes a resync would
+// ship) plus the secondary index extent. Lines are sorted so the hash
+// is order-independent.
+func (r *replRun) digest(db *ode.DB) (string, error) {
+	var lines []string
+	err := db.Manager().SnapshotOps(func(op *wal.Op) error {
+		lines = append(lines, fmt.Sprintf("op %d @%d v%d c%d %x", op.Type, op.OID, op.Version, op.ClassID, op.Image))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	idx, err := db.Manager().IndexOIDs(r.stock, "qty", ode.Null, ode.Null)
+	if err != nil {
+		return "", err
+	}
+	for _, oid := range idx {
+		lines = append(lines, fmt.Sprintf("idx @%d", oid))
+	}
+	sort.Strings(lines)
+	h := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(h[:]), nil
+}

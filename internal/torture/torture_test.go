@@ -72,6 +72,35 @@ func TestTortureCancelFixedSeeds(t *testing.T) {
 	}
 }
 
+// TestTortureReplFixedSeeds runs the replication torture: a primary
+// with a wire server and a replica following its WAL stream, random
+// node kills and wipes under the usual armed failpoints, and a
+// byte-level convergence check each round (see repl.go).
+func TestTortureReplFixedSeeds(t *testing.T) {
+	for _, seed := range []int64{5, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			res, err := RunRepl(ReplConfig{
+				Seed:        seed,
+				Rounds:      6,
+				OpsPerRound: 25,
+				Dir:         t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed %d: rounds=%d ops=%d commits=%d aborts=%d pkills=%d rkills=%d wipes=%d resyncs=%d faults=%d fired=%v",
+				seed, res.Rounds, res.Ops, res.Commits, res.Aborts, res.PrimaryCrashes, res.ReplicaCrashes, res.Wipes, res.Resyncs, res.Faults, res.SitesFired)
+			if res.Commits == 0 {
+				t.Error("run committed nothing; workload is broken")
+			}
+			if res.PrimaryCrashes+res.ReplicaCrashes+res.Wipes == 0 {
+				t.Error("no node was ever killed; kill schedule is broken")
+			}
+		})
+	}
+}
+
 // TestTortureCI is the environment-driven entry point used by the CI
 // torture matrix. TORTURE_SEED is a number, or the string RANDOM for a
 // time-derived seed that is logged so a failure can be reproduced:
@@ -80,8 +109,9 @@ func TestTortureCancelFixedSeeds(t *testing.T) {
 //
 // TORTURE_ROUNDS, TORTURE_OPS, and TORTURE_DIR tune the run;
 // TORTURE_MODE=cancel turns on the resource-governance traffic
-// (Config.Cancel). With TORTURE_DIR set, the store files survive the
-// test for artifact upload on failure.
+// (Config.Cancel), and TORTURE_MODE=repl runs the replication torture
+// (RunRepl) instead of the single-node harness. With TORTURE_DIR set,
+// the store files survive the test for artifact upload on failure.
 func TestTortureCI(t *testing.T) {
 	seedEnv := os.Getenv("TORTURE_SEED")
 	if seedEnv == "" {
@@ -112,6 +142,18 @@ func TestTortureCI(t *testing.T) {
 	cfg.Cancel = strings.EqualFold(os.Getenv("TORTURE_MODE"), "cancel")
 	t.Logf("torture seed %d mode=%s (reproduce: TORTURE_SEED=%d TORTURE_MODE=%s go test -run TestTortureCI -v ./internal/torture)",
 		seed, os.Getenv("TORTURE_MODE"), seed, os.Getenv("TORTURE_MODE"))
+	if strings.EqualFold(os.Getenv("TORTURE_MODE"), "repl") {
+		res, err := RunRepl(ReplConfig{
+			Seed: seed, Rounds: cfg.Rounds, OpsPerRound: cfg.OpsPerRound,
+			Dir: cfg.Dir, Log: cfg.Log,
+		})
+		if err != nil {
+			t.Fatalf("torture failed (reproduce with TORTURE_SEED=%d TORTURE_MODE=repl): %v", seed, err)
+		}
+		t.Logf("rounds=%d ops=%d commits=%d aborts=%d pkills=%d rkills=%d wipes=%d resyncs=%d faults=%d fired=%v",
+			res.Rounds, res.Ops, res.Commits, res.Aborts, res.PrimaryCrashes, res.ReplicaCrashes, res.Wipes, res.Resyncs, res.Faults, res.SitesFired)
+		return
+	}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatalf("torture failed (reproduce with TORTURE_SEED=%d TORTURE_MODE=%s): %v", seed, os.Getenv("TORTURE_MODE"), err)

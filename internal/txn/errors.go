@@ -26,6 +26,11 @@ var (
 	// ErrDBClosed rejects work against a database that is closing or
 	// closed.
 	ErrDBClosed = errors.New("txn: database is closed")
+	// ErrReadOnly rejects writes against a database in read-only mode —
+	// a replica following a primary. Writes must go to the primary;
+	// promotion clears the mode. Not retryable: the same node stays
+	// read-only until an operator promotes it.
+	ErrReadOnly = errors.New("txn: database is read-only (replica)")
 )
 
 // IsRetryable reports whether err names a transient conflict that an

@@ -49,12 +49,13 @@ var (
 // serializes commit application so the WAL order equals the apply
 // order.
 type Engine struct {
-	mgr    *object.Manager
-	log    *wal.Log
-	locks  *LockManager
-	nextID atomic.Uint64
-	met    *obs.Metrics // full set: txn counters plus the query layer's
-	closed atomic.Bool  // set by MarkClosed; checked under commitMu
+	mgr      *object.Manager
+	log      *wal.Log
+	locks    *LockManager
+	nextID   atomic.Uint64
+	met      *obs.Metrics // full set: txn counters plus the query layer's
+	closed   atomic.Bool  // set by MarkClosed; checked under commitMu
+	readOnly atomic.Bool  // replica mode: write operations fail with ErrReadOnly
 
 	commitMu sync.Mutex
 
@@ -80,6 +81,12 @@ type Engine struct {
 	// each WAL append with the new log size. The database layer uses
 	// it to kick the background checkpointer past the soft limit.
 	AfterAppend func(walSize int64)
+	// OnCommit, if set, is called under the commit lock after a batch
+	// is durable in the WAL and applied, with the batch's LSN and its
+	// raw log encoding. It fires for local commits and for replicated
+	// batches applied through ApplyReplicatedBatch alike, in strict LSN
+	// order — the replication layer ships committed batches from here.
+	OnCommit func(lsn uint64, raw []byte)
 }
 
 // NewEngine builds a transaction engine over a manager and its WAL.
@@ -110,6 +117,61 @@ func (e *Engine) Locks() *LockManager { return e.locks }
 // write set fail with ErrDBClosed (checked under the commit lock, so
 // nothing reaches the WAL after the flag is observed set there).
 func (e *Engine) MarkClosed() { e.closed.Store(true) }
+
+// SetReadOnly switches replica mode: while set, every write operation
+// and every commit with a write set fails with ErrReadOnly. Replicated
+// batches applied through ApplyReplicatedBatch are exempt — they are
+// the one write path a replica has. Promotion clears the mode.
+func (e *Engine) SetReadOnly(v bool) { e.readOnly.Store(v) }
+
+// ReadOnly reports whether the engine is in replica (read-only) mode.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
+// ApplyReplicatedBatch makes one batch shipped from a replication
+// primary durable and visible: under the commit lock, the raw batch is
+// appended to the local WAL (so replica crash recovery replays it like
+// any local commit), applied to the object manager, and announced to
+// OnCommit (so a promoted replica can ship onward to its own
+// subscribers). lsn must directly follow the log's current LSN;
+// lsn == 0 marks a full-resync snapshot batch, which skips the
+// sequence check and the OnCommit fan-out (its LSN accounting is
+// settled by CompleteResync at the end of the snapshot).
+func (e *Engine) ApplyReplicatedBatch(lsn uint64, raw []byte) error {
+	b, err := wal.DecodeBatch(raw)
+	if err != nil {
+		return fmt.Errorf("txn: replicated batch: %w", err)
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	if e.closed.Load() {
+		return ErrDBClosed
+	}
+	if want := e.log.LSN() + 1; lsn != 0 && lsn != want {
+		return fmt.Errorf("%w: batch %d, log expects %d", wal.ErrLSNGap, lsn, want)
+	}
+	if err := fpCommitWAL.Check(); err != nil {
+		return fmt.Errorf("txn: replicated append: %w", err)
+	}
+	if err := e.log.AppendRaw(raw); err != nil {
+		return fmt.Errorf("txn: replicated append: %w", err)
+	}
+	if fn := e.AfterAppend; fn != nil {
+		fn(e.log.Size())
+	}
+	if err := fpCommitApply.Check(); err != nil {
+		return fmt.Errorf("txn: replicated apply after logging (database needs recovery): %w", err)
+	}
+	for _, op := range b.Ops {
+		if err := e.mgr.Apply(op); err != nil {
+			return fmt.Errorf("txn: replicated apply after logging (database needs recovery): %w", err)
+		}
+	}
+	e.met.Txn.Commits.Inc()
+	if fn := e.OnCommit; fn != nil && lsn != 0 {
+		fn(lsn, raw)
+	}
+	return nil
+}
 
 // WithCommitLock runs fn while holding the commit lock, excluding
 // every WAL append and apply. Checkpoints run under it so a concurrent
@@ -178,6 +240,8 @@ type Tx struct {
 	ops     []wal.Op
 	frozen  map[core.VRef]*core.Object // buffered newversion snapshots
 	current map[core.OID]uint32        // buffered current-version numbers
+
+	commitLSN uint64 // LSN of this transaction's batch; 0 for read-only commits
 
 	onFinish []func() // run once, after locks release
 
@@ -251,6 +315,18 @@ func (tx *Tx) ensureActive() error {
 	return nil
 }
 
+// ensureWritable guards the write entry points: active, and not a
+// read-only replica.
+func (tx *Tx) ensureWritable() error {
+	if err := tx.ensureActive(); err != nil {
+		return err
+	}
+	if tx.engine.readOnly.Load() {
+		return fmt.Errorf("%w (tx %d)", ErrReadOnly, tx.id)
+	}
+	return nil
+}
+
 // Deref implements core.Store: it returns a private copy of the current
 // state of the object. Mutations become part of the transaction only
 // via Update.
@@ -302,7 +378,7 @@ func (tx *Tx) DerefVersion(ref core.VRef) (*core.Object, error) {
 // initialized from init (nil for a zero instance). The class's cluster
 // must exist.
 func (tx *Tx) PNew(c *core.Class, init *core.Object) (core.OID, error) {
-	if err := tx.ensureActive(); err != nil {
+	if err := tx.ensureWritable(); err != nil {
 		return core.NilOID, err
 	}
 	if err := tx.engine.mgr.RequireCluster(c); err != nil {
@@ -329,7 +405,7 @@ func (tx *Tx) PNew(c *core.Class, init *core.Object) (core.OID, error) {
 // Update implements core.Store: it publishes the (mutated) state of a
 // persistent object into the transaction.
 func (tx *Tx) Update(oid core.OID, o *core.Object) error {
-	if err := tx.ensureActive(); err != nil {
+	if err := tx.ensureWritable(); err != nil {
 		return err
 	}
 	if err := tx.lock(oid, Exclusive); err != nil {
@@ -364,7 +440,7 @@ func (tx *Tx) Update(oid core.OID, o *core.Object) error {
 // PDelete implements core.Store: it removes a persistent object (and
 // all its versions) at commit.
 func (tx *Tx) PDelete(oid core.OID) error {
-	if err := tx.ensureActive(); err != nil {
+	if err := tx.ensureWritable(); err != nil {
 		return err
 	}
 	if err := tx.lock(oid, Exclusive); err != nil {
@@ -410,7 +486,7 @@ func (tx *Tx) CurrentVersion(oid core.OID) (uint32, error) {
 // updates apply to the (new) current version (paper, section 4: "A new
 // version is created explicitly by calling the macro newversion").
 func (tx *Tx) NewVersion(oid core.OID) (core.VRef, error) {
-	if err := tx.ensureActive(); err != nil {
+	if err := tx.ensureWritable(); err != nil {
 		return core.VRef{}, err
 	}
 	if err := tx.lock(oid, Exclusive); err != nil {
@@ -438,7 +514,7 @@ func (tx *Tx) NewVersion(oid core.OID) (core.VRef, error) {
 
 // DeleteVersion removes one frozen version of an object.
 func (tx *Tx) DeleteVersion(ref core.VRef) error {
-	if err := tx.ensureActive(); err != nil {
+	if err := tx.ensureWritable(); err != nil {
 		return err
 	}
 	if err := tx.lock(ref.OID, Exclusive); err != nil {
@@ -575,6 +651,13 @@ func (tx *Tx) Commit() error {
 	ops := tx.buildOps()
 	e := tx.engine
 	if len(ops) > 0 {
+		// A transaction begun before the node entered replica mode may
+		// reach Commit with a write set; reject it like the write entry
+		// points do.
+		if e.readOnly.Load() {
+			tx.Abort()
+			return fmt.Errorf("%w (commit of tx %d)", ErrReadOnly, tx.id)
+		}
 		// A dead context aborts before anything reaches the WAL, so a
 		// canceled transaction is always a clean abort, never an
 		// ambiguous commit.
@@ -605,7 +688,8 @@ func (tx *Tx) Commit() error {
 			tx.Abort()
 			return fmt.Errorf("txn: commit: %w", err)
 		}
-		if err := e.log.Append(tx.id, ops); err != nil {
+		raw := wal.EncodeBatch(tx.id, ops)
+		if err := e.log.AppendRaw(raw); err != nil {
 			e.commitMu.Unlock()
 			tx.Abort()
 			return fmt.Errorf("txn: wal append: %w", err)
@@ -627,6 +711,10 @@ func (tx *Tx) Commit() error {
 				tx.finish(stateAborted)
 				return fmt.Errorf("txn: apply after logging (database needs recovery): %w", err)
 			}
+		}
+		tx.commitLSN = e.log.LSN()
+		if fn := e.OnCommit; fn != nil {
+			fn(tx.commitLSN, raw)
 		}
 	}
 	e.commitMu.Unlock()
@@ -703,6 +791,12 @@ func (tx *Tx) finish(state int) {
 	}
 	tx.onFinish = nil
 }
+
+// CommitLSN returns the log sequence number assigned to this
+// transaction's batch by a successful Commit, or 0 if the transaction
+// had no write set (or has not committed). Clients use it to bound
+// staleness when reading from replicas ("read your writes").
+func (tx *Tx) CommitLSN() uint64 { return tx.commitLSN }
 
 // Active reports whether the transaction can still be used.
 func (tx *Tx) Active() bool { return tx.state == stateActive }

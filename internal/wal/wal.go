@@ -16,6 +16,17 @@
 //     operations of batches that have a commit record and ignoring a
 //     torn tail. Replay is idempotent: operations are upserts/deletes
 //     keyed by object id and version.
+//
+// The log also carries the replication position. Every committed batch
+// has a log sequence number (LSN): batch n since database creation has
+// LSN n, regardless of checkpoints. Because truncation discards the
+// batches themselves, the truncated log starts with a base record
+// (OpLSNBase) holding the LSN at truncation time and the database's
+// replication id; the live LSN is always base + the number of commit
+// records after it. Truncate installs the new base by writing a fresh
+// file and renaming it over the log, so the base update and the
+// truncation are one atomic filesystem operation — the LSN accounting
+// survives a crash at any instant.
 package wal
 
 import (
@@ -25,6 +36,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,17 +48,17 @@ import (
 // Failpoint sites on the log's I/O paths (no-ops unless armed; see
 // docs/TESTING.md).
 var (
-	// fpAppend fires in Append after the batch buffer is built. Partial
-	// actions persist a prefix of the batch — a torn log tail that
-	// scanEnd must truncate on the next open.
+	// fpAppend fires in AppendRaw after the batch buffer is built.
+	// Partial actions persist a prefix of the batch — a torn log tail
+	// that scanEnd must truncate on the next open.
 	fpAppend = failpoint.New("wal.append")
-	// fpFsync fires in Append between the batch write and the fsync.
+	// fpFsync fires in AppendRaw between the batch write and the fsync.
 	// The batch bytes are already in the file, so a commit that fails
 	// here may still be durable — the classic fsync-error ambiguity.
 	fpFsync = failpoint.New("wal.fsync")
 	// fpTruncate fires at the top of Truncate (checkpoint log reset).
 	fpTruncate = failpoint.New("wal.truncate")
-	// fpReplay fires once per record during Replay, failing recovery
+	// fpReplay fires once per record during replay, failing recovery
 	// midway.
 	fpReplay = failpoint.New("wal.replay")
 )
@@ -54,7 +67,10 @@ var (
 type OpType uint8
 
 // The operation types. OpCommit terminates a transaction's batch; a
-// batch without a trailing OpCommit is discarded at replay.
+// batch without a trailing OpCommit is discarded at replay. OpLSNBase
+// is log metadata, not a redo operation: the first record of a
+// truncated log, carrying the base LSN (in the TxID field) and the
+// replication id (in the Image field).
 const (
 	OpInvalid       OpType = iota
 	OpPut                  // set the current image of an object
@@ -62,6 +78,7 @@ const (
 	OpDelete               // remove an object and all its versions
 	OpDeleteVersion        // remove one frozen version
 	OpCommit
+	OpLSNBase
 )
 
 func (t OpType) String() string {
@@ -76,6 +93,8 @@ func (t OpType) String() string {
 		return "delete-version"
 	case OpCommit:
 		return "commit"
+	case OpLSNBase:
+		return "lsn-base"
 	}
 	return "invalid"
 }
@@ -107,32 +126,46 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrCorrupt reports a malformed (non-torn-tail) log.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrLSNGap reports a replicated batch whose LSN does not directly
+// follow the log's current LSN: the replica missed batches (the
+// primary truncated past its position) and must resynchronize.
+var ErrLSNGap = errors.New("wal: LSN gap")
+
 // Log is an append-only write-ahead log file. Append and Truncate are
-// serialized by the caller (the engine's commit lock); end is atomic
-// only so Size can be polled concurrently by the WAL-bound governor
-// (backpressure stalls, the background checkpointer).
+// serialized by the caller (the engine's commit lock); end and lsn are
+// atomic only so Size and LSN can be polled concurrently by the
+// WAL-bound governor and the replication layer.
 type Log struct {
-	f    *os.File
-	path string
-	end  atomic.Int64 // append position (after the last valid record)
-	sync bool         // fsync on commit (disabled only for benchmarks)
-	met  *obs.WALMetrics
+	f         *os.File
+	path      string
+	end       atomic.Int64 // append position (after the last valid record)
+	lsn       atomic.Uint64
+	base      uint64       // LSN recorded by the base record (mutated only under the commit lock)
+	dataStart atomic.Int64 // offset of the first batch record (after any base record)
+	sync      bool         // fsync on commit (disabled only for benchmarks)
+	met       *obs.WALMetrics
+
+	idMu   sync.Mutex
+	replID string
 }
 
 // Open opens (creating if absent) the log at path. The log is scanned
 // to find the end of the valid prefix; a torn tail is truncated away.
+// The scan also recovers the replication position: base record plus
+// one LSN per intact commit record.
 func Open(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
 	l := &Log{f: f, path: path, sync: true, met: &obs.WALMetrics{}}
-	end, err := l.scanEnd()
+	end, commits, err := l.scanEnd()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	l.end.Store(end)
+	l.lsn.Store(l.base + commits)
 	if err := f.Truncate(end); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
@@ -148,63 +181,145 @@ func (l *Log) SetSync(sync bool) { l.sync = sync }
 // SetMetrics attaches the WAL metric set; m must be non-nil.
 func (l *Log) SetMetrics(m *obs.WALMetrics) { l.met = m }
 
-// scanEnd walks the record frames and returns the offset after the last
-// intact record.
-func (l *Log) scanEnd() (int64, error) {
+// scanEnd walks the record frames and returns the offset after the
+// last intact record plus the number of intact commit records. A base
+// record at offset zero sets l.base, l.replID, and l.dataStart as a
+// side effect.
+func (l *Log) scanEnd() (int64, uint64, error) {
 	var off int64
+	var commits uint64
 	var hdr [frameHeader]byte
 	for {
 		_, err := l.f.ReadAt(hdr[:], off)
 		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-			return off, nil
+			return off, commits, nil
 		}
 		if err != nil {
-			return 0, fmt.Errorf("wal: scan: %w", err)
+			return 0, 0, fmt.Errorf("wal: scan: %w", err)
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:])
 		crc := binary.LittleEndian.Uint32(hdr[4:])
 		if n < payloadFixed || n > 1<<30 {
-			return off, nil // torn or garbage tail
+			return off, commits, nil // torn or garbage tail
 		}
 		buf := make([]byte, n)
 		if _, err := l.f.ReadAt(buf, off+frameHeader); err != nil {
-			return off, nil // torn tail
+			return off, commits, nil // torn tail
 		}
 		if crc32.Checksum(buf, crcTable) != crc {
-			return off, nil // torn tail
+			return off, commits, nil // torn tail
+		}
+		switch OpType(buf[0]) {
+		case OpCommit:
+			commits++
+		case OpLSNBase:
+			if off == 0 {
+				l.base = binary.LittleEndian.Uint64(buf[1:])
+				l.replID = string(buf[payloadFixed:])
+				l.dataStart.Store(frameHeader + int64(n))
+			}
 		}
 		off += frameHeader + int64(n)
 	}
 }
 
-// Append writes the operations followed by a commit record for txid and
-// (when sync is enabled) fsyncs. This is the only writing entry point:
-// the log never contains uncommitted operations.
-func (l *Log) Append(txid uint64, ops []Op) error {
+// Batch is one committed transaction's worth of redo operations
+// together with its exact on-disk encoding — the unit of replication
+// shipping and of replay.
+type Batch struct {
+	TxID uint64
+	Ops  []*Op
+	Raw  []byte
+}
+
+// EncodeBatch builds the on-disk (and on-wire) encoding of one
+// committed batch: each op as a record, terminated by a commit record
+// for txid.
+func EncodeBatch(txid uint64, ops []Op) []byte {
 	buf := make([]byte, 0, 256)
 	for i := range ops {
 		op := ops[i]
 		op.TxID = txid
 		buf = appendRecord(buf, &op)
 	}
-	buf = appendRecord(buf, &Op{Type: OpCommit, TxID: txid})
+	return appendRecord(buf, &Op{Type: OpCommit, TxID: txid})
+}
+
+// DecodeBatch parses and CRC-validates one encoded batch: a run of
+// operation records for a single transaction terminated by exactly one
+// commit record.
+func DecodeBatch(raw []byte) (*Batch, error) {
+	b := &Batch{Raw: raw}
+	var off int
+	for off < len(raw) {
+		if len(raw)-off < frameHeader {
+			return nil, fmt.Errorf("%w: truncated batch frame", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if n < payloadFixed || len(raw)-off-frameHeader < n {
+			return nil, fmt.Errorf("%w: truncated batch record", ErrCorrupt)
+		}
+		payload := raw[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return nil, fmt.Errorf("%w: batch checksum mismatch", ErrCorrupt)
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return nil, err
+		}
+		off += frameHeader + n
+		if op.Type == OpCommit {
+			if off != len(raw) {
+				return nil, fmt.Errorf("%w: data after commit record", ErrCorrupt)
+			}
+			b.TxID = op.TxID
+			for _, p := range b.Ops {
+				if p.TxID != op.TxID {
+					return nil, fmt.Errorf("%w: mixed transactions in batch", ErrCorrupt)
+				}
+			}
+			return b, nil
+		}
+		if op.Type == OpLSNBase {
+			return nil, fmt.Errorf("%w: base record inside batch", ErrCorrupt)
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	return nil, fmt.Errorf("%w: batch lacks commit record", ErrCorrupt)
+}
+
+// Append encodes the operations as one committed batch for txid and
+// appends it. This and AppendRaw are the only writing entry points:
+// the log never contains uncommitted operations.
+func (l *Log) Append(txid uint64, ops []Op) error {
+	return l.AppendRaw(EncodeBatch(txid, ops))
+}
+
+// AppendRaw appends one pre-encoded committed batch (exactly one
+// commit record, as produced by EncodeBatch) and, when sync is
+// enabled, fsyncs. The LSN advances once the batch bytes are fully
+// written — before the fsync, matching what scanEnd would count after
+// a crash.
+func (l *Log) AppendRaw(raw []byte) error {
 	end := l.end.Load()
-	if k, ferr := fpAppend.CheckIO(len(buf)); ferr != nil {
+	if k, ferr := fpAppend.CheckIO(len(raw)); ferr != nil {
 		// Simulated crash mid-append: a prefix of the batch lands on
 		// disk as a torn tail. l.end is not advanced — on a real crash
 		// the in-memory Log is gone anyway, and the next Open truncates
 		// the tail.
 		if k > 0 {
-			l.f.WriteAt(buf[:k], end)
+			l.f.WriteAt(raw[:k], end)
 		}
 		return fmt.Errorf("wal: append: %w", ferr)
 	}
-	if _, err := l.f.WriteAt(buf, end); err != nil {
+	if _, err := l.f.WriteAt(raw, end); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	l.end.Store(end + int64(len(buf)))
+	l.end.Store(end + int64(len(raw)))
+	l.lsn.Add(1)
 	l.met.Appends.Inc()
-	l.met.AppendBytes.Add(uint64(len(buf)))
+	l.met.AppendBytes.Add(uint64(len(raw)))
 	if l.sync {
 		if err := fpFsync.Check(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
@@ -239,8 +354,29 @@ func appendRecord(buf []byte, op *Op) []byte {
 // to fn. Batches lacking a commit record (a crash between WriteAt and
 // the full batch landing) are skipped.
 func (l *Log) Replay(fn func(op *Op) error) error {
+	return l.ReplayBatches(func(_ uint64, b *Batch) error {
+		for _, op := range b.Ops {
+			if err := fn(op); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+type pendingBatch struct {
+	ops []*Op
+	raw []byte
+}
+
+// ReplayBatches feeds every committed batch, in commit order and with
+// its LSN, to fn. The Raw bytes handed to fn are rebuilt per batch and
+// safe to retain. Callers must hold the commit lock (or otherwise
+// exclude Truncate) if the log is live.
+func (l *Log) ReplayBatches(fn func(lsn uint64, b *Batch) error) error {
 	var off int64
-	pending := make(map[uint64][]*Op)
+	lsn := l.base
+	pending := make(map[uint64]*pendingBatch)
 	var hdr [frameHeader]byte
 	for off < l.end.Load() {
 		if err := fpReplay.Check(); err != nil {
@@ -263,16 +399,25 @@ func (l *Log) Replay(fn func(op *Op) error) error {
 			return err
 		}
 		off += frameHeader + int64(n)
-		if op.Type == OpCommit {
-			for _, p := range pending[op.TxID] {
-				if err := fn(p); err != nil {
-					return err
-				}
-			}
-			delete(pending, op.TxID)
+		if op.Type == OpLSNBase {
 			continue
 		}
-		pending[op.TxID] = append(pending[op.TxID], op)
+		p := pending[op.TxID]
+		if p == nil {
+			p = &pendingBatch{}
+			pending[op.TxID] = p
+		}
+		p.raw = append(p.raw, hdr[:]...)
+		p.raw = append(p.raw, buf...)
+		if op.Type != OpCommit {
+			p.ops = append(p.ops, op)
+			continue
+		}
+		delete(pending, op.TxID)
+		lsn++
+		if err := fn(lsn, &Batch{TxID: op.TxID, Ops: p.ops, Raw: p.raw}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -288,7 +433,7 @@ func decodeOp(buf []byte) (*Op, error) {
 		Version: binary.LittleEndian.Uint32(buf[17:]),
 		ClassID: binary.LittleEndian.Uint32(buf[21:]),
 	}
-	if op.Type == OpInvalid || op.Type > OpCommit {
+	if op.Type == OpInvalid || op.Type > OpLSNBase {
 		return nil, fmt.Errorf("%w: bad op type %d", ErrCorrupt, buf[0])
 	}
 	if len(buf) > payloadFixed {
@@ -297,25 +442,92 @@ func decodeOp(buf []byte) (*Op, error) {
 	return op, nil
 }
 
-// Truncate empties the log. Called after a checkpoint has made every
+// Truncate empties the log, preserving the replication position: a
+// fresh file holding only a base record (current LSN + replication id)
+// is renamed over the log, so the truncation and the base update are
+// one atomic operation. Called after a checkpoint has made every
 // logged effect durable in the data file.
 func (l *Log) Truncate() error {
 	if err := fpTruncate.Check(); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	if err := l.f.Truncate(0); err != nil {
+	l.idMu.Lock()
+	replID := l.replID
+	l.idMu.Unlock()
+	lsn := l.lsn.Load()
+	rec := appendRecord(nil, &Op{Type: OpLSNBase, TxID: lsn, Image: []byte(replID)})
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	l.end.Store(0)
-	return l.f.Sync()
+	if _, err := f.WriteAt(rec, 0); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(l.path)); err == nil {
+		d.Sync() // best-effort: make the rename itself durable
+		d.Close()
+	}
+	old := l.f
+	l.f = f
+	old.Close()
+	l.base = lsn
+	l.dataStart.Store(int64(len(rec)))
+	l.end.Store(int64(len(rec)))
+	return nil
 }
 
-// Size returns the current log length in bytes (safe to poll
-// concurrently with appends).
-func (l *Log) Size() int64 { return l.end.Load() }
+// LSN returns the log sequence number of the last committed batch
+// (safe to poll concurrently with appends).
+func (l *Log) LSN() uint64 { return l.lsn.Load() }
 
-// Empty reports whether the log holds no records.
-func (l *Log) Empty() bool { return l.end.Load() == 0 }
+// BaseLSN returns the LSN at the last truncation: batches with LSN in
+// (BaseLSN, LSN] are present in the file. Callers must hold the commit
+// lock if the log is live.
+func (l *Log) BaseLSN() uint64 { return l.base }
+
+// ForceLSN overrides the live LSN. Used only when a replica finishes a
+// full resync: its object state now equals the primary's at the given
+// LSN, whatever its local log counted before. Callers must hold the
+// commit lock.
+func (l *Log) ForceLSN(lsn uint64) { l.lsn.Store(lsn) }
+
+// ReplID returns the replication id persisted in the base record, or
+// "" if the log has never been truncated with one.
+func (l *Log) ReplID() string {
+	l.idMu.Lock()
+	defer l.idMu.Unlock()
+	return l.replID
+}
+
+// SetReplID sets the replication id; it is persisted by the next
+// Truncate.
+func (l *Log) SetReplID(id string) {
+	l.idMu.Lock()
+	l.replID = id
+	l.idMu.Unlock()
+}
+
+// Size returns the length of the batch data in bytes — the replayable
+// backlog since the last truncation, excluding the base record (safe
+// to poll concurrently with appends).
+func (l *Log) Size() int64 { return l.end.Load() - l.dataStart.Load() }
+
+// Empty reports whether the log holds no committed batches (a base
+// record alone still counts as empty).
+func (l *Log) Empty() bool { return l.end.Load() == l.dataStart.Load() }
 
 // Close closes the log file.
 func (l *Log) Close() error { return l.f.Close() }

@@ -142,6 +142,104 @@ func DecodeForallReq(body []byte, withBatch bool) (*ForallReq, error) {
 	return r, nil
 }
 
+// SubscribeReq is the body of a CmdWALSubscribe request: the
+// subscriber's replication id and applied LSN, plus whether it can
+// accept a full snapshot (only a fresh, empty replica can).
+type SubscribeReq struct {
+	ReplID      string
+	LSN         uint64
+	CanSnapshot bool
+}
+
+// Append serializes the subscribe body.
+func (r *SubscribeReq) Append(b []byte) []byte {
+	b = AppendString(b, r.ReplID)
+	b = AppendUvarint(b, r.LSN)
+	var flags byte
+	if r.CanSnapshot {
+		flags |= 1
+	}
+	return append(b, flags)
+}
+
+// DecodeSubscribeReq parses a CmdWALSubscribe body.
+func DecodeSubscribeReq(body []byte) (*SubscribeReq, error) {
+	d := NewDec(body)
+	r := &SubscribeReq{}
+	r.ReplID = d.String()
+	r.LSN = d.Uvarint()
+	r.CanSnapshot = d.Byte()&1 != 0
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// WALFrameBody builds a RespWALFrame body: the batch's LSN (0 for a
+// snapshot batch) followed by its raw WAL encoding.
+func WALFrameBody(lsn uint64, raw []byte) []byte {
+	b := AppendUvarint(make([]byte, 0, 10+len(raw)), lsn)
+	return append(b, raw...)
+}
+
+// DecodeWALFrame splits a RespWALFrame body (raw aliases body).
+func DecodeWALFrame(body []byte) (lsn uint64, raw []byte, err error) {
+	d := NewDec(body)
+	lsn = d.Uvarint()
+	if err := d.Err(); err != nil {
+		return 0, nil, err
+	}
+	return lsn, d.Rest(), nil
+}
+
+// ReplStatus is the body of a RespReplStatus response (and, with the
+// LSN as the peer's, the state a CmdReplStatus reports).
+type ReplStatus struct {
+	ReadOnly bool
+	ReplID   string
+	LSN      uint64
+}
+
+// Append serializes the status body.
+func (r *ReplStatus) Append(b []byte) []byte {
+	var role byte
+	if r.ReadOnly {
+		role = 1
+	}
+	b = append(b, role)
+	b = AppendString(b, r.ReplID)
+	return AppendUvarint(b, r.LSN)
+}
+
+// DecodeReplStatus parses a RespReplStatus body.
+func DecodeReplStatus(body []byte) (*ReplStatus, error) {
+	d := NewDec(body)
+	r := &ReplStatus{}
+	r.ReadOnly = d.Byte() == 1
+	r.ReplID = d.String()
+	r.LSN = d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SnapBody builds the body shared by RespWALSnapBegin (the primary's
+// replication id + the LSN the snapshot is consistent-as-of) and
+// RespWALSnapEnd (the same pair, closing the dump).
+func SnapBody(replID string, lsn uint64) []byte {
+	b := AppendString(nil, replID)
+	return AppendUvarint(b, lsn)
+}
+
+// DecodeSnapBody parses a RespWALSnapBegin/RespWALSnapEnd body.
+func DecodeSnapBody(body []byte) (replID string, lsn uint64, err error) {
+	d := NewDec(body)
+	replID = d.String()
+	lsn = d.Uvarint()
+	return replID, lsn, d.Err()
+}
+
 // ErrBody builds a RespErr body.
 func ErrBody(code uint16, msg string) []byte {
 	b := AppendUvarint(nil, uint64(code))

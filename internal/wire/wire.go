@@ -76,6 +76,10 @@ const (
 	CmdExplain        = 0x31
 	CmdOQL            = 0x40
 	CmdMetrics        = 0x41
+	CmdWALSubscribe   = 0x50
+	CmdWALAck         = 0x51
+	CmdReplStatus     = 0x52
+	CmdPromote        = 0x53
 
 	RespOK       = 0x80
 	RespErr      = 0x81
@@ -86,6 +90,11 @@ const (
 	RespBatch    = 0x86
 	RespDone     = 0x87
 	RespText     = 0x88
+
+	RespWALFrame     = 0x90
+	RespWALSnapBegin = 0x91
+	RespWALSnapEnd   = 0x92
+	RespReplStatus   = 0x93
 )
 
 // CmdName names a message type for metrics and diagnostics.
@@ -117,6 +126,14 @@ func CmdName(t byte) string {
 		return "oql"
 	case CmdMetrics:
 		return "metrics"
+	case CmdWALSubscribe:
+		return "wal-subscribe"
+	case CmdWALAck:
+		return "wal-ack"
+	case CmdReplStatus:
+		return "repl-status"
+	case CmdPromote:
+		return "promote"
 	}
 	return fmt.Sprintf("cmd(0x%02x)", t)
 }
@@ -276,7 +293,9 @@ const (
 	CodeCanceled
 	CodeOverloaded
 	CodeDBClosed
-	CodeSchema // image's class id does not match the server's schema
+	CodeSchema     // image's class id does not match the server's schema
+	CodeReadOnly   // write against a read-only replica
+	CodeReplResync // subscriber position unserviceable: full resync required
 )
 
 // ErrProto reports a request the server could not honor as sent (no
@@ -312,6 +331,10 @@ func Code(err error) uint16 {
 		return CodeNoCluster
 	case errors.Is(err, object.ErrSchemaMismatch), errors.Is(err, ErrSchema):
 		return CodeSchema
+	case errors.Is(err, txn.ErrReadOnly):
+		return CodeReadOnly
+	case errors.Is(err, ErrResync):
+		return CodeReplResync
 	case errors.Is(err, ErrProto):
 		return CodeProto
 	}
@@ -350,6 +373,10 @@ func CodeErr(code uint16, msg string) error {
 		sentinel = ErrSchema
 	case CodeNoClass:
 		sentinel = ErrNoClass
+	case CodeReadOnly:
+		sentinel = txn.ErrReadOnly
+	case CodeReplResync:
+		sentinel = ErrResync
 	default:
 		return fmt.Errorf("wire: remote error: %s", msg)
 	}
@@ -358,3 +385,8 @@ func CodeErr(code uint16, msg string) error {
 
 // ErrNoClass reports a class name the server's schema does not contain.
 var ErrNoClass = errors.New("wire: unknown class")
+
+// ErrResync reports a WAL subscription the primary cannot serve from
+// the subscriber's position (unknown replication id, or batches
+// truncated past it): the replica must wipe and fully resynchronize.
+var ErrResync = errors.New("wire: replica requires full resync")

@@ -45,6 +45,9 @@ package ode
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -168,6 +171,9 @@ type DB struct {
 	ckptKick chan struct{} // non-blocking kicks from commits past the soft limit
 	ckptStop chan struct{} // closed to stop the checkpointer
 	ckptDone chan struct{} // closed when the checkpointer has exited
+
+	retainMu  sync.Mutex
+	retainWAL func(lsn uint64) bool // replication retention gate; see SetWALRetention
 }
 
 // Open opens (creating if missing) the database at path against the
@@ -340,7 +346,31 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 		}
 		go db.checkpointLoop()
 	}
+	// Every database carries a stable replication id (persisted in the
+	// WAL's base record); replicas use it to tell "same history, older
+	// position" from "different database". Generate one on first open
+	// and persist it right away while the log is empty.
+	if log.ReplID() == "" {
+		log.SetReplID(newReplID())
+		if log.Empty() {
+			if err := db.Checkpoint(); err != nil {
+				db.Close()
+				return nil, fmt.Errorf("ode: persist replication id: %w", err)
+			}
+		}
+	}
 	return db, nil
+}
+
+// newReplID returns a fresh random replication id (16 hex digits).
+func newReplID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable on any supported platform;
+		// fall back to a time-derived id rather than refusing to open.
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Schema returns the database's class catalog.
@@ -577,6 +607,15 @@ func (db *DB) Checkpoint() error {
 	return db.engine.WithCommitLock(func() error {
 		if err := db.mgr.Checkpoint(false); err != nil {
 			return err
+		}
+		// The replication layer may pin the log: batches a connected
+		// subscriber has not yet acknowledged stay replayable. The pages
+		// are flushed either way; only the truncation is skipped.
+		db.retainMu.Lock()
+		gate := db.retainWAL
+		db.retainMu.Unlock()
+		if gate != nil && gate(db.log.LSN()) {
+			return nil
 		}
 		return db.log.Truncate()
 	})

@@ -247,6 +247,9 @@ var (
 	ErrOverloaded = txn.ErrOverloaded
 	// ErrDBClosed: the database is closing or closed.
 	ErrDBClosed = txn.ErrDBClosed
+	// ErrReadOnly: a write against a read-only replica; send writes to
+	// the primary (or promote this node).
+	ErrReadOnly = txn.ErrReadOnly
 	// ErrSchemaMismatch: the registered schema does not match the file.
 	ErrSchemaMismatch = object.ErrSchemaMismatch
 	// ErrNoTrigger: activation of an undeclared trigger.

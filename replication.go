@@ -1,0 +1,161 @@
+package ode
+
+import (
+	"fmt"
+
+	"ode/internal/wal"
+)
+
+// Replication surface of a DB: the primitives internal/repl builds a
+// shipping primary and an applying replica out of. The unit of
+// replication is the committed WAL batch — the exact bytes a commit
+// appends to the log, identified by its log sequence number (LSN).
+// Batch n since database creation has LSN n, across checkpoints and
+// restarts; see the wal package for how the position survives log
+// truncation.
+
+// LSN returns the log sequence number of the last committed batch
+// (local commit or applied replicated batch). Safe to call
+// concurrently.
+func (db *DB) LSN() uint64 { return db.log.LSN() }
+
+// AppliedLSN returns the LSN with the commit lock held, so every batch
+// counted is fully applied and visible to readers. LSN (lock-free) can
+// momentarily run ahead of visibility while a batch is mid-apply;
+// freshness answers — CmdReplStatus, the Replicated router's floor —
+// must use this form.
+func (db *DB) AppliedLSN() uint64 {
+	var lsn uint64
+	db.engine.WithCommitLock(func() error { lsn = db.log.LSN(); return nil })
+	return lsn
+}
+
+// ReplicationID returns the database's stable replication identity.
+// A replica adopts its primary's id when it first synchronizes; a
+// subscribe attempt with a different id means "not a copy of this
+// database" and forces a full resync.
+func (db *DB) ReplicationID() string { return db.log.ReplID() }
+
+// SetReadOnly switches replica mode: writes (and commits with a write
+// set) fail with ErrReadOnly, while reads and replicated-batch
+// application proceed. Promotion calls SetReadOnly(false).
+func (db *DB) SetReadOnly(v bool) { db.engine.SetReadOnly(v) }
+
+// ReadOnly reports whether the database is in replica (read-only)
+// mode.
+func (db *DB) ReadOnly() bool { return db.engine.ReadOnly() }
+
+// OnCommitBatch installs fn to run under the commit lock after every
+// committed batch (local or replicated) is durable and applied, with
+// the batch's LSN and raw WAL encoding. One consumer at a time; the
+// replication layer installs its shipping fan-out here. Install before
+// traffic starts.
+func (db *DB) OnCommitBatch(fn func(lsn uint64, raw []byte)) {
+	db.engine.OnCommit = fn
+}
+
+// ApplyReplicatedBatch appends one batch shipped from a primary to the
+// local WAL and applies it, exactly as a local commit would (durable
+// first, visible second, OnCommitBatch fan-out last). lsn must be
+// db.LSN()+1 or the call fails with a wal.ErrLSNGap-wrapped error;
+// lsn == 0 marks a full-resync snapshot batch (no sequence check).
+func (db *DB) ApplyReplicatedBatch(lsn uint64, raw []byte) error {
+	if db.closing.Load() {
+		return ErrDBClosed
+	}
+	return db.engine.ApplyReplicatedBatch(lsn, raw)
+}
+
+// SetWALRetention installs the checkpoint truncation gate: before
+// truncating the WAL, a checkpoint calls gate with the current LSN and
+// skips the truncation when it returns true. The replication primary
+// uses it to keep unacknowledged batches replayable for connected
+// subscribers (with its own size bound, so a stalled replica cannot
+// grow the log without limit). A nil gate removes it. The final
+// truncation in Close ignores the gate.
+func (db *DB) SetWALRetention(gate func(lsn uint64) bool) {
+	db.retainMu.Lock()
+	db.retainWAL = gate
+	db.retainMu.Unlock()
+}
+
+// WALSize returns the byte length of replayable batch data in the
+// local WAL. The replication retention gate measures its size bound
+// against this.
+func (db *DB) WALSize() int64 { return db.log.Size() }
+
+// WithCommitLock runs fn while holding the engine's commit lock,
+// excluding every commit, replicated apply, and checkpoint. Advanced:
+// the replication layer uses it to take a consistent (LSN, state)
+// observation — e.g. registering a subscriber at an exact position.
+func (db *DB) WithCommitLock(fn func() error) error {
+	return db.engine.WithCommitLock(fn)
+}
+
+// WALBaseLSN returns the LSN at the last WAL truncation: batches with
+// LSN in (WALBaseLSN, LSN] are replayable from the local log. Call
+// under WithCommitLock when the database is live.
+func (db *DB) WALBaseLSN() uint64 { return db.log.BaseLSN() }
+
+// ReadWALBatches feeds every committed batch still in the local WAL,
+// in LSN order, to fn. The primary uses it to catch a reconnecting
+// subscriber up from disk. Call under WithCommitLock (truncation moves
+// the file out from under a concurrent reader).
+func (db *DB) ReadWALBatches(fn func(lsn uint64, raw []byte) error) error {
+	return db.log.ReplayBatches(func(lsn uint64, b *wal.Batch) error {
+		return fn(lsn, b.Raw)
+	})
+}
+
+// SnapshotBatches streams the database's full object state as
+// synthetic replication batches (each with up to batchOps operations),
+// for bootstrapping an empty replica. The dump is fuzzy: it runs under
+// ordinary read locking, object by object, while commits proceed —
+// idempotent redo of the batches committed during the dump converges
+// the copy. Emit receives batches whose LSN is 0 (snapshot batches
+// carry no position; the caller records the LSN the dump started at).
+func (db *DB) SnapshotBatches(batchOps int, emit func(raw []byte) error) error {
+	if batchOps <= 0 {
+		batchOps = 64
+	}
+	var ops []wal.Op
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		raw := wal.EncodeBatch(0, ops)
+		ops = ops[:0]
+		return emit(raw)
+	}
+	err := db.mgr.SnapshotOps(func(op *wal.Op) error {
+		ops = append(ops, *op)
+		if len(ops) >= batchOps {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// CompleteResync finishes a full snapshot bootstrap: with the commit
+// lock held, the applied snapshot state is checkpointed, the log
+// adopts the primary's replication id and the LSN the snapshot started
+// at, and the WAL is truncated so the new base record persists both.
+// From here the replica is a byte-tracking copy at lsn and applies the
+// live stream with ordinary sequence checking.
+func (db *DB) CompleteResync(lsn uint64, replID string) error {
+	if replID == "" {
+		return fmt.Errorf("ode: resync with empty replication id")
+	}
+	return db.engine.WithCommitLock(func() error {
+		if err := db.mgr.Checkpoint(false); err != nil {
+			return err
+		}
+		db.log.SetReplID(replID)
+		db.log.ForceLSN(lsn)
+		return db.log.Truncate()
+	})
+}
