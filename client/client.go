@@ -50,6 +50,14 @@ type Options struct {
 	TxDeadline time.Duration
 	// MaxFrame bounds one response frame (default wire.DefaultMaxFrame).
 	MaxFrame int
+	// CacheSize bounds the decoded-object cache in objects (default
+	// 4096; negative disables caching). Cached objects are tagged with
+	// the content hash of their encoded image; a deref revalidates the
+	// tag with the server (one cheap "not modified" round trip, no
+	// image shipping or decode) or serves locally when the transaction
+	// has already proven the tag. docs/SERVER.md describes the
+	// coherence protocol.
+	CacheSize int
 }
 
 func (o *Options) withDefaults() Options {
@@ -66,6 +74,9 @@ func (o *Options) withDefaults() Options {
 	if out.MaxFrame <= 0 {
 		out.MaxFrame = wire.DefaultMaxFrame
 	}
+	if out.CacheSize == 0 {
+		out.CacheSize = 4096
+	}
 	return out
 }
 
@@ -77,6 +88,8 @@ type Client struct {
 	addr   string
 	schema *ode.Schema
 	opts   Options
+	cache  *objCache // nil when Options.CacheSize < 0
+	met    Metrics
 
 	mu     sync.Mutex
 	idle   []*wconn
@@ -89,6 +102,9 @@ type Client struct {
 // pooled connection.
 func Dial(addr string, schema *ode.Schema, opts *Options) (*Client, error) {
 	c := &Client{addr: addr, schema: schema, opts: opts.withDefaults()}
+	if c.opts.CacheSize > 0 {
+		c.cache = newObjCache(c.opts.CacheSize)
+	}
 	cn, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -99,6 +115,23 @@ func Dial(addr string, schema *ode.Schema, opts *Options) (*Client, error) {
 
 // Schema returns the schema images are decoded against.
 func (c *Client) Schema() *ode.Schema { return c.schema }
+
+// CacheMetrics returns the client's object-cache counters (hits,
+// misses, invalidations). The set is owned by the Client; call
+// Metrics.Attach to export it through an obs registry.
+func (c *Client) CacheMetrics() *Metrics { return &c.met }
+
+// InvalidateCache drops every cached decoded object. The Replicated
+// router calls it when a routing decision moves reads past what the
+// cache was filled at; it is also the coarse hammer for tests and for
+// callers that know the database changed out of band. Stale entries
+// are never served without revalidation, so flushing is purely a
+// freshness/footprint decision, not a correctness one.
+func (c *Client) InvalidateCache() {
+	if c.cache != nil {
+		c.met.Invalidations.Add(c.cache.flush())
+	}
+}
 
 // Close closes every pooled connection. Transactions in flight keep
 // their pinned connections and fail on next use.
@@ -134,7 +167,8 @@ func (c *Client) dial() (*wconn, error) {
 		return nil, fmt.Errorf("%w: server speaks version %d, client %d", wire.ErrVersion, v, wire.Version)
 	}
 	nc.SetDeadline(time.Time{})
-	return &wconn{nc: nc, br: bufio.NewReader(nc), maxFrame: c.opts.MaxFrame}, nil
+	br := bufio.NewReader(nc)
+	return &wconn{nc: nc, br: br, fr: wire.NewFrameReader(br, c.opts.MaxFrame)}, nil
 }
 
 // get returns an idle connection or dials a new one.
@@ -300,11 +334,11 @@ func (c *Client) Begin(ctx context.Context) (*Tx, error) {
 // id counter. A wconn is used by one goroutine at a time (the pool
 // hands it to one transaction or one-shot request).
 type wconn struct {
-	nc       net.Conn
-	br       *bufio.Reader
-	maxFrame int
-	nextID   uint64
-	broken   bool
+	nc     net.Conn
+	br     *bufio.Reader
+	fr     *wire.FrameReader // reused frame+buffer; see recv
+	nextID uint64
+	broken bool
 }
 
 // send writes request frames (one syscall for a pipeline batch).
@@ -317,9 +351,13 @@ func (cn *wconn) send(buf []byte) error {
 }
 
 // recv reads one response frame, translating connection-level errors
-// (request id 0) into typed failures that poison the connection.
+// (request id 0) into typed failures that poison the connection. The
+// frame and its body alias the connection's reused read buffer and are
+// valid only until the next recv on the same connection: every caller
+// decodes into its own memory before reading again (object.Decode,
+// string conversion, explicit append copies).
 func (cn *wconn) recv(wantID uint64) (*wire.Frame, error) {
-	f, _, err := wire.ReadFrame(cn.br, cn.maxFrame)
+	f, _, err := cn.fr.Read()
 	if err != nil {
 		cn.broken = true
 		return nil, err

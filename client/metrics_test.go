@@ -1,0 +1,35 @@
+package client
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ode/internal/obs"
+)
+
+// TestClientMetricsDocComplete mirrors the repl package's registry
+// diff for the client.* family: every name Metrics.Attach registers
+// must appear backticked in docs/OBSERVABILITY.md.
+func TestClientMetricsDocComplete(t *testing.T) {
+	doc, err := os.ReadFile("../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	text := string(doc)
+
+	reg := obs.NewRegistry()
+	(&Metrics{}).Attach(reg)
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("Metrics.Attach registered nothing")
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "client.") {
+			t.Errorf("metric %q: client metrics must live under client.*", name)
+		}
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("metric %q is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+}

@@ -81,15 +81,19 @@ func (p *Pipeline) PNew(c *ode.Class, init *ode.Object) *Future {
 	return p.enqueue(wire.CmdPNew, wire.RespOID, body)
 }
 
-// Update queues an image replacement.
+// Update queues an image replacement. The cached object (if any) is
+// invalidated at enqueue time — conservative when the operation later
+// fails, but a spurious invalidation only costs a refetch.
 func (p *Pipeline) Update(oid ode.OID, o *ode.Object) *Future {
+	p.tx.invalidate(oid)
 	body := wire.AppendUvarint(nil, uint64(oid))
 	body = wire.AppendBytes(body, object.Encode(o))
 	return p.enqueue(wire.CmdUpdate, wire.RespOK, body)
 }
 
-// PDelete queues a deletion.
+// PDelete queues a deletion; invalidates like Update.
 func (p *Pipeline) PDelete(oid ode.OID) *Future {
+	p.tx.invalidate(oid)
 	return p.enqueue(wire.CmdPDelete, wire.RespOK, wire.AppendUvarint(nil, uint64(oid)))
 }
 

@@ -57,7 +57,13 @@ func (c *Client) Promote(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	return respErrOnly(resp)
+	if err := respErrOnly(resp); err != nil {
+		return err
+	}
+	// The node changed roles; whatever its applied state was when the
+	// cache filled, failover may move it discontinuously. Start clean.
+	c.InvalidateCache()
+	return nil
 }
 
 // Replicated routes traffic across one replication group: writes go to
@@ -163,11 +169,25 @@ func (r *Replicated) pick(ctx context.Context, minLSN uint64) *Client {
 		if err != nil {
 			continue
 		}
+		advanced := false
 		for {
 			cur := rs.lsn.Load()
-			if st.LSN <= cur || rs.lsn.CompareAndSwap(cur, st.LSN) {
+			if st.LSN <= cur {
 				break
 			}
+			if rs.lsn.CompareAndSwap(cur, st.LSN) {
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			// Routing decision: the read needed more freshness than the
+			// cached position proved, and the replica has applied new
+			// batches since this client's cache filled. Drop the cache
+			// rather than revalidate entry by entry — revalidation would
+			// still be correct, but the poll is the signal that the
+			// working set moved.
+			rs.c.InvalidateCache()
 		}
 		if rs.lsn.Load() >= minLSN {
 			return rs.c

@@ -21,6 +21,14 @@ type Tx struct {
 	id   uint64
 	done bool
 	lsn  uint64 // commit LSN, set by Commit
+
+	// seen records, per OID, the cache tag this transaction has proven
+	// against the server (a full deref, a fill, or a not-modified
+	// revalidation). The server holds the transaction's read lock from
+	// that round trip until commit/abort, so while an entry is here the
+	// image cannot change and a matching cached object may be served
+	// with no round trip at all. Discarded with the transaction.
+	seen map[ode.OID]uint64
 }
 
 func (tx *Tx) context() context.Context { return tx.ctx }
@@ -45,22 +53,24 @@ func (tx *Tx) Commit() error {
 		return ode.ErrTxDone
 	}
 	resp, err := tx.cn.roundTrip(tx.context(), wire.CmdCommit, nil)
-	tx.finish()
 	if err != nil {
+		tx.finish()
 		return err
 	}
-	if err := respErrOnly(resp); err != nil {
-		return err
-	}
-	// The RespOK body carries the commit's LSN (absent from pre-
-	// replication servers, so a short body is not an error).
-	if len(resp.Body) > 0 {
+	// Decode before finish: the frame aliases the connection's read
+	// buffer, and releasing the connection lets another goroutine's
+	// round trip overwrite it.
+	cerr := respErrOnly(resp)
+	if cerr == nil && len(resp.Body) > 0 {
+		// The RespOK body carries the commit's LSN (absent from pre-
+		// replication servers, so a short body is not an error).
 		d := wire.NewDec(resp.Body)
 		if lsn := d.Uvarint(); d.Err() == nil {
 			tx.lsn = lsn
 		}
 	}
-	return nil
+	tx.finish()
+	return cerr
 }
 
 // CommitLSN returns the log position the transaction committed at
@@ -116,17 +126,101 @@ func (tx *Tx) PNew(c *ode.Class, init *ode.Object) (ode.OID, error) {
 	return oid, nil
 }
 
-// Deref reads the current image of oid.
+// Deref reads the current image of oid. With the client cache enabled
+// (Options.CacheSize), a deref whose tag this transaction has already
+// proven is served locally with no round trip; a cached object from an
+// earlier transaction is revalidated with one cheap CmdDerefCached
+// round trip that ships no image when the server's copy is unchanged.
 func (tx *Tx) Deref(oid ode.OID) (*ode.Object, error) {
+	cache := tx.c.cache
+	if cache == nil {
+		resp, err := tx.op(wire.CmdDeref, wire.AppendUvarint(nil, uint64(oid)))
+		if err != nil {
+			return nil, err
+		}
+		return tx.decodeObjResp(resp)
+	}
+	if obj, tag, ok := cache.get(oid); ok {
+		if seenTag, proven := tx.seen[oid]; proven && seenTag == tag {
+			// The server still holds this transaction's read lock from
+			// the round trip that proved the tag: the image cannot have
+			// changed. Serve the copy locally.
+			tx.c.met.Hits.Inc()
+			return obj, nil
+		}
+		body := wire.AppendUvarint(nil, uint64(oid))
+		body = wire.AppendUvarint(body, tag)
+		resp, err := tx.op(wire.CmdDerefCached, body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Type == wire.RespOK {
+			// Not modified: the server re-read (and locked) the object
+			// and its image still hashes to our tag.
+			tx.noteSeen(oid, tag)
+			tx.c.met.Hits.Inc()
+			return obj, nil
+		}
+		return tx.fillCache(oid, resp)
+	}
 	resp, err := tx.op(wire.CmdDeref, wire.AppendUvarint(nil, uint64(oid)))
 	if err != nil {
 		return nil, err
 	}
-	return tx.decodeObjResp(resp)
+	return tx.fillCache(oid, resp)
+}
+
+// fillCache decodes a RespObject frame, stores a private copy in the
+// client cache tagged with the image's content hash, and returns the
+// decoded object.
+func (tx *Tx) fillCache(oid ode.OID, resp *wire.Frame) (*ode.Object, error) {
+	if resp.Type != wire.RespObject {
+		tx.cn.broken = true
+		return nil, protoErr("unexpected response 0x%02x, want object", resp.Type)
+	}
+	d := wire.NewDec(resp.Body)
+	image := d.Bytes()
+	if err := d.Err(); err != nil {
+		tx.cn.broken = true
+		return nil, err
+	}
+	obj, err := object.Decode(tx.c.schema, image)
+	if err != nil {
+		return nil, err
+	}
+	tag := object.ImageTag(image)
+	tx.c.met.Misses.Inc()
+	tx.c.cache.put(oid, obj.Copy(), tag)
+	tx.noteSeen(oid, tag)
+	return obj, nil
+}
+
+func (tx *Tx) noteSeen(oid ode.OID, tag uint64) {
+	if tx.seen == nil {
+		tx.seen = make(map[ode.OID]uint64, 8)
+	}
+	tx.seen[oid] = tag
+}
+
+// invalidate drops oid from the client cache and from this
+// transaction's proven set: the caller is about to change (or has
+// changed) the server-side image, so the next deref must go back to
+// the server. A concurrent fill racing this drop can reinstate a stale
+// entry; its stale tag fails the next revalidation, so the race costs
+// a round trip, never correctness.
+func (tx *Tx) invalidate(oid ode.OID) {
+	if tx.c.cache == nil {
+		return
+	}
+	if tx.c.cache.invalidate(oid) {
+		tx.c.met.Invalidations.Inc()
+	}
+	delete(tx.seen, oid)
 }
 
 // Update replaces the image of oid.
 func (tx *Tx) Update(oid ode.OID, o *ode.Object) error {
+	tx.invalidate(oid)
 	body := wire.AppendUvarint(nil, uint64(oid))
 	body = wire.AppendBytes(body, object.Encode(o))
 	resp, err := tx.op(wire.CmdUpdate, body)
@@ -138,6 +232,7 @@ func (tx *Tx) Update(oid ode.OID, o *ode.Object) error {
 
 // PDelete deletes oid.
 func (tx *Tx) PDelete(oid ode.OID) error {
+	tx.invalidate(oid)
 	resp, err := tx.op(wire.CmdPDelete, wire.AppendUvarint(nil, uint64(oid)))
 	if err != nil {
 		return err

@@ -163,6 +163,7 @@ func main() {
 		{"E13", "multi-core read path: parallel forall and concurrent deref", runE13},
 		{"E14", "resource governance: admission control, deadlines, bounded WAL", runE14},
 		{"E15", "network server: embedded vs remote wire protocol", runE15},
+		{"E16", "commit & wire fast paths: group commit, client object cache", runE16},
 	}
 	for _, e := range experiments {
 		if len(wanted) > 0 && !wanted[e.id] {
@@ -1331,5 +1332,200 @@ func runE15() error {
 		"remote", perOp(remPNew), "remote pipelined", perOp(remPNewPipe))
 	row("deref/op", "embedded", embDeref, "remote", remDeref)
 	row(fmt.Sprintf("suchthat scan (n=%d)", nItems), "embedded", embScan, "remote", remScan)
+	return nil
+}
+
+// rowE16 prints one fast-path row and records it under a stable
+// workload name (ci/bench_gate.sh greps these names out of the -json
+// output, so they must not drift).
+func rowE16(label string, d time.Duration, nw int, extra map[string]float64) {
+	fmt.Printf("  %-34s %12s  workers=%d", label, d.Round(time.Microsecond), nw)
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%.2f", k, extra[k])
+	}
+	fmt.Println()
+	record(label, d, nw, extra)
+}
+
+// runE16 quantifies the commit and wire fast paths. Part one is group
+// commit: transactions of 20 pnews against a sync-on-commit store,
+// with N concurrent committers, comparing serialized fsyncs
+// (GroupCommit.Disable) against the shared-fsync default — the win
+// comes from committers overlapping in one fsync, so it appears only
+// under concurrency. Part two is the client object cache on the
+// remote deref path: a cache-disabled client (every deref a full
+// round trip carrying the image) against a warmed cache (first touch
+// per transaction revalidates by tag, repeats are local). The third
+// fast path, the low-allocation frame codec, is pinned by
+// BenchmarkFrameRoundTrip in internal/wire rather than here.
+func runE16() error {
+	const txBatch = 20
+	txsPerWorker := scale(60)
+	if txsPerWorker < 8 {
+		txsPerWorker = 8
+	}
+
+	// One committer run: nw goroutines, txsPerWorker transactions of
+	// txBatch pnews each, fsync on commit. Returns per-transaction
+	// time and the grouped-fsync counters.
+	commitRun := func(nw int, disable bool) (time.Duration, uint64, uint64, error) {
+		w, err := bench.NewWorld(&ode.Options{ // zero NoSync: fsync on every commit
+			GroupCommit: ode.GroupCommitOptions{Disable: disable},
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer w.Close()
+		errc := make(chan error, nw)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < nw; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := 0; t < txsPerWorker; t++ {
+					err := w.DB.RunTx(func(tx *ode.Tx) error {
+						for i := 0; i < txBatch; i++ {
+							o := ode.NewObject(w.Stock)
+							o.MustSet("name", ode.Str(fmt.Sprintf("e16-%d-%d-%d", g, t, i)))
+							o.MustSet("price", ode.Float(1))
+							o.MustSet("qty", ode.Int(int64(i)))
+							o.MustSet("threshold", ode.Int(0))
+							if _, err := tx.PNew(w.Stock, o); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		perTx := time.Since(start) / time.Duration(nw*txsPerWorker)
+		close(errc)
+		if err := <-errc; err != nil {
+			return 0, 0, 0, err
+		}
+		st := w.DB.Stats()
+		return perTx, st.WAL.GroupCommits, st.WAL.GroupCommitSize, nil
+	}
+
+	for _, nw := range []int{1, 4, 8} {
+		serial, _, _, err := commitRun(nw, true)
+		if err != nil {
+			return err
+		}
+		grouped, groups, staged, err := commitRun(nw, false)
+		if err != nil {
+			return err
+		}
+		rowE16(fmt.Sprintf("tx%d pnew serial-fsync", txBatch), serial, nw, nil)
+		extra := map[string]float64{
+			"speedup": float64(serial) / float64(grouped),
+		}
+		if groups > 0 {
+			extra["avg_group"] = float64(staged) / float64(groups)
+		}
+		rowE16(fmt.Sprintf("tx%d pnew group-commit", txBatch), grouped, nw, extra)
+	}
+
+	// Client cache on the remote deref path: in-process loopback
+	// server, working set small enough to stay resident, random walk
+	// with repeats (the shape navigation produces).
+	nItems := scale(2000)
+	if nItems < 256 {
+		nItems = 256
+	}
+	reps := scale(2000)
+	if reps < 400 {
+		reps = 400
+	}
+	rw, err := bench.NewWorld(nil)
+	if err != nil {
+		return err
+	}
+	defer rw.Close()
+	oids, err := rw.LoadStock(nItems)
+	if err != nil {
+		return err
+	}
+	ws := oids
+	if len(ws) > 256 {
+		ws = ws[:256]
+	}
+	srv := server.New(rw.DB, nil)
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(nil)
+	defer srv.Close()
+	schema, _ := bench.Schema()
+	ctx := context.Background()
+
+	derefWalk := func(c *client.Client) (time.Duration, error) {
+		var k int
+		d, err := timeIt(3, func() error {
+			return c.RunTx(ctx, func(tx *client.Tx) error {
+				for i := 0; i < reps; i++ {
+					k = (k + 7919) % len(ws)
+					if _, err := tx.Deref(ws[k]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		return d / time.Duration(reps), err
+	}
+
+	cold, err := client.Dial(a.String(), schema, &client.Options{CacheSize: -1})
+	if err != nil {
+		return err
+	}
+	defer cold.Close()
+	coldDeref, err := derefWalk(cold)
+	if err != nil {
+		return err
+	}
+
+	warm, err := client.Dial(a.String(), schema, nil)
+	if err != nil {
+		return err
+	}
+	defer warm.Close()
+	// Fill pass: every working-set object becomes a cached miss, so
+	// the measured transactions see only revalidations and local hits.
+	if err := warm.RunTx(ctx, func(tx *client.Tx) error {
+		for _, oid := range ws {
+			if _, err := tx.Deref(oid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	warmDeref, err := derefWalk(warm)
+	if err != nil {
+		return err
+	}
+	met := warm.CacheMetrics()
+	rowE16("remote deref no-cache", coldDeref, 1, nil)
+	rowE16("remote deref warm-cache", warmDeref, 1, map[string]float64{
+		"speedup": float64(coldDeref) / float64(warmDeref),
+		"hits":    float64(met.Hits.Load()),
+		"misses":  float64(met.Misses.Load()),
+	})
 	return nil
 }

@@ -79,6 +79,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *noSync {
+		// Without fsync, commits are acked — and their LSNs advertised
+		// to replication subscribers — before anything is durable. A
+		// crash then leaves this node behind positions it already
+		// shipped, silently diverging the group; see docs/REPLICATION.md
+		// "Durability and SetSync(false)".
+		fmt.Fprintln(os.Stderr, "ode-server: WARNING: -nosync acks commits before durability; a crash can lose acked transactions")
+		if *replicaOf != "" {
+			fmt.Fprintln(os.Stderr, "ode-server: WARNING: -nosync on a replica can silently diverge the replication group after a crash (acked LSNs may be lost); do not promote a node run this way")
+		}
+	}
 
 	// Assemble the schema: benchmark catalog, .oql class declarations,
 	// or empty (remote shells declare classes over the wire).

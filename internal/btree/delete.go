@@ -19,6 +19,9 @@ func (t *Tree) Delete(key []byte) error {
 	if t.root == storage.InvalidPage {
 		return ErrNotFound
 	}
+	// A delete can shrink, merge, or free the rightmost leaf; forget
+	// the cached append state (fastput.go) wholesale.
+	t.invalidateAppendCache()
 	root, err := t.load(t.root)
 	if err != nil {
 		return err

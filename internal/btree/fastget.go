@@ -64,6 +64,13 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 	if t.root == storage.InvalidPage {
 		return nil, ErrNotFound
 	}
+	// Fast miss off the append cache (fastput.go): a key above the
+	// tree's maximum cannot be present. The exists-check a fresh OID
+	// pays on every create takes this path instead of descending to
+	// scan the rightmost leaf.
+	if t.appendLeaf != storage.InvalidPage && bytes.Compare(key, t.appendKey) > 0 {
+		return nil, ErrNotFound
+	}
 	id := t.root
 	for {
 		p, err := t.pool.Fetch(id)

@@ -1,0 +1,102 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestInPlacePutSizeChurn hammers the in-place write path (fastput.go)
+// across the overflow boundary: a small key space rewritten with value
+// sizes from one byte to MaxValueSize, so the same leaf repeatedly
+// grows into a split (structural fallback) and shrinks back (in-place
+// replace with a smaller cell). A reference map checks every state.
+func TestInPlacePutSizeChurn(t *testing.T) {
+	tr := newTestTree(t, 64)
+	model := map[string][]byte{}
+	r := rand.New(rand.NewSource(23))
+	for step := 0; step < 6000; step++ {
+		key := []byte(fmt.Sprintf("churn-%03d", r.Intn(120)))
+		var vl int
+		switch r.Intn(3) {
+		case 0:
+			vl = 1 + r.Intn(8) // tiny: in-place replace shrinks the cell
+		case 1:
+			vl = 64 + r.Intn(128) // medium: typical directory payload
+		default:
+			vl = MaxValueSize - r.Intn(32) // near-max: forces overflow fallbacks
+		}
+		val := bytes.Repeat([]byte{byte('a' + step%26)}, vl)
+		if err := tr.Put(key, val); err != nil {
+			t.Fatalf("step %d: Put(%s, %dB) = %v", step, key, vl, err)
+		}
+		model[string(key)] = val
+		if step%500 == 499 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			for mk, mv := range model {
+				got, err := tr.Get([]byte(mk))
+				if err != nil || !bytes.Equal(got, mv) {
+					t.Fatalf("step %d: Get(%s) = %dB, %v; want %dB", step, mk, len(got), err, len(mv))
+				}
+			}
+		}
+	}
+	n, err := tr.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(model) {
+		t.Fatalf("Len = %d, model has %d", n, len(model))
+	}
+}
+
+// TestInPlacePutOrderedInserts pins the append-at-end and
+// insert-at-front shapes of rawLeafPut, which exercise the zero-length
+// and full-length tail moves.
+func TestInPlacePutOrderedInserts(t *testing.T) {
+	for name, keyOf := range map[string]func(i int) []byte{
+		"ascending":  func(i int) []byte { return []byte(fmt.Sprintf("o-%05d", i)) },
+		"descending": func(i int) []byte { return []byte(fmt.Sprintf("o-%05d", 9999-i)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := newTestTree(t, 64)
+			const n = 3000
+			for i := 0; i < n; i++ {
+				if err := tr.Put(keyOf(i), v(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				got, err := tr.Get(keyOf(i))
+				if err != nil || !bytes.Equal(got, v(i)) {
+					t.Fatalf("Get(%s) = %q, %v", keyOf(i), got, err)
+				}
+			}
+			if got, _ := tr.Len(); got != n {
+				t.Fatalf("Len = %d, want %d", got, n)
+			}
+		})
+	}
+}
+
+// TestInPlacePutRejectsOversized mirrors TestPutRejectsBadSizes on the
+// fast path: limits are enforced before any page is touched.
+func TestInPlacePutRejectsOversized(t *testing.T) {
+	tr := newTestTree(t, 16)
+	if err := tr.Put(bytes.Repeat([]byte{1}, MaxKeySize+1), []byte("x")); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if err := tr.Put([]byte("k"), bytes.Repeat([]byte{1}, MaxValueSize+1)); err == nil {
+		t.Error("oversized value accepted")
+	}
+	if _, err := tr.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("rejected put left residue: %v", err)
+	}
+}

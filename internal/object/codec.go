@@ -35,6 +35,24 @@ func Encode(o *core.Object) []byte {
 	return buf
 }
 
+// ImageTag computes the content tag of an encoded image (64-bit
+// FNV-1a): the client object cache keys revalidation on it, so a
+// cached decoded object can be reused whenever the server's current
+// image hashes to the same tag. Encode is deterministic (slots in
+// declaration order), so equal states yield equal tags.
+func ImageTag(image []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range image {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 func appendValue(buf []byte, v core.Value) []byte {
 	buf = append(buf, byte(v.Kind()))
 	switch v.Kind() {

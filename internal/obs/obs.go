@@ -234,6 +234,8 @@ type WALMetrics struct {
 	FsyncNS            Histogram // log fsync latency
 	AutoCheckpoints    Counter   // checkpoints triggered by the WAL soft limit
 	BackpressureStalls Counter   // commits stalled by the WAL hard limit
+	GroupCommits       Counter   // shared fsyncs issued by group-commit leaders
+	GroupCommitSize    Counter   // commits covered by those fsyncs (avg group = size/commits)
 }
 
 // TxnMetrics instruments the transaction engine and lock manager.
@@ -329,6 +331,8 @@ type WALStats struct {
 	FsyncNS            HistogramSnapshot
 	AutoCheckpoints    uint64
 	BackpressureStalls uint64
+	GroupCommits       uint64
+	GroupCommitSize    uint64
 }
 
 // TxnStats is a point-in-time copy of TxnMetrics.
@@ -419,6 +423,8 @@ func (m *Metrics) Stats() Snapshot {
 			FsyncNS:            m.WAL.FsyncNS.Snapshot(),
 			AutoCheckpoints:    m.WAL.AutoCheckpoints.Load(),
 			BackpressureStalls: m.WAL.BackpressureStalls.Load(),
+			GroupCommits:       m.WAL.GroupCommits.Load(),
+			GroupCommitSize:    m.WAL.GroupCommitSize.Load(),
 		},
 		Txn: TxnStats{
 			Begins:               m.Txn.Begins.Load(),
@@ -491,6 +497,8 @@ func NewMetrics(reg *Registry) *Metrics {
 		{"wal.fsync_ns", &m.WAL.FsyncNS},
 		{"wal.auto_checkpoints", &m.WAL.AutoCheckpoints},
 		{"wal.backpressure_stalls", &m.WAL.BackpressureStalls},
+		{"wal.group_commits", &m.WAL.GroupCommits},
+		{"wal.group_commit_size", &m.WAL.GroupCommitSize},
 		{"txn.begins", &m.Txn.Begins},
 		{"txn.commits", &m.Txn.Commits},
 		{"txn.aborts", &m.Txn.Aborts},

@@ -59,6 +59,7 @@ type subscriber struct {
 	ch     chan shipFrame
 	done   chan struct{} // closed to drop the subscriber
 	once   sync.Once
+	floor  uint64        // registration LSN: the backlog/snapshot covers everything ≤ floor
 	acked  atomic.Uint64 // last LSN the replica acknowledged applying
 	queued atomic.Int64  // bytes sitting in ch
 }
@@ -84,9 +85,10 @@ type Source struct {
 	met  *Metrics
 	opts SourceOptions
 
-	// Lock order: the engine commit lock is always taken before mu
-	// (fanout and the retention gate run under the commit lock and
-	// acquire mu; nothing under mu re-enters the engine).
+	// Lock order: the engine commit lock and its announcer lock are
+	// always taken before mu (the retention gate runs under the commit
+	// lock, fanout under the announcer lock, and both acquire mu;
+	// nothing under mu re-enters the engine).
 	mu   sync.Mutex
 	subs map[*subscriber]struct{}
 }
@@ -120,8 +122,10 @@ func (s *Source) Close() {
 	s.mu.Unlock()
 }
 
-// fanout runs under the commit lock after every committed batch and
-// queues it for each live subscriber.
+// fanout runs in strict LSN order after every committed batch is
+// durable and applied (the engine's announcer; with group commit that
+// is outside the commit lock) and queues the batch for each live
+// subscriber past its registration floor.
 func (s *Source) fanout(lsn uint64, raw []byte) {
 	s.met.LSN.Set(int64(lsn))
 	s.mu.Lock()
@@ -130,6 +134,13 @@ func (s *Source) fanout(lsn uint64, raw []byte) {
 	var maxQueued int64
 	for sub := range s.subs {
 		if sub.killed() {
+			continue
+		}
+		if lsn <= sub.floor {
+			// Announced after the subscriber registered but already
+			// covered by its backlog or snapshot (the registration ran
+			// under the commit lock at floor ≥ lsn); shipping it again
+			// would duplicate the batch.
 			continue
 		}
 		select {
@@ -215,6 +226,13 @@ func (s *Source) ServeSubscriber(nc net.Conn, br *bufio.Reader, reqID uint64, re
 		startLSN uint64
 	)
 	err := s.db.WithCommitLock(func() error {
+		// With group commit, the live LSN can include batches whose
+		// shared fsync has not returned yet. Force durability before
+		// advertising a position: a subscriber must never be told it
+		// holds batches the primary could still lose.
+		if err := s.db.SyncWAL(); err != nil {
+			return err
+		}
 		cur, base := s.db.LSN(), s.db.WALBaseLSN()
 		switch {
 		case req.ReplID == s.db.ReplicationID() && req.LSN >= base && req.LSN <= cur:
@@ -237,7 +255,10 @@ func (s *Source) ServeSubscriber(nc net.Conn, br *bufio.Reader, reqID uint64, re
 				wire.ErrResync, req.ReplID, req.LSN, s.db.ReplicationID(), base, cur)
 		}
 		// Register under the commit lock: live frames on sub.ch start
-		// exactly at startLSN+1, with no gap after the backlog/snapshot.
+		// exactly at cur+1, with no gap after the backlog/snapshot (no
+		// new batch can stage while the lock is held) and no duplicate
+		// (late announcements of batches ≤ cur stop at the floor).
+		sub.floor = cur
 		sub.acked.Store(startLSN)
 		s.register(sub)
 		return nil

@@ -297,10 +297,11 @@ func (s *Server) logf(format string, args ...any) {
 // conn is one client session: the socket, its buffered reader/writer,
 // and at most one open transaction.
 type conn struct {
-	s  *Server
-	nc net.Conn
-	br *bufio.Reader // over a connReader counting server.bytes_in
-	bw *bytes.Buffer // response buffer, flushed once per request burst
+	s   *Server
+	nc  net.Conn
+	br  *bufio.Reader     // over a connReader counting server.bytes_in
+	fr  *wire.FrameReader // reused-buffer frame reads over br
+	out []byte            // response bytes, flushed once per request burst
 
 	busy atomic.Bool // a request is being processed
 
@@ -402,9 +403,13 @@ func (c *conn) serve() {
 	c.nc.SetDeadline(time.Time{})
 
 	c.br = bufio.NewReader(&connReader{r: c.nc, met: &c.s.met.BytesIn})
-	c.bw = &bytes.Buffer{}
+	c.fr = wire.NewFrameReader(c.br, c.s.opts.MaxFrame)
 	for {
-		f, _, err := wire.ReadFrame(c.br, c.s.opts.MaxFrame)
+		// The frame (and its body) aliases the reader's reused buffer:
+		// valid through dispatch, overwritten by the next Read. Handlers
+		// decode bodies into their own copies (object.Decode and the
+		// string readers copy), so nothing retains the alias.
+		f, _, err := c.fr.Read()
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				c.s.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
@@ -430,20 +435,21 @@ func (c *conn) serve() {
 	}
 }
 
-// reply buffers one response frame.
+// reply buffers one response frame, serialized straight into the
+// connection's reused output buffer (no per-frame allocation).
 func (c *conn) reply(reqID uint64, typ byte, body []byte) error {
-	_, err := wire.WriteFrame(c.bw, &wire.Frame{ReqID: reqID, Type: typ, Body: body})
-	return err
+	c.out = wire.AppendFrame(c.out, &wire.Frame{ReqID: reqID, Type: typ, Body: body})
+	return nil
 }
 
-// flush writes the buffered response frames to the socket.
+// flush writes the buffered response frames to the socket in one send.
 func (c *conn) flush() error {
-	if c.bw.Len() == 0 {
+	if len(c.out) == 0 {
 		return nil
 	}
-	n, err := c.nc.Write(c.bw.Bytes())
+	n, err := c.nc.Write(c.out)
 	c.s.met.BytesOut.Add(uint64(n))
-	c.bw.Reset()
+	c.out = c.out[:0]
 	return err
 }
 
@@ -477,6 +483,8 @@ func (c *conn) dispatch(f *wire.Frame) error {
 	case wire.CmdDeref, wire.CmdPDelete, wire.CmdCurrentVersion, wire.CmdNewVersion,
 		wire.CmdVersions:
 		err = c.handleOID(f)
+	case wire.CmdDerefCached:
+		err = c.handleDerefCached(f)
 	case wire.CmdDeleteVersion, wire.CmdDerefVersion:
 		err = c.handleVRef(f)
 	case wire.CmdForall:
@@ -677,6 +685,34 @@ func (c *conn) handleOID(f *wire.Frame) error {
 		}
 		return c.reply(f.ReqID, wire.RespVersions, body)
 	}
+}
+
+// handleDerefCached is a conditional deref: the body carries the oid
+// and the content tag (object.ImageTag) of the image the client holds
+// cached. The server derefs under the transaction's ordinary shared
+// lock and replies RespOK with an empty body when the current image's
+// tag matches ("not modified" — the client reuses its decoded copy),
+// or RespObject with the image when it doesn't.
+func (c *conn) handleDerefCached(f *wire.Frame) error {
+	tx := c.sessionTx()
+	if tx == nil {
+		return c.replyErr(f.ReqID, protoErr("deref-cached without transaction"))
+	}
+	d := wire.NewDec(f.Body)
+	oid := core.OID(d.Uvarint())
+	tag := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return c.replyErr(f.ReqID, protoErr("deref-cached: %v", err))
+	}
+	obj, err := tx.Deref(oid)
+	if err != nil {
+		return c.replyErr(f.ReqID, err)
+	}
+	image := object.Encode(obj)
+	if object.ImageTag(image) == tag {
+		return c.reply(f.ReqID, wire.RespOK, nil)
+	}
+	return c.reply(f.ReqID, wire.RespObject, wire.AppendBytes(nil, image))
 }
 
 // handleVRef covers the commands whose body is oid + version.

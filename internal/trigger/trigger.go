@@ -376,7 +376,9 @@ func (s *Service) preCommit(tx *txn.Tx) error {
 // transaction's fired actions as independent transactions.
 func (s *Service) postCommit(tx *txn.Tx) {
 	// Index maintenance for created/deleted/updated activation objects.
-	mgr := s.engine.Manager()
+	// The transaction's buffered write images are the committed state,
+	// so non-activation writes (the vast majority) are filtered on the
+	// buffered class alone — no store reads on the commit path.
 	for _, oid := range tx.WriteSet() {
 		if tx.IsDeleted(oid) {
 			// Was it an activation? The index holds it if so.
@@ -393,8 +395,8 @@ func (s *Service) postCommit(tx *txn.Tx) {
 			s.mu.Unlock()
 			continue
 		}
-		o, _, err := mgr.Get(oid)
-		if err != nil || o.Class() != s.actClass {
+		o := tx.WrittenObject(oid)
+		if o == nil || o.Class() != s.actClass {
 			continue
 		}
 		target, ok := o.MustGet("target").AnyOID()

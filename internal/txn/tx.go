@@ -59,6 +59,20 @@ type Engine struct {
 
 	commitMu sync.Mutex
 
+	// groupCommit splits Commit's WAL write into stage (under the
+	// commit lock) and sync (outside it), so concurrent committers
+	// share fsyncs (wal.SyncTo). Set once before traffic.
+	groupCommit bool
+
+	// The announcer delivers OnCommit callbacks in strict LSN order.
+	// With group commit, committers leave the commit lock before their
+	// fsync completes, so they reach the announcement point out of
+	// order; announce buffers early arrivals until the gap fills.
+	// Lock order: commitMu → annMu → (OnCommit's own locks).
+	annMu      sync.Mutex
+	annNext    uint64 // next LSN to deliver
+	annPending map[uint64][]byte
+
 	// PreCommit, if set, runs inside Commit after constraint checking
 	// and before the WAL append; returning an error aborts. The
 	// database layer uses it for trigger-condition bookkeeping.
@@ -81,19 +95,79 @@ type Engine struct {
 	// each WAL append with the new log size. The database layer uses
 	// it to kick the background checkpointer past the soft limit.
 	AfterAppend func(walSize int64)
-	// OnCommit, if set, is called under the commit lock after a batch
-	// is durable in the WAL and applied, with the batch's LSN and its
-	// raw log encoding. It fires for local commits and for replicated
+	// onCommit, if set (SetOnCommit), is called after a batch is
+	// durable in the WAL and applied, with the batch's LSN and its raw
+	// log encoding. It fires for local commits and for replicated
 	// batches applied through ApplyReplicatedBatch alike, in strict LSN
 	// order — the replication layer ships committed batches from here.
-	OnCommit func(lsn uint64, raw []byte)
+	// With group commit the call happens outside the commit lock (see
+	// announce). Guarded by annMu.
+	onCommit func(lsn uint64, raw []byte)
 }
 
 // NewEngine builds a transaction engine over a manager and its WAL.
 func NewEngine(mgr *object.Manager, log *wal.Log) *Engine {
-	e := &Engine{mgr: mgr, log: log, locks: NewLockManager()}
+	e := &Engine{
+		mgr:        mgr,
+		log:        log,
+		locks:      NewLockManager(),
+		annNext:    log.LSN() + 1,
+		annPending: make(map[uint64][]byte),
+	}
 	e.SetMetrics(obs.NewMetrics(nil))
 	return e
+}
+
+// SetGroupCommit enables the group-commit fast path: Commit stages its
+// batch under the commit lock but waits for durability outside it, so
+// concurrent committers share fsyncs. Call before traffic.
+func (e *Engine) SetGroupCommit(on bool) { e.groupCommit = on }
+
+// SetOnCommit installs (or, with nil, removes) the committed-batch
+// listener.
+func (e *Engine) SetOnCommit(fn func(lsn uint64, raw []byte)) {
+	e.annMu.Lock()
+	e.onCommit = fn
+	e.annMu.Unlock()
+}
+
+// announce delivers one committed batch to the onCommit listener,
+// enforcing strict LSN order: a batch arriving before its predecessor
+// is buffered until the predecessor announces. The order is gap-free
+// on success — group members become durable together, and a failed
+// fsync poisons the log so no later LSN can commit — and the position
+// advances even with no listener, so attaching one later (replication
+// setup) starts from a consistent cursor.
+func (e *Engine) announce(lsn uint64, raw []byte) {
+	e.annMu.Lock()
+	defer e.annMu.Unlock()
+	if lsn != e.annNext {
+		e.annPending[lsn] = raw
+		return
+	}
+	fn := e.onCommit
+	for {
+		if fn != nil {
+			fn(lsn, raw)
+		}
+		e.annNext = lsn + 1
+		next, ok := e.annPending[e.annNext]
+		if !ok {
+			return
+		}
+		delete(e.annPending, e.annNext)
+		lsn, raw = e.annNext, next
+	}
+}
+
+// ResetAnnounce re-bases the announcer on the log's current LSN. Called
+// after a full resync forces the LSN (CompleteResync); callers must
+// hold the commit lock.
+func (e *Engine) ResetAnnounce() {
+	e.annMu.Lock()
+	e.annNext = e.log.LSN() + 1
+	e.annPending = make(map[uint64][]byte)
+	e.annMu.Unlock()
 }
 
 // SetMetrics attaches the engine metric set (never nil after
@@ -167,8 +241,8 @@ func (e *Engine) ApplyReplicatedBatch(lsn uint64, raw []byte) error {
 		}
 	}
 	e.met.Txn.Commits.Inc()
-	if fn := e.OnCommit; fn != nil && lsn != 0 {
-		fn(lsn, raw)
+	if lsn != 0 {
+		e.announce(lsn, raw)
 	}
 	return nil
 }
@@ -608,6 +682,19 @@ func (tx *Tx) IsDeleted(oid core.OID) bool {
 	return ok && w.obj == nil
 }
 
+// WrittenObject returns the buffered image this transaction wrote for
+// oid, or nil for deletes and OIDs outside the write set. After a
+// commit it is the object's current state — the post-commit hook reads
+// it instead of paying a directory lookup, heap fetch, and decode per
+// written OID.
+func (tx *Tx) WrittenObject(oid core.OID) *core.Object {
+	w, ok := tx.writes[oid]
+	if !ok {
+		return nil
+	}
+	return w.obj
+}
+
 // Created reports whether the transaction created oid.
 func (tx *Tx) Created(oid core.OID) bool {
 	w, ok := tx.writes[oid]
@@ -676,6 +763,8 @@ func (tx *Tx) Commit() error {
 			}
 		}
 	}
+	var raw []byte
+	var syncTarget int64
 	e.commitMu.Lock()
 	if len(ops) > 0 {
 		if e.closed.Load() {
@@ -688,8 +777,24 @@ func (tx *Tx) Commit() error {
 			tx.Abort()
 			return fmt.Errorf("txn: commit: %w", err)
 		}
-		raw := wal.EncodeBatch(tx.id, ops)
-		if err := e.log.AppendRaw(raw); err != nil {
+		raw = wal.EncodeBatch(tx.id, ops)
+		if e.groupCommit {
+			// Group-commit fast path: write the batch and apply it under
+			// the commit lock, but wait for durability outside it — the
+			// next committer can stage meanwhile, and wal.SyncTo lets the
+			// whole group share one fsync. Strict 2PL keeps the window
+			// sound: this transaction's locks are held until finish, so
+			// no other transaction can read the applied-but-not-yet-
+			// durable state, and the ordered announcer below keeps the
+			// replication stream in LSN order.
+			target, err := e.log.StageRaw(raw)
+			if err != nil {
+				e.commitMu.Unlock()
+				tx.Abort()
+				return fmt.Errorf("txn: wal append: %w", err)
+			}
+			syncTarget = target
+		} else if err := e.log.AppendRaw(raw); err != nil {
 			e.commitMu.Unlock()
 			tx.Abort()
 			return fmt.Errorf("txn: wal append: %w", err)
@@ -713,11 +818,21 @@ func (tx *Tx) Commit() error {
 			}
 		}
 		tx.commitLSN = e.log.LSN()
-		if fn := e.OnCommit; fn != nil {
-			fn(tx.commitLSN, raw)
-		}
 	}
 	e.commitMu.Unlock()
+	if len(ops) > 0 {
+		if e.groupCommit {
+			if err := e.log.SyncTo(syncTarget); err != nil {
+				// The batch is applied in memory but its durability is
+				// unknown; the WAL is poisoned, so no later commit can
+				// succeed and nothing is announced to replication. Only
+				// reopening the database resolves the commit either way.
+				tx.finish(stateAborted)
+				return fmt.Errorf("txn: wal sync after apply (database needs recovery): %w", err)
+			}
+		}
+		e.announce(tx.commitLSN, raw)
+	}
 	tx.finish(stateCommitted)
 	if hook := e.PostCommit; hook != nil {
 		hook(tx)

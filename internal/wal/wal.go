@@ -52,9 +52,12 @@ var (
 	// Partial actions persist a prefix of the batch — a torn log tail
 	// that scanEnd must truncate on the next open.
 	fpAppend = failpoint.New("wal.append")
-	// fpFsync fires in AppendRaw between the batch write and the fsync.
+	// fpFsync fires in SyncTo between the batch write and the fsync.
 	// The batch bytes are already in the file, so a commit that fails
 	// here may still be durable — the classic fsync-error ambiguity.
+	// The log resolves the ambiguity by poisoning itself: after any
+	// fsync failure every append and sync returns ErrWALPoisoned until
+	// the log is reopened (see SyncTo).
 	fpFsync = failpoint.New("wal.fsync")
 	// fpTruncate fires at the top of Truncate (checkpoint log reset).
 	fpTruncate = failpoint.New("wal.truncate")
@@ -131,10 +134,21 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 // primary truncated past its position) and must resynchronize.
 var ErrLSNGap = errors.New("wal: LSN gap")
 
-// Log is an append-only write-ahead log file. Append and Truncate are
-// serialized by the caller (the engine's commit lock); end and lsn are
-// atomic only so Size and LSN can be polled concurrently by the
-// WAL-bound governor and the replication layer.
+// ErrWALPoisoned reports a log whose durability state is unknown: an
+// fsync failed, so batches already written may or may not be on disk,
+// and the kernel may have silently dropped the dirty pages (a retried
+// fsync can report success without the data being durable). Every
+// subsequent append, sync, and truncate fails with this error; the
+// only recovery is closing the database and reopening it, which
+// re-scans the file and replays whatever actually persisted.
+var ErrWALPoisoned = errors.New("wal: poisoned by failed fsync (reopen to recover)")
+
+// Log is an append-only write-ahead log file. StageRaw (appending) and
+// Truncate are serialized by the caller (the engine's commit lock);
+// SyncTo may run concurrently with anything — the group-commit state
+// under gcMu coordinates it. end and lsn are atomic only so Size and
+// LSN can be polled concurrently by the WAL-bound governor and the
+// replication layer.
 type Log struct {
 	f         *os.File
 	path      string
@@ -147,6 +161,21 @@ type Log struct {
 
 	idMu   sync.Mutex
 	replID string
+
+	// Group-commit state. staged/durable are cumulative byte counts
+	// since Open (never reset by Truncate, so a SyncTo target stays
+	// valid across a concurrent checkpoint): staged counts bytes fully
+	// written by StageRaw, durable counts bytes known safe — covered by
+	// an fsync, or superseded by a checkpoint's page flush (Truncate).
+	gcMu     sync.Mutex
+	gcCond   *sync.Cond
+	staged   int64
+	durable  int64
+	pendingN uint64 // commits staged since the last fsync snapshot
+	syncing  bool   // a leader's fsync is in flight
+	poison   error  // first fsync failure; terminal until reopen
+	maxBatch int    // group accumulation cap (only with maxDelay > 0)
+	maxDelay time.Duration
 }
 
 // Open opens (creating if absent) the log at path. The log is scanned
@@ -159,6 +188,7 @@ func Open(path string) (*Log, error) {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
 	l := &Log{f: f, path: path, sync: true, met: &obs.WALMetrics{}}
+	l.gcCond = sync.NewCond(&l.gcMu)
 	end, commits, err := l.scanEnd()
 	if err != nil {
 		f.Close()
@@ -177,6 +207,20 @@ func Open(path string) (*Log, error) {
 // durability of recent commits on power failure; it exists for
 // benchmarking the fsync cost (and matches "group commit off").
 func (l *Log) SetSync(sync bool) { l.sync = sync }
+
+// SetGroupCommit tunes the leader's accumulation window: with
+// maxDelay > 0 a group-commit leader waits up to maxDelay (or until
+// maxBatch commits are staged, whichever first) before issuing its
+// fsync, trading commit latency for larger groups. The default (0)
+// fsyncs immediately — batching still arises naturally from commits
+// that stage while a previous fsync is in flight. Call before traffic.
+func (l *Log) SetGroupCommit(maxBatch int, maxDelay time.Duration) {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	l.maxBatch = maxBatch
+	l.maxDelay = maxDelay
+}
 
 // SetMetrics attaches the WAL metric set; m must be non-nil.
 func (l *Log) SetMetrics(m *obs.WALMetrics) { l.met = m }
@@ -298,10 +342,30 @@ func (l *Log) Append(txid uint64, ops []Op) error {
 
 // AppendRaw appends one pre-encoded committed batch (exactly one
 // commit record, as produced by EncodeBatch) and, when sync is
-// enabled, fsyncs. The LSN advances once the batch bytes are fully
-// written — before the fsync, matching what scanEnd would count after
-// a crash.
+// enabled, fsyncs before returning. Equivalent to StageRaw + SyncTo;
+// the group-commit fast path calls the two halves separately so the
+// commit lock is released between them.
 func (l *Log) AppendRaw(raw []byte) error {
+	target, err := l.StageRaw(raw)
+	if err != nil {
+		return err
+	}
+	return l.SyncTo(target)
+}
+
+// StageRaw writes one pre-encoded committed batch into the file and
+// advances the LSN, without waiting for durability. It returns a sync
+// target for SyncTo: once SyncTo(target) succeeds, every byte this
+// call wrote is durable. The caller must hold the commit lock; the LSN
+// advances once the batch bytes are fully written — before any fsync,
+// matching what scanEnd would count after a crash.
+func (l *Log) StageRaw(raw []byte) (target int64, err error) {
+	l.gcMu.Lock()
+	if l.poison != nil {
+		defer l.gcMu.Unlock()
+		return 0, l.poisonErrLocked()
+	}
+	l.gcMu.Unlock()
 	end := l.end.Load()
 	if k, ferr := fpAppend.CheckIO(len(raw)); ferr != nil {
 		// Simulated crash mid-append: a prefix of the batch lands on
@@ -311,27 +375,110 @@ func (l *Log) AppendRaw(raw []byte) error {
 		if k > 0 {
 			l.f.WriteAt(raw[:k], end)
 		}
-		return fmt.Errorf("wal: append: %w", ferr)
+		return 0, fmt.Errorf("wal: append: %w", ferr)
 	}
 	if _, err := l.f.WriteAt(raw, end); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.end.Store(end + int64(len(raw)))
 	l.lsn.Add(1)
 	l.met.Appends.Inc()
 	l.met.AppendBytes.Add(uint64(len(raw)))
-	if l.sync {
-		if err := fpFsync.Check(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-		start := time.Now()
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-		l.met.Fsyncs.Inc()
-		l.met.FsyncNS.Since(start)
+	l.gcMu.Lock()
+	l.staged += int64(len(raw))
+	l.pendingN++
+	target = l.staged
+	l.gcMu.Unlock()
+	return target, nil
+}
+
+// SyncTo blocks until every byte staged at or before target is
+// durable, sharing fsyncs between concurrent committers (group
+// commit): the first waiter that finds no fsync in flight becomes the
+// leader, snapshots the staged high-water mark, and issues one
+// whole-file fsync that covers every follower staged before the
+// snapshot. Followers just wait. A no-op when sync is disabled.
+//
+// On fsync failure the log is poisoned: the batch bytes of every
+// transaction in the group are in the file but their durability is
+// unknown, so no waiter is acked and every subsequent operation fails
+// with ErrWALPoisoned (wrapping the original fsync error) until the
+// log is reopened. A commit whose fsync failed is therefore never
+// reported successful — it resolves after recovery, from whatever the
+// file actually holds.
+func (l *Log) SyncTo(target int64) error {
+	if !l.sync {
+		return nil
 	}
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
+	for {
+		if l.poison != nil {
+			return l.poisonErrLocked()
+		}
+		if l.durable >= target {
+			return nil
+		}
+		if !l.syncing {
+			break // become the leader
+		}
+		l.gcCond.Wait() // follow the in-flight fsync
+	}
+	l.syncing = true
+	if l.maxDelay > 0 {
+		// Accumulation window: give concurrent committers up to
+		// maxDelay to join the group before paying the fsync.
+		deadline := time.Now().Add(l.maxDelay)
+		for l.pendingN < uint64(l.maxBatch) && l.poison == nil && time.Now().Before(deadline) {
+			l.gcMu.Unlock()
+			time.Sleep(20 * time.Microsecond)
+			l.gcMu.Lock()
+		}
+	}
+	snap := l.staged
+	n := l.pendingN
+	l.pendingN = 0
+	l.gcMu.Unlock()
+	// The fsync covers every byte written before the snapshot: StageRaw
+	// completes its WriteAt before counting the bytes into staged.
+	var err error
+	if err = fpFsync.Check(); err == nil {
+		start := time.Now()
+		if err = l.f.Sync(); err == nil {
+			l.met.Fsyncs.Inc()
+			l.met.FsyncNS.Since(start)
+		}
+	}
+	l.gcMu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.poison = fmt.Errorf("wal: sync: %w", err)
+		l.gcCond.Broadcast()
+		return l.poisonErrLocked()
+	}
+	if snap > l.durable {
+		l.durable = snap
+	}
+	l.met.GroupCommits.Inc()
+	l.met.GroupCommitSize.Add(n)
+	l.gcCond.Broadcast()
 	return nil
+}
+
+// SyncAll makes every batch staged so far durable (a no-op when sync
+// is disabled). The replication source uses it before advertising a
+// position to a new subscriber.
+func (l *Log) SyncAll() error {
+	l.gcMu.Lock()
+	target := l.staged
+	l.gcMu.Unlock()
+	return l.SyncTo(target)
+}
+
+// poisonErrLocked wraps the stored fsync failure so callers can match
+// both ErrWALPoisoned and the root cause. Callers hold gcMu.
+func (l *Log) poisonErrLocked() error {
+	return fmt.Errorf("%w: %w", ErrWALPoisoned, l.poison)
 }
 
 func appendRecord(buf []byte, op *Op) []byte {
@@ -447,7 +594,24 @@ func decodeOp(buf []byte) (*Op, error) {
 // is renamed over the log, so the truncation and the base update are
 // one atomic operation. Called after a checkpoint has made every
 // logged effect durable in the data file.
+//
+// Truncate holds the group-commit lock for its whole body: it first
+// waits out any in-flight leader fsync (which targets the file being
+// swapped away), and no new leader can start one until the swap is
+// complete. It refuses to run on a poisoned log — the failed group's
+// effects are applied in memory, and checkpointing would persist them
+// even though their commits were reported failed. On success the
+// durable mark jumps to the staged mark: the checkpoint's page flush
+// made every applied batch durable through the data file.
 func (l *Log) Truncate() error {
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
+	for l.syncing {
+		l.gcCond.Wait()
+	}
+	if l.poison != nil {
+		return l.poisonErrLocked()
+	}
 	if err := fpTruncate.Check(); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
@@ -486,6 +650,9 @@ func (l *Log) Truncate() error {
 	l.base = lsn
 	l.dataStart.Store(int64(len(rec)))
 	l.end.Store(int64(len(rec)))
+	l.durable = l.staged // every applied batch is durable via the data file
+	l.pendingN = 0
+	l.gcCond.Broadcast()
 	return nil
 }
 

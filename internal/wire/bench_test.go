@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameStream encodes a representative mix of frames back to back.
+func frameStream() ([]byte, []Frame) {
+	frames := []Frame{
+		{ReqID: 1, Type: CmdPing},
+		{ReqID: 2, Type: CmdDeref, Body: AppendUvarint(nil, 42)},
+		{ReqID: 3, Type: RespObject, Body: bytes.Repeat([]byte{0x5a}, 256)},
+		{ReqID: 4, Type: RespBatch, Body: bytes.Repeat([]byte{0xab}, 4096)},
+	}
+	var stream []byte
+	for i := range frames {
+		stream = AppendFrame(stream, &frames[i])
+	}
+	return stream, frames
+}
+
+// TestFrameReader pins the reused-buffer reader against ReadFrame: the
+// same stream must yield identical frames and byte counts, the frame
+// must stay valid until the next Read, and corruption must surface the
+// same typed errors.
+func TestFrameReader(t *testing.T) {
+	stream, frames := frameStream()
+	fr := NewFrameReader(bytes.NewReader(stream), 0)
+	for i := range frames {
+		f, n, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		rf, rn, err := ReadFrame(bytes.NewReader(stream), 0)
+		_ = rf
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if i == 0 && n != rn {
+			t.Fatalf("frame 0: consumed %d bytes, ReadFrame consumed %d", n, rn)
+		}
+		if f.ReqID != frames[i].ReqID || f.Type != frames[i].Type || !bytes.Equal(f.Body, frames[i].Body) {
+			t.Fatalf("frame %d mismatch: %+v", i, f)
+		}
+		stream = stream[n:]
+	}
+	if _, _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("trailing read = %v, want io.EOF", err)
+	}
+
+	// A frame past the size bound is rejected before buffering the body.
+	big := AppendFrame(nil, &Frame{ReqID: 9, Type: RespObject, Body: bytes.Repeat([]byte{1}, 64)})
+	fr = NewFrameReader(bytes.NewReader(big), 16)
+	if _, _, err := fr.Read(); err == nil || !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err=%v, want ErrFrameTooLarge", err)
+	}
+
+	// A flipped payload bit fails the checksum.
+	corrupt, _ := frameStream()
+	corrupt[9] ^= 0xff
+	fr = NewFrameReader(bytes.NewReader(corrupt), 0)
+	if _, _, err := fr.Read(); err == nil || !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupt frame: err=%v, want ErrCRC", err)
+	}
+}
+
+// TestFrameRoundTripAllocs asserts the hot path stays allocation-free
+// once buffers are warm: AppendFrame into a reused slice and
+// FrameReader.Read over its reused buffer. This is the regression
+// fence for the low-allocation codec work — tightening is fine,
+// loosening needs a reason.
+func TestFrameRoundTripAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race runtime")
+	}
+	if testing.CoverMode() != "" {
+		t.Skip("allocation counts are perturbed by coverage instrumentation")
+	}
+	stream, frames := frameStream()
+	r := bytes.NewReader(stream)
+	fr := NewFrameReader(r, 0)
+	var out []byte
+	round := func() {
+		out = out[:0]
+		r.Reset(stream)
+		for i := 0; i < len(frames); i++ {
+			f, _, err := fr.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = AppendFrame(out, f)
+		}
+	}
+	round() // warm the reused buffers
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0 {
+		t.Fatalf("frame round trip allocates %.1f objects per %d frames, want 0", allocs, len(frames))
+	}
+}
+
+// BenchmarkFrameRoundTrip measures one encode+decode pass over the
+// mixed frame stream. "buffered" is the pre-PR path (bytes.Buffer +
+// WriteFrame, per-frame ReadFrame allocations); "reused" is the hot
+// path the server and client run now (AppendFrame into a reused slice,
+// FrameReader with a reused body buffer).
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	stream, frames := frameStream()
+
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(stream)))
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			for j := range frames {
+				if _, err := WriteFrame(&buf, &frames[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r := bytes.NewReader(buf.Bytes())
+			for j := 0; j < len(frames); j++ {
+				if _, _, err := ReadFrame(r, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(stream)))
+		r := bytes.NewReader(stream)
+		fr := NewFrameReader(r, 0)
+		var out []byte
+		for i := 0; i < b.N; i++ {
+			out = out[:0]
+			r.Reset(stream)
+			for j := 0; j < len(frames); j++ {
+				f, _, err := fr.Read()
+				if err != nil {
+					b.Fatal(err)
+				}
+				out = AppendFrame(out, f)
+			}
+		}
+	})
+}

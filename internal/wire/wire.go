@@ -67,6 +67,7 @@ const (
 	CmdDeref          = 0x11
 	CmdUpdate         = 0x12
 	CmdPDelete        = 0x13
+	CmdDerefCached    = 0x14
 	CmdCurrentVersion = 0x20
 	CmdNewVersion     = 0x21
 	CmdDeleteVersion  = 0x22
@@ -112,6 +113,8 @@ func CmdName(t byte) string {
 		return "pnew"
 	case CmdDeref:
 		return "deref"
+	case CmdDerefCached:
+		return "deref-cached"
 	case CmdUpdate:
 		return "update"
 	case CmdPDelete:
@@ -250,6 +253,65 @@ func ReadFrame(r io.Reader, maxFrame int) (*Frame, int, error) {
 		Type:  payload[8],
 		Body:  payload[9:],
 	}, 4 + n + 4, nil
+}
+
+// FrameReader reads frames from one stream into a reused buffer,
+// eliminating the two per-frame allocations of ReadFrame (payload
+// slice and Frame header). The returned frame — and in particular its
+// Body — aliases the reader's internal buffer and is valid only until
+// the next Read; callers that retain a body across reads must copy it.
+type FrameReader struct {
+	r   io.Reader
+	max int
+	hdr [4]byte // length prefix scratch (a local would escape through io.Reader)
+	buf []byte
+	f   Frame
+}
+
+// NewFrameReader wraps r (typically a *bufio.Reader) for repeated
+// frame reads; maxFrame <= 0 means DefaultMaxFrame.
+func NewFrameReader(r io.Reader, maxFrame int) *FrameReader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &FrameReader{r: r, max: maxFrame}
+}
+
+// Read reads one frame, returning the frame and the bytes consumed.
+// Error semantics match ReadFrame; the frame is only valid until the
+// next Read.
+func (fr *FrameReader) Read() (*Frame, int, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := int(binary.BigEndian.Uint32(fr.hdr[:]))
+	if n > fr.max {
+		return nil, 4, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, fr.max)
+	}
+	if n < payloadMin {
+		return nil, 4, fmt.Errorf("%w: payload %d below minimum %d", ErrMalformed, n, payloadMin)
+	}
+	if cap(fr.buf) < n+4 {
+		fr.buf = make([]byte, n+4)
+	}
+	rest := fr.buf[:n+4]
+	if _, err := io.ReadFull(fr.r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 4, err
+	}
+	payload := rest[:n]
+	want := binary.BigEndian.Uint32(rest[n:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 4 + n + 4, fmt.Errorf("%w: got %08x want %08x", ErrCRC, got, want)
+	}
+	fr.f = Frame{
+		ReqID: binary.BigEndian.Uint64(payload),
+		Type:  payload[8],
+		Body:  payload[9:n:n],
+	}
+	return &fr.f, 4 + n + 4, nil
 }
 
 // WriteHello writes the 6-byte hello (magic, version, flags).

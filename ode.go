@@ -118,6 +118,28 @@ type Options struct {
 	// CloseTimeout bounds how long Close waits for active transactions
 	// to drain before canceling them (default 5s).
 	CloseTimeout time.Duration
+	// GroupCommit tunes the group-commit fast path: concurrent
+	// committers stage their WAL batches under the commit lock but wait
+	// for durability outside it, sharing one fsync per group (the first
+	// waiter leads, the rest follow). On by default — a lone committer
+	// pays exactly the old write+fsync cost.
+	GroupCommit GroupCommitOptions
+}
+
+// GroupCommitOptions configures commit batching (Options.GroupCommit).
+type GroupCommitOptions struct {
+	// Disable turns group commit off: commits hold the commit lock
+	// through their fsync, serializing durability waits.
+	Disable bool
+	// MaxBatch caps how many commits a leader accumulates before
+	// fsyncing when MaxDelay is set (0 = 64).
+	MaxBatch int
+	// MaxDelay, when positive, makes a group-commit leader wait up to
+	// this long (or until MaxBatch commits are staged) before issuing
+	// its fsync, trading commit latency for fewer, larger fsyncs. The
+	// default 0 fsyncs immediately; groups still form naturally from
+	// commits staged while a previous fsync is in flight.
+	MaxDelay time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -223,6 +245,7 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	log.SetSync(!o.NoSync)
+	log.SetGroupCommit(o.GroupCommit.MaxBatch, o.GroupCommit.MaxDelay)
 
 	needRebuild := !fresh && !object.WasCleanShutdown(fs) && !log.Empty()
 	if needRebuild {
@@ -273,6 +296,7 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	engine := txn.NewEngine(mgr, log)
+	engine.SetGroupCommit(!o.GroupCommit.Disable)
 	svc, err := trigger.NewService(engine, !o.AsyncTriggers)
 	if err != nil {
 		log.Close()

@@ -45,14 +45,24 @@ func (db *DB) SetReadOnly(v bool) { db.engine.SetReadOnly(v) }
 // mode.
 func (db *DB) ReadOnly() bool { return db.engine.ReadOnly() }
 
-// OnCommitBatch installs fn to run under the commit lock after every
-// committed batch (local or replicated) is durable and applied, with
-// the batch's LSN and raw WAL encoding. One consumer at a time; the
-// replication layer installs its shipping fan-out here. Install before
-// traffic starts.
+// OnCommitBatch installs fn to run after every committed batch (local
+// or replicated) is durable and applied, with the batch's LSN and raw
+// WAL encoding. Calls arrive in strict LSN order with no gaps, but —
+// with group commit — not necessarily under the commit lock, and the
+// announced LSN can trail the log's live LSN while a group's fsync is
+// in flight. One consumer at a time; the replication layer installs
+// its shipping fan-out here. Install before traffic starts.
 func (db *DB) OnCommitBatch(fn func(lsn uint64, raw []byte)) {
-	db.engine.OnCommit = fn
+	db.engine.SetOnCommit(fn)
 }
+
+// SyncWAL forces every batch staged in the WAL so far to durability
+// (a no-op under Options.NoSync). The replication source calls it
+// under the commit lock before advertising a position to a new
+// subscriber: with group commit, the live LSN can briefly run ahead of
+// durability, and a position must never promise batches that could
+// still be lost.
+func (db *DB) SyncWAL() error { return db.log.SyncAll() }
 
 // ApplyReplicatedBatch appends one batch shipped from a primary to the
 // local WAL and applies it, exactly as a local commit would (durable
@@ -156,6 +166,7 @@ func (db *DB) CompleteResync(lsn uint64, replID string) error {
 		}
 		db.log.SetReplID(replID)
 		db.log.ForceLSN(lsn)
+		db.engine.ResetAnnounce()
 		return db.log.Truncate()
 	})
 }
