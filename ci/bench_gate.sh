@@ -3,9 +3,9 @@
 # tx-of-20 ns/op regresses more than BENCH_TOLERANCE percent (default
 # 25) against the committed BENCH_3.json baseline. Only slowdowns
 # fail; an improvement prints and passes — tighten the floor by
-# committing a fresh full run:
+# re-recording the baseline:
 #
-#   go run ./cmd/ode-bench -json BENCH_3.json
+#   RECORD=1 ci/bench_gate.sh      # full run -> BENCH_3.json
 #
 # The group-commit numbers measure concurrent committers sharing an
 # fsync, which is meaningless time-slicing a single core (the E13
@@ -13,48 +13,29 @@
 # runners rather than compare noise against the baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. ci/gate_lib.sh
 baseline=${BENCH_BASELINE:-BENCH_3.json}
 tol=${BENCH_TOLERANCE:-25}
 
-cpus=$(nproc 2>/dev/null || echo 1)
-if [ "$cpus" -lt 2 ]; then
-    echo "skip: $cpus CPU — group-commit concurrency is not measurable on a single core"
+if [ "${RECORD:-0}" = 1 ]; then
+    go run ./cmd/ode-bench -json "$baseline"
+    echo "recorded $baseline"
+    exit 0
+fi
+
+if gate_skip_single_cpu; then
     exit 0
 fi
 
 out=/tmp/ode-bench-gate.json
 go run ./cmd/ode-bench -run E16 -json "$out"
 
-# ns FILE WORKLOAD WORKERS — extract ns_per_op for one row. Rows are
-# marshaled with fields in struct order (workload, ns_per_op,
-# workers), so a line-oriented scan is enough: latch onto the
-# workload line, remember ns_per_op, emit it when workers matches.
-ns() {
-    awk -v w="\"$2\"," -v n="$3" '
-        $1 == "\"workload\":"  { hit = (index($0, w) > 0); ns = "" }
-        hit && $1 == "\"ns_per_op\":" { ns = $2; gsub(/,/, "", ns) }
-        hit && $1 == "\"workers\":"   { v = $2; gsub(/,/, "", v)
-                                        if (v == n && ns != "") { print ns; exit } }
-    ' "$1"
-}
-
 fail=0
 check() { # WORKLOAD WORKERS
     local base cur
-    base=$(ns "$baseline" "$1" "$2")
-    cur=$(ns "$out" "$1" "$2")
-    if [ -z "$base" ] || [ -z "$cur" ]; then
-        echo "FAIL $1 workers=$2: row missing (baseline='$base' current='$cur')"
-        fail=1
-        return
-    fi
-    if awk -v c="$cur" -v b="$base" -v t="$tol" 'BEGIN{exit !(c <= b * (1 + t/100))}'; then
-        printf 'ok   %-26s workers=%s  %8s ns/op  (baseline %s, tolerance %s%%)\n' \
-            "$1" "$2" "$cur" "$base" "$tol"
-    else
-        echo "FAIL $1 workers=$2: $cur ns/op regressed >$tol% over baseline $base"
-        fail=1
-    fi
+    base=$(gate_row "$baseline" ns_per_op "workload=$1" "workers=$2")
+    cur=$(gate_row "$out" ns_per_op "workload=$1" "workers=$2")
+    gate_check_max "$1 workers=$2" "$cur" "$base" "$tol" || fail=1
 }
 
 check "tx20 pnew serial-fsync" 4

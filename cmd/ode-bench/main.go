@@ -69,6 +69,11 @@ var (
 
 	connectAddr = flag.String("connect", "",
 		"E15: measure against this remote ode-server (started with -bench-schema) instead of an in-process loopback server")
+
+	workloadNames = flag.String("workload", "",
+		"run the macro workload suite instead of the experiments: comma-separated mix names, or 'all' (docs/TESTING.md); -seed/-workers/-quick apply; with -connect the mixes run against that server, with -loopback both embedded and loopback-remote rows are produced")
+	loopback = flag.Bool("loopback", false,
+		"workload mode: follow the embedded rows with remote rows through an in-process server (baseline recording)")
 )
 
 // benchResult is one measured row of the machine-readable output.
@@ -107,6 +112,9 @@ func main() {
 	flag.Parse()
 	if *faults {
 		os.Exit(runFaults())
+	}
+	if *workloadNames != "" {
+		os.Exit(runWorkloads(*jsonPath))
 	}
 	if *httpAddr != "" {
 		bench.OnOpen = func(db *ode.DB) { liveDB.Store(db) }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ode/client"
+	"ode/internal/bench"
+	"ode/internal/server"
+	"ode/internal/workload"
+)
+
+// runWorkloads is the -workload mode: the macro suite from
+// internal/workload, reported as a JSON array of workload.Report rows
+// (the format ci/workload_gate.sh diffs against WORKLOAD_BASELINE.json).
+//
+// Transport selection: by default every mix runs embedded; -connect
+// runs the remote-capable mixes against that server instead; -loopback
+// runs embedded rows and then remote rows through an in-process server
+// (how the committed baseline is recorded — see ci/workload_gate.sh).
+func runWorkloads(jsonPath string) int {
+	seed := *faultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	// The op mix is a pure function of (seed, workers): default to a
+	// fixed worker count, not GOMAXPROCS, so the same command line
+	// produces the same op counts on every machine (the gate asserts
+	// this against the committed baseline).
+	wlWorkers := 4
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			wlWorkers = *workers
+		}
+	})
+	cfg := workload.Config{Seed: seed, Workers: wlWorkers, Short: *quick}
+	var names []string
+	if *workloadNames == "all" {
+		names = workload.Names()
+	} else {
+		for _, n := range strings.Split(*workloadNames, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	var reports []*workload.Report
+	runOne := func(wl *workload.Workload, store workload.Store) int {
+		rep, err := wl.Run(store, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ode-bench: workload %s (%s): %v\n", wl.Name, store.Mode(), err)
+			return 1
+		}
+		reports = append(reports, rep)
+		fmt.Printf("%-10s %-9s seed=%d workers=%d  %9d ops  %8.0f ops/s  p50=%s p99=%s  (%s)\n",
+			rep.Workload, rep.Mode, rep.Seed, rep.Workers, rep.Ops, rep.OpsPerSec,
+			time.Duration(rep.Latency.P50Ns), time.Duration(rep.Latency.P99Ns),
+			time.Duration(rep.NsTotal).Round(time.Millisecond))
+		return 0
+	}
+
+	embedded := func(wl *workload.Workload) int {
+		w, err := bench.NewWorld(wl.DBOptions(cfg))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ode-bench: workload %s: open world: %v\n", wl.Name, err)
+			return 1
+		}
+		defer w.Close()
+		return runOne(wl, workload.NewEmbeddedStore(w))
+	}
+
+	remote := func(wl *workload.Workload, addr string) int {
+		schema, cw := bench.Schema()
+		c, err := client.Dial(addr, schema, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ode-bench: workload %s: dial %s: %v\n", wl.Name, addr, err)
+			return 1
+		}
+		defer c.Close()
+		return runOne(wl, workload.NewRemoteStore(c, cw))
+	}
+
+	// A fresh loopback server per mix keeps runs independent, exactly
+	// like the fresh embedded worlds.
+	loopbackRemote := func(wl *workload.Workload) int {
+		w, err := bench.NewWorld(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ode-bench: workload %s: open loopback world: %v\n", wl.Name, err)
+			return 1
+		}
+		defer w.Close()
+		srv := server.New(w.DB, nil)
+		a, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ode-bench: workload %s: loopback listen: %v\n", wl.Name, err)
+			return 1
+		}
+		go srv.Serve(nil)
+		defer srv.Close()
+		return remote(wl, a.String())
+	}
+
+	fail := 0
+	for _, name := range names {
+		wl, ok := workload.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ode-bench: unknown workload %q (have: %s)\n",
+				name, strings.Join(workload.Names(), ", "))
+			return 2
+		}
+		switch {
+		case *connectAddr != "":
+			if !wl.RemoteOK {
+				fmt.Printf("%-10s remote    skipped: needs embedded APIs (%s)\n", wl.Name, wl.Desc)
+				continue
+			}
+			fail |= remote(wl, *connectAddr)
+		default:
+			fail |= embedded(wl)
+			if *loopback && wl.RemoteOK {
+				fail |= loopbackRemote(wl)
+			}
+		}
+	}
+	if fail == 0 && jsonPath != "" {
+		buf, err := workload.EncodeReports(reports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ode-bench: encode workload reports:", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ode-bench: write workload reports:", err)
+			return 1
+		}
+		fmt.Printf("\nwrote %d workload rows to %s\n", len(reports), jsonPath)
+	}
+	return fail
+}

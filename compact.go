@@ -1,0 +1,95 @@
+package ode
+
+import (
+	"fmt"
+
+	"ode/internal/storage"
+	"ode/internal/wal"
+)
+
+// compactBatchPages bounds how many heap-chain pages one commit-lock
+// hold examines, so concurrent transactions only ever wait for a small
+// slice of the pass.
+const compactBatchPages = 32
+
+// CompactStats reports one Compact pass.
+type CompactStats struct {
+	// PagesVisited counts heap-chain pages examined.
+	PagesVisited int
+	// RecordsMoved counts live records relocated off drained pages.
+	RecordsMoved int
+	// PagesReclaimed counts pages returned to the data file's free
+	// list, available for reuse by any component.
+	PagesReclaimed int
+}
+
+// Compact runs one online compaction pass over the object heap:
+// deletes only tombstone records in place, so a churn-heavy workload
+// leaves the page file full of sparse pages that still pin disk space.
+// Compact drains pages that are empty or nearly so (live payload at or
+// below a quarter page), relocating surviving records and returning the
+// emptied pages to the file's free list for reuse.
+//
+// The pass is safe against concurrent transactions: it works in bounded
+// steps, each holding the commit lock only long enough to examine a
+// few dozen pages, and each step logs redo records for the moves before
+// touching any page, so a crash at any point recovers to a consistent
+// state. Passes are serialized; a second Compact blocks until the
+// first finishes. The pass ends with a checkpoint, which flushes the
+// relocations and truncates the redo records from the WAL.
+//
+// Compact fails with ErrReadOnly on a replica (its WAL must stay a
+// byte-for-byte copy of the primary's) and ErrDBClosed during
+// shutdown.
+func (db *DB) Compact() (CompactStats, error) {
+	var stats CompactStats
+	if db.closing.Load() {
+		return stats, ErrDBClosed
+	}
+	if db.engine.ReadOnly() {
+		return stats, fmt.Errorf("%w: compaction runs on the primary", ErrReadOnly)
+	}
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+
+	cursor := storage.InvalidPage
+	first := true
+	for first || cursor != storage.InvalidPage {
+		first = false
+		err := db.engine.WithCommitLock(func() error {
+			res, err := db.mgr.CompactStep(cursor, compactBatchPages, func(ops []wal.Op) error {
+				if len(ops) == 0 {
+					// Even a step that only frees empty pages must leave
+					// the WAL non-empty: the on-disk mutations that
+					// follow are only safe if a crash forces the
+					// recovery rebuild. OID 0 is never allocated, so
+					// this replays as a no-op.
+					ops = []wal.Op{{Type: wal.OpDeleteVersion, OID: 0, Version: 0}}
+				}
+				return db.engine.AppendSideBatch(ops)
+			})
+			stats.PagesVisited += res.PagesVisited
+			stats.RecordsMoved += res.RecordsMoved
+			stats.PagesReclaimed += res.PagesFreed
+			for i := 0; i < res.PagesFreed; i++ {
+				db.met.Storage.PagesReclaimed.Inc()
+			}
+			cursor = res.Next
+			return err
+		})
+		if err != nil {
+			return stats, err
+		}
+		if db.closing.Load() {
+			return stats, ErrDBClosed
+		}
+	}
+	db.met.Storage.Compactions.Inc()
+	// Flush the relocations and drop the pass's redo records from the
+	// log. Not fatal if the retention gate or an IO error skips it —
+	// the WAL still replays to the same state.
+	if err := db.Checkpoint(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

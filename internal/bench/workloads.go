@@ -49,6 +49,19 @@ func Schema() (*ode.Schema, *World) {
 		Field("price", ode.TFloat).
 		Field("qty", ode.TInt).
 		Field("threshold", ode.TInt).
+		Trigger(&ode.TriggerDef{
+			Name:      "restock",
+			Perpetual: true,
+			Params:    []ode.Param{{Name: "lot", Type: ode.TInt}},
+			Src:       "qty < threshold ==> qty += lot",
+			Cond: func(_ ode.Store, self *ode.Object, _ []ode.Value) (bool, error) {
+				return self.MustGet("qty").Int() < self.MustGet("threshold").Int(), nil
+			},
+			Action: func(st ode.Store, self *ode.Object, oid ode.OID, args []ode.Value) error {
+				self.MustSet("qty", ode.Int(self.MustGet("qty").Int()+args[0].Int()))
+				return st.Update(oid, self)
+			},
+		}).
 		Register(s)
 	w.Person = ode.NewClass("person").
 		Field("name", ode.TString).

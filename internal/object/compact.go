@@ -1,0 +1,313 @@
+package object
+
+import (
+	"errors"
+	"fmt"
+
+	"ode/internal/btree"
+	"ode/internal/core"
+	"ode/internal/failpoint"
+	"ode/internal/storage"
+	"ode/internal/wal"
+)
+
+// Failpoint sites on the compaction path (no-ops unless armed; see
+// docs/TESTING.md).
+var (
+	// fpCompactMove fires before each record relocation, after the
+	// step's move ops are in the WAL: an injected error aborts the pass
+	// with some records moved and the rest still at their old address —
+	// both are valid states, and recovery replays the logged images.
+	fpCompactMove = failpoint.New("storage.compact_move")
+	// fpCompactFree fires before a drained page is unlinked and returned
+	// to the free list.
+	fpCompactFree = failpoint.New("storage.compact_free")
+)
+
+// compactSparseBytes is the occupancy threshold: a page whose live
+// records total at most this many bytes is drained and freed. A quarter
+// page keeps the pass focused on delete-riddled pages instead of
+// churning half-full ones.
+const compactSparseBytes = storage.PayloadSize / 4
+
+// CompactStepResult reports one bounded compaction step.
+type CompactStepResult struct {
+	// Next is the chain position to resume from; InvalidPage when the
+	// pass reached the end of the heap chain.
+	Next storage.PageID
+	// PagesVisited counts chain pages examined.
+	PagesVisited int
+	// RecordsMoved counts live records relocated off drained pages.
+	RecordsMoved int
+	// PagesFreed counts pages returned to the file's free list.
+	PagesFreed int
+}
+
+// compactVictim is one page selected for draining, with the records to
+// move off it.
+type compactVictim struct {
+	page storage.PageID
+	prev storage.PageID // last retained page before it (InvalidPage: head region)
+	recs []compactRec
+}
+
+// compactRec is one live record captured from a victim page.
+type compactRec struct {
+	rid    storage.RID
+	rec    []byte // full heap record (kind, oid, ver, image)
+	kind   byte
+	oid    core.OID
+	ver    uint32
+	orphan bool // not referenced by dir/ver: tombstone without moving
+	cid    core.ClassID
+	cur    uint32 // dir entry's current version (RecCurrent only)
+}
+
+// CompactStep runs one bounded slice of an online compaction pass: it
+// walks up to maxPages heap-chain pages starting at cursor (InvalidPage
+// = the chain head), drains pages whose live payload is at most a
+// quarter page, and returns them to the file's free list. Records are
+// relocated physically — OIDs, versions, and images are unchanged —
+// and the directory, version index, or catalog pointer is repointed at
+// the new address.
+//
+// Crash safety: before any page is touched, logOps receives redo
+// records (OpPut/OpPutVersion with the unchanged images) for every
+// record about to move and must make them durable in the WAL. A crash
+// anywhere mid-step then lands in the recovery rebuild (non-empty log),
+// which reconstructs from the surviving heap records by page type plus
+// the log — a move whose tombstone flushed but whose new copy did not
+// is restored from the logged image, and duplicate copies carry
+// identical images, so whichever survives wins. logOps is called (with
+// a possibly empty op list) whenever the step will mutate anything; it
+// is skipped entirely when no page qualifies.
+//
+// The caller must exclude concurrent commits and WAL appends (the
+// engine's commit lock); CompactStep takes the manager's write lock
+// itself. Pages holding the catalog record are never drained.
+func (m *Manager) CompactStep(cursor storage.PageID, maxPages int, logOps func(ops []wal.Op) error) (CompactStepResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res := CompactStepResult{Next: storage.InvalidPage}
+	if maxPages <= 0 {
+		maxPages = 32
+	}
+	start := cursor
+	if start == storage.InvalidPage {
+		start = m.heap.Head()
+	}
+	if start == storage.InvalidPage {
+		return res, nil // empty heap
+	}
+
+	// Phase 1 (read-only): walk the chain, select victims, capture their
+	// live records, and build the redo ops.
+	var victims []compactVictim
+	var ops []wal.Op
+	prevRetained := storage.InvalidPage
+	id := start
+	for n := 0; n < maxPages && id != storage.InvalidPage; n++ {
+		p, err := m.pool.Fetch(id)
+		if err != nil {
+			return res, err
+		}
+		if p.Type() != storage.TypeHeap {
+			m.pool.Unpin(id, false)
+			return res, fmt.Errorf("object: compact cursor at non-heap page %d", id)
+		}
+		h := storage.AsHeap(p)
+		next := h.Next()
+		liveBytes := 0
+		var raw []struct {
+			slot uint16
+			rec  []byte
+		}
+		for s := 0; s < h.NumSlots(); s++ {
+			rec, err := h.Get(uint16(s))
+			if errors.Is(err, storage.ErrNoRecord) {
+				continue
+			}
+			if err != nil {
+				m.pool.Unpin(id, false)
+				return res, err
+			}
+			liveBytes += len(rec)
+			raw = append(raw, struct {
+				slot uint16
+				rec  []byte
+			}{uint16(s), append([]byte(nil), rec...)})
+		}
+		m.pool.Unpin(id, false)
+		res.PagesVisited++
+
+		if liveBytes > compactSparseBytes || id == m.catalogRID.Page {
+			prevRetained = id
+			id = next
+			continue
+		}
+		v := compactVictim{page: id, prev: prevRetained}
+		for _, r := range raw {
+			cr, err := m.classifyCompactRec(storage.RID{Page: id, Slot: r.slot}, r.rec)
+			if err != nil {
+				return res, err
+			}
+			v.recs = append(v.recs, cr)
+			if !cr.orphan {
+				switch cr.kind {
+				case recCurrent:
+					ops = append(ops, wal.Op{
+						Type: wal.OpPut, OID: uint64(cr.oid), Version: cr.cur,
+						ClassID: uint32(cr.cid), Image: imageOf(cr.rec),
+					})
+				case recVersion:
+					ops = append(ops, wal.Op{
+						Type: wal.OpPutVersion, OID: uint64(cr.oid), Version: cr.ver,
+						Image: imageOf(cr.rec),
+					})
+				}
+			}
+		}
+		victims = append(victims, v)
+		id = next
+	}
+	res.Next = id
+	if len(victims) == 0 {
+		return res, nil
+	}
+
+	// Phase 2: make the redo records durable before any page changes.
+	if err := logOps(ops); err != nil {
+		return res, err
+	}
+
+	// Phase 3: drain and free. Victims leave the insert-candidate list
+	// first so a relocation cannot target a page later in this step's
+	// victim set.
+	for _, v := range victims {
+		m.heap.Exclude(v.page)
+	}
+	for _, v := range victims {
+		for _, cr := range v.recs {
+			if err := fpCompactMove.Check(); err != nil {
+				return res, fmt.Errorf("object: compact move: %w", err)
+			}
+			if cr.orphan {
+				// A stale duplicate from an earlier relocation or
+				// aborted compaction: nothing points at it, drop it.
+				if err := m.tombstone(cr.rid); err != nil {
+					return res, err
+				}
+				continue
+			}
+			nrid, err := m.heap.Relocate(cr.rid, cr.rec)
+			if err != nil {
+				return res, err
+			}
+			switch cr.kind {
+			case recCurrent:
+				if err := m.dir.Put(dirKey(cr.oid), encodeDirEntry(cr.cid, cr.cur, nrid)); err != nil {
+					return res, err
+				}
+			case recVersion:
+				if err := m.ver.Put(verKey(cr.oid, cr.ver), encodeRID(nrid)); err != nil {
+					return res, err
+				}
+			}
+			res.RecordsMoved++
+		}
+		if err := fpCompactFree.Check(); err != nil {
+			return res, fmt.Errorf("object: compact free: %w", err)
+		}
+		if err := m.heap.FreeEmptyPage(v.prev, v.page); err != nil {
+			return res, err
+		}
+		res.PagesFreed++
+	}
+	return res, nil
+}
+
+// classifyCompactRec resolves where a captured heap record is
+// referenced from. Records the directory or version index does not
+// point at (stale duplicates) are orphans.
+func (m *Manager) classifyCompactRec(rid storage.RID, rec []byte) (compactRec, error) {
+	kind, oid, ver, _, err := DecodeHeapRecord(rec)
+	if err != nil {
+		return compactRec{}, err
+	}
+	cr := compactRec{rid: rid, rec: rec, kind: kind, oid: oid, ver: ver}
+	switch kind {
+	case recCurrent:
+		entry, err := m.dir.Get(dirKey(oid))
+		if errors.Is(err, btree.ErrNotFound) {
+			cr.orphan = true
+			return cr, nil
+		}
+		if err != nil {
+			return compactRec{}, err
+		}
+		cid, cur, cridAddr, err := decodeDirEntry(entry)
+		if err != nil {
+			return compactRec{}, err
+		}
+		if cridAddr != rid {
+			cr.orphan = true
+			return cr, nil
+		}
+		cr.cid, cr.cur = cid, cur
+		return cr, nil
+	case recVersion:
+		v, err := m.ver.Get(verKey(oid, ver))
+		if errors.Is(err, btree.ErrNotFound) {
+			cr.orphan = true
+			return cr, nil
+		}
+		if err != nil {
+			return compactRec{}, err
+		}
+		vrid, err := decodeRID(v)
+		if err != nil {
+			return compactRec{}, err
+		}
+		cr.orphan = vrid != rid
+		return cr, nil
+	case recCatalog:
+		// Pages holding the catalog are retained by the caller; a
+		// catalog record seen here is a stale duplicate.
+		cr.orphan = rid != m.catalogRID
+		if !cr.orphan {
+			return compactRec{}, fmt.Errorf("object: compact selected the catalog page %d", rid.Page)
+		}
+		return cr, nil
+	default:
+		return compactRec{}, fmt.Errorf("object: compact: heap record of unknown kind %d at %s", kind, rid)
+	}
+}
+
+// imageOf strips the heap-record framing, returning the object image.
+func imageOf(rec []byte) []byte {
+	_, _, _, image, err := DecodeHeapRecord(rec)
+	if err != nil {
+		return nil
+	}
+	return image
+}
+
+// tombstone deletes the record at rid without returning its page to the
+// insert-candidate list (the page is being drained).
+func (m *Manager) tombstone(rid storage.RID) error {
+	p, err := m.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = storage.AsHeap(p).Delete(rid.Slot)
+	m.pool.Unpin(rid.Page, err == nil)
+	return err
+}
+
+// HeapPages returns the heap chain's page ids in order (diagnostics and
+// space-accounting checks).
+func (m *Manager) HeapPages() ([]storage.PageID, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.heap.Pages()
+}

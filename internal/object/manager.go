@@ -184,6 +184,18 @@ func WasCleanShutdown(fs *storage.FileStore) bool {
 	return boot[bootClean] == 1
 }
 
+// BootNextOID reads the persisted OID allocator from a file's boot
+// record — the value at the last checkpoint. Repair-on-open must
+// restore at least this much: objects deleted after that checkpoint
+// can leave no trace in either heap or WAL (the delete's tombstone
+// flushed, the log truncated), so the maximum surviving oid may sit
+// below ids already handed out, and re-minting one would break the
+// never-reuse promise (AllocOID) that object identity rests on.
+func BootNextOID(fs *storage.FileStore) uint64 {
+	boot := fs.Boot()
+	return binary.LittleEndian.Uint64(boot[bootNextOID:])
+}
+
 // persistBoot stores the roots, counters, and clean flag into the boot
 // record and syncs the file (which writes the meta page).
 func (m *Manager) persistBoot(clean bool) error {

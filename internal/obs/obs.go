@@ -221,9 +221,11 @@ type PoolMetrics struct {
 
 // StorageMetrics instruments the page file and double-write buffer.
 type StorageMetrics struct {
-	PageReads  Counter // pages read from the data file
-	PageWrites Counter // pages written to the data file
-	DWFlushes  Counter // double-write buffer stagings (torn-page fences)
+	PageReads      Counter // pages read from the data file
+	PageWrites     Counter // pages written to the data file
+	DWFlushes      Counter // double-write buffer stagings (torn-page fences)
+	Compactions    Counter // DB.Compact passes completed
+	PagesReclaimed Counter // heap pages returned to the free list by compaction
 }
 
 // WALMetrics instruments the write-ahead log.
@@ -318,9 +320,11 @@ type PoolStats struct {
 
 // StorageStats is a point-in-time copy of StorageMetrics.
 type StorageStats struct {
-	PageReads  uint64
-	PageWrites uint64
-	DWFlushes  uint64
+	PageReads      uint64
+	PageWrites     uint64
+	DWFlushes      uint64
+	Compactions    uint64
+	PagesReclaimed uint64
 }
 
 // WALStats is a point-in-time copy of WALMetrics.
@@ -412,9 +416,11 @@ func (m *Metrics) Stats() Snapshot {
 			Shards:    m.Pool.Shards.Load(),
 		},
 		Storage: StorageStats{
-			PageReads:  m.Storage.PageReads.Load(),
-			PageWrites: m.Storage.PageWrites.Load(),
-			DWFlushes:  m.Storage.DWFlushes.Load(),
+			PageReads:      m.Storage.PageReads.Load(),
+			PageWrites:     m.Storage.PageWrites.Load(),
+			DWFlushes:      m.Storage.DWFlushes.Load(),
+			Compactions:    m.Storage.Compactions.Load(),
+			PagesReclaimed: m.Storage.PagesReclaimed.Load(),
 		},
 		WAL: WALStats{
 			Appends:            m.WAL.Appends.Load(),
@@ -491,6 +497,8 @@ func NewMetrics(reg *Registry) *Metrics {
 		{"storage.page_reads", &m.Storage.PageReads},
 		{"storage.page_writes", &m.Storage.PageWrites},
 		{"storage.dw_flushes", &m.Storage.DWFlushes},
+		{"storage.compactions", &m.Storage.Compactions},
+		{"storage.pages_reclaimed", &m.Storage.PagesReclaimed},
 		{"wal.appends", &m.WAL.Appends},
 		{"wal.append_bytes", &m.WAL.AppendBytes},
 		{"wal.fsyncs", &m.WAL.Fsyncs},

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -106,8 +108,16 @@ func (dw *DoubleWriter) Recover(fs *FileStore) (restored int, err error) {
 		id := PageID(binary.LittleEndian.Uint32(hdr[8+4*i:]))
 		var staged Page
 		staged.id = id
-		if _, err := dw.f.ReadAt(staged.data[:], int64(i+1)*PageSize); err != nil {
-			return restored, fmt.Errorf("storage: read staged page %d: %w", id, err)
+		if n, rerr := dw.f.ReadAt(staged.data[:], int64(i+1)*PageSize); rerr != nil {
+			if n < PageSize && (errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF)) {
+				// The side file ends before this image: the crash hit
+				// during staging (a torn header write can record a
+				// count with no images behind it). Staging never
+				// completed, so no home page of this batch was
+				// written and the home copies are intact.
+				break
+			}
+			return restored, fmt.Errorf("storage: read staged page %d: %w", id, rerr)
 		}
 		if staged.verify() != nil {
 			// The staging write itself was torn; the home copy is

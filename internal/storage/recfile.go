@@ -172,6 +172,108 @@ func (rf *RecordFile) Iterate(fn func(rid RID, rec []byte) (bool, error)) error 
 	return nil
 }
 
+// Exclude removes id from the insert-candidate list. Compaction calls
+// it for every page it is about to drain, so relocated records cannot
+// land back on a page that is being emptied.
+func (rf *RecordFile) Exclude(id PageID) { rf.dropAvail(id) }
+
+func (rf *RecordFile) dropAvail(id PageID) {
+	for i, a := range rf.avail {
+		if a == id {
+			rf.avail = append(rf.avail[:i], rf.avail[i+1:]...)
+			return
+		}
+	}
+}
+
+// Relocate moves the record at old onto some other page: rec (the
+// record's bytes) is inserted — never back onto old.Page — and the old
+// slot is tombstoned without remembering old.Page as an insert
+// candidate, because the caller is draining it. On error the old record
+// may or may not still be live; compaction treats any error as fatal
+// for the pass (a duplicate insert is harmless — recovery and later
+// passes resolve it).
+func (rf *RecordFile) Relocate(old RID, rec []byte) (RID, error) {
+	rf.dropAvail(old.Page)
+	nrid, err := rf.Insert(rec)
+	if err != nil {
+		return NilRID, err
+	}
+	p, err := rf.pool.Fetch(old.Page)
+	if err != nil {
+		return NilRID, err
+	}
+	err = AsHeap(p).Delete(old.Slot)
+	rf.pool.Unpin(old.Page, err == nil)
+	if err != nil {
+		return NilRID, err
+	}
+	return nrid, nil
+}
+
+// FreeEmptyPage unlinks a record-free page from the chain and returns
+// it to the file's free list. prevHint, when it still directly precedes
+// id, saves the predecessor walk; a stale hint (the chain head moved,
+// or an intervening page was freed first) falls back to a scan from the
+// head. The page must hold no live records.
+func (rf *RecordFile) FreeEmptyPage(prevHint, id PageID) error {
+	p, err := rf.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	h := AsHeap(p)
+	live, next := h.Live(), h.Next()
+	rf.pool.Unpin(id, false)
+	if live != 0 {
+		return fmt.Errorf("storage: FreeEmptyPage(%d): %d live records", id, live)
+	}
+	if rf.head == id {
+		rf.head = next
+	} else {
+		prev, err := rf.findPredecessor(prevHint, id)
+		if err != nil {
+			return err
+		}
+		pp, err := rf.pool.Fetch(prev)
+		if err != nil {
+			return err
+		}
+		AsHeap(pp).SetNext(next)
+		rf.pool.Unpin(prev, true)
+	}
+	rf.dropAvail(id)
+	return rf.pool.FreePage(id)
+}
+
+// findPredecessor locates the chain page whose Next link is id, trying
+// hint first.
+func (rf *RecordFile) findPredecessor(hint, id PageID) (PageID, error) {
+	if hint != InvalidPage && hint != id {
+		p, err := rf.pool.Fetch(hint)
+		if err != nil {
+			return InvalidPage, err
+		}
+		ok := AsHeap(p).Next() == id
+		rf.pool.Unpin(hint, false)
+		if ok {
+			return hint, nil
+		}
+	}
+	for cur := rf.head; cur != InvalidPage; {
+		p, err := rf.pool.Fetch(cur)
+		if err != nil {
+			return InvalidPage, err
+		}
+		next := AsHeap(p).Next()
+		rf.pool.Unpin(cur, false)
+		if next == id {
+			return cur, nil
+		}
+		cur = next
+	}
+	return InvalidPage, fmt.Errorf("storage: page %d not in heap chain", id)
+}
+
 // Pages returns the page ids of the chain in order (diagnostics).
 func (rf *RecordFile) Pages() ([]PageID, error) {
 	var out []PageID

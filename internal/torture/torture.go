@@ -36,6 +36,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"ode"
@@ -64,6 +65,17 @@ type Config struct {
 	// context or rejected at admission is a clean abort, so the model
 	// advances only on commits and every recovery still verifies.
 	Cancel bool
+	// Compact turns on online-compaction traffic: rounds mix delete-heavy
+	// churn bursts (which leave the heap full of sparse pages) with
+	// DB.Compact passes, and the armed fault can land on the compaction
+	// failpoints (storage.compact_move, storage.compact_free) so the
+	// process dies mid-pass with records half-relocated. Compaction is
+	// state-neutral — records move, their contents do not — so the model
+	// is untouched by a pass whether it completes or crashes, and every
+	// recovery must verify extents, indexes, and per-object state as
+	// usual. Compact-mode recoveries additionally check the heap chain's
+	// space accounting (no duplicate or out-of-range pages).
+	Compact bool
 	// Log, if non-nil, receives one progress line per round.
 	Log io.Writer
 }
@@ -79,6 +91,8 @@ type Result struct {
 	Resurrected int    // errored commits that recovery resolved as committed
 	Kills       int    // transactions killed by deadline/cancellation (clean aborts)
 	Overloads   int    // admission rejections (ErrOverloaded)
+	Compactions int    // DB.Compact passes that completed
+	Reclaimed   int    // heap pages compaction returned to the free list
 	SitesFired  map[string]uint64
 }
 
@@ -164,6 +178,11 @@ var workloadFaults = []struct {
 
 // recoveryFaults are the sites armed while reopening after a crash.
 var recoveryFaults = []string{"wal.replay", "storage.page_read"}
+
+// compactFaults are the compaction-path sites a Compact-mode round can
+// arm instead of a workload site, so the crash lands mid-pass with
+// records half-relocated and pages half-drained.
+var compactFaults = []string{"storage.compact_move", "storage.compact_free"}
 
 // Schema builds the torture schema: a stock item with a non-negativity
 // constraint and a quiescent "sentinel" trigger (its condition can
@@ -255,6 +274,17 @@ func (r *run) runAll() error {
 	if err := r.verify(); err != nil {
 		return fmt.Errorf("final verify: %w", err)
 	}
+	// Compact mode: one clean pass over everything the run's crashed
+	// passes left behind (leaked free pages, stale duplicate records)
+	// must succeed and leave the store verifiable.
+	if r.cfg.Compact {
+		if err := r.compactPass(); err != nil {
+			return fmt.Errorf("final compact: %w", err)
+		}
+		if err := r.verify(); err != nil {
+			return fmt.Errorf("verify after final compact: %w", err)
+		}
+	}
 	return r.db.Close()
 }
 
@@ -318,6 +348,15 @@ func (r *run) round(round int) error {
 		Seed:    r.rng.Int63(),
 		OneShot: true,
 	}
+	// Compact mode draws extra randomness only behind the mode check, so
+	// plain-mode runs keep their historical sequences and old seeds stay
+	// reproducible. Compaction sites fire early (few records move per
+	// pass) and only support injected errors.
+	if r.cfg.Compact && r.rng.Intn(2) == 0 {
+		wf.site = compactFaults[r.rng.Intn(len(compactFaults))]
+		spec.Action = failpoint.ActError
+		spec.AfterN = uint64(r.rng.Intn(4))
+	}
 	if err := failpoint.Arm(wf.site, spec); err != nil {
 		return err
 	}
@@ -343,6 +382,10 @@ func (r *run) round(round int) error {
 			err = r.lockTimeoutPair()
 		case r.cfg.Cancel && r.rng.Intn(6) == 0:
 			err = r.overloadBurst()
+		case r.cfg.Compact && r.rng.Intn(5) == 0:
+			err = r.compactPass()
+		case r.cfg.Compact && r.rng.Intn(3) == 0:
+			p, err = r.churnBurst()
 		default:
 			p, err = r.transaction()
 		}
@@ -443,9 +486,16 @@ func (r *run) pickLive(p *pending) ode.OID {
 // by NilOID and rewritten in execute.
 
 func (r *run) planNew(p *pending) {
+	name := fmt.Sprintf("item-%d", r.rng.Intn(1_000_000))
+	if r.cfg.Compact {
+		// Pad records so the heap spans many pages and delete bursts
+		// leave genuinely sparse ones (the pad is outside the rng, so
+		// other modes' draw sequences are untouched).
+		name += strings.Repeat(".", 300)
+	}
 	s := &snap{
 		live:   true,
-		name:   fmt.Sprintf("item-%d", r.rng.Intn(1_000_000)),
+		name:   name,
 		qty:    int64(r.rng.Intn(1000)),
 		frozen: map[uint32]int64{},
 	}
@@ -654,6 +704,52 @@ func (r *run) overloadBurst() error {
 		}
 	}
 	return firstErr
+}
+
+// churnBurst commits one delete-heavy transaction (or a replenishing
+// pnew while the population is low), leaving sparse heap pages for the
+// next compaction pass to drain.
+func (r *run) churnBurst() (*pending, error) {
+	p := r.plan(8)
+	if len(r.model) > 20 {
+		// Delete a contiguous run of oids: allocation order tracks page
+		// locality, so clustered deletes drain individual pages below
+		// the compaction threshold instead of thinning all of them.
+		oids := make([]ode.OID, 0, len(r.model))
+		for oid := range r.model {
+			oids = append(oids, oid)
+		}
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		n := 4 + r.rng.Intn(4)
+		start := r.rng.Intn(len(oids))
+		for i := 0; i < n && start+i < len(oids); i++ {
+			r.planDelete(p, oids[start+i])
+		}
+	} else {
+		r.planNew(p)
+	}
+	if len(p.after) == 0 {
+		return nil, nil
+	}
+	if err := r.execute(p); err != nil {
+		return p, err
+	}
+	r.commitModel(p)
+	return nil, nil
+}
+
+// compactPass runs one online compaction pass. Compaction relocates
+// records without changing them, so the model is untouched either way:
+// a completed pass counts, an injected fault ends the round (the crash
+// lands mid-pass and recovery must restore a consistent heap).
+func (r *run) compactPass() error {
+	stats, err := r.db.Compact()
+	if err != nil {
+		return err
+	}
+	r.res.Compactions++
+	r.res.Reclaimed += stats.PagesReclaimed
+	return nil
 }
 
 // execute applies the plan through one database transaction.
@@ -881,6 +977,26 @@ func (r *run) verify() error {
 			}
 			if got.qty < 0 {
 				return fmt.Errorf("object @%d violates nonneg-qty: %d", oid, got.qty)
+			}
+		}
+	}
+	// Compact mode: the heap chain's space accounting must be sound — a
+	// page freed mid-crash may leak (harmless; a later pass reclaims it)
+	// but must never appear twice in the chain or point past the file.
+	if r.cfg.Compact {
+		pages, err := r.db.Manager().HeapPages()
+		if err != nil {
+			return fmt.Errorf("heap chain walk: %w", err)
+		}
+		total := r.db.Stats().Pages
+		seen := make(map[uint32]bool, len(pages))
+		for _, id := range pages {
+			if seen[uint32(id)] {
+				return fmt.Errorf("heap chain holds page %d twice", id)
+			}
+			seen[uint32(id)] = true
+			if uint32(id) >= total {
+				return fmt.Errorf("heap chain page %d past file end (%d pages)", id, total)
 			}
 		}
 	}

@@ -72,6 +72,38 @@ func TestTortureCancelFixedSeeds(t *testing.T) {
 	}
 }
 
+// TestTortureCompactFixedSeeds runs the online-compaction mode: rounds
+// mix delete-heavy churn with DB.Compact passes, and the armed fault
+// can land on the compaction failpoints so the crash interrupts a pass
+// with records half-relocated. Recovery must restore a consistent
+// store (extents, indexes, per-object state, heap-chain space
+// accounting), and the run's final clean pass must verify too.
+func TestTortureCompactFixedSeeds(t *testing.T) {
+	for _, seed := range []int64{9, 21} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			res, err := Run(Config{
+				Seed:        seed,
+				Rounds:      6,
+				OpsPerRound: 25,
+				Dir:         t.TempDir(),
+				Compact:     true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed %d: rounds=%d ops=%d commits=%d aborts=%d compactions=%d reclaimed=%d faults=%d recoveries=%d fired=%v",
+				seed, res.Rounds, res.Ops, res.Commits, res.Aborts, res.Compactions, res.Reclaimed, res.Faults, res.Recoveries, res.SitesFired)
+			if res.Commits == 0 {
+				t.Error("run committed nothing; workload is broken")
+			}
+			if res.Compactions == 0 {
+				t.Error("no compaction pass completed; compact traffic is broken")
+			}
+		})
+	}
+}
+
 // TestTortureReplFixedSeeds runs the replication torture: a primary
 // with a wire server and a replica following its WAL stream, random
 // node kills and wipes under the usual armed failpoints, and a
@@ -109,7 +141,8 @@ func TestTortureReplFixedSeeds(t *testing.T) {
 //
 // TORTURE_ROUNDS, TORTURE_OPS, and TORTURE_DIR tune the run;
 // TORTURE_MODE=cancel turns on the resource-governance traffic
-// (Config.Cancel), and TORTURE_MODE=repl runs the replication torture
+// (Config.Cancel), TORTURE_MODE=compact the online-compaction traffic
+// (Config.Compact), and TORTURE_MODE=repl runs the replication torture
 // (RunRepl) instead of the single-node harness. With TORTURE_DIR set,
 // the store files survive the test for artifact upload on failure.
 func TestTortureCI(t *testing.T) {
@@ -140,6 +173,7 @@ func TestTortureCI(t *testing.T) {
 		cfg.OpsPerRound, _ = strconv.Atoi(v)
 	}
 	cfg.Cancel = strings.EqualFold(os.Getenv("TORTURE_MODE"), "cancel")
+	cfg.Compact = strings.EqualFold(os.Getenv("TORTURE_MODE"), "compact")
 	t.Logf("torture seed %d mode=%s (reproduce: TORTURE_SEED=%d TORTURE_MODE=%s go test -run TestTortureCI -v ./internal/torture)",
 		seed, os.Getenv("TORTURE_MODE"), seed, os.Getenv("TORTURE_MODE"))
 	if strings.EqualFold(os.Getenv("TORTURE_MODE"), "repl") {

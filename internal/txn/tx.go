@@ -257,6 +257,27 @@ func (e *Engine) WithCommitLock(fn func() error) error {
 	return fn()
 }
 
+// AppendSideBatch logs a maintenance batch (compaction redo records)
+// that did not come from a transaction. The caller must already hold
+// the commit lock (WithCommitLock) and must apply the batch's effects
+// itself before releasing it. The batch is fsynced and announced to
+// replication like any commit, so replicas stay gap-free; replaying it
+// re-puts images that are already current, which is idempotent.
+func (e *Engine) AppendSideBatch(ops []wal.Op) error {
+	if e.closed.Load() {
+		return ErrDBClosed
+	}
+	raw := wal.EncodeBatch(0, ops)
+	if err := e.log.AppendRaw(raw); err != nil {
+		return fmt.Errorf("txn: side batch append: %w", err)
+	}
+	if fn := e.AfterAppend; fn != nil {
+		fn(e.log.Size())
+	}
+	e.announce(e.log.LSN(), raw)
+	return nil
+}
+
 // Begin starts a transaction with no deadline (context.Background).
 func (e *Engine) Begin() *Tx { return e.BeginCtx(context.Background()) }
 

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ode"
+	"ode/client"
+	"ode/internal/bench"
+)
+
+// NewEmbeddedStore adapts a loaded bench world (its DB must be open)
+// into a workload Store.
+func NewEmbeddedStore(w *bench.World) Store {
+	return &embeddedStore{w: w}
+}
+
+type embeddedStore struct{ w *bench.World }
+
+func (s *embeddedStore) Mode() string        { return "embedded" }
+func (s *embeddedStore) World() *bench.World { return s.w }
+func (s *embeddedStore) DB() *ode.DB         { return s.w.DB }
+
+func (s *embeddedStore) RunTx(fn func(Tx) error) error {
+	return s.w.DB.RunTx(func(tx *ode.Tx) error { return fn(embeddedTx{tx}) })
+}
+
+func (s *embeddedStore) View(fn func(Tx) error) error {
+	return s.w.DB.View(func(tx *ode.Tx) error { return fn(embeddedTx{tx}) })
+}
+
+func (s *embeddedStore) CounterSnapshot() (map[string]int64, error) {
+	return flattenCounters(s.w.DB.MetricsRegistry().Snapshot()), nil
+}
+
+type embeddedTx struct{ tx *ode.Tx }
+
+func (t embeddedTx) PNew(c *ode.Class, o *ode.Object) (ode.OID, error) { return t.tx.PNew(c, o) }
+func (t embeddedTx) Deref(oid ode.OID) (*ode.Object, error)            { return t.tx.Deref(oid) }
+func (t embeddedTx) Update(oid ode.OID, o *ode.Object) error           { return t.tx.Update(oid, o) }
+func (t embeddedTx) PDelete(oid ode.OID) error                         { return t.tx.PDelete(oid) }
+func (t embeddedTx) NewVersion(oid ode.OID) (ode.VRef, error)          { return t.tx.NewVersion(oid) }
+func (t embeddedTx) DerefVersion(ref ode.VRef) (*ode.Object, error)    { return t.tx.DerefVersion(ref) }
+func (t embeddedTx) DeleteVersion(ref ode.VRef) error                  { return t.tx.DeleteVersion(ref) }
+
+func (t embeddedTx) Count(c *ode.Class, field string, min int64) (int, error) {
+	return ode.Forall(t.tx, c).SuchThat(ode.Field(field).Ge(ode.Int(min))).Count()
+}
+
+// NewRemoteStore adapts a connected client into a workload Store. The
+// world must come from bench.Schema() (class handles only; no DB) and
+// its schema must be the one the client was dialed with.
+func NewRemoteStore(c *client.Client, w *bench.World) Store {
+	return &remoteStore{c: c, w: w, ctx: context.Background()}
+}
+
+type remoteStore struct {
+	c   *client.Client
+	w   *bench.World
+	ctx context.Context
+}
+
+func (s *remoteStore) Mode() string        { return "remote" }
+func (s *remoteStore) World() *bench.World { return s.w }
+func (s *remoteStore) DB() *ode.DB         { return nil }
+
+func (s *remoteStore) RunTx(fn func(Tx) error) error {
+	return s.c.RunTx(s.ctx, func(tx *client.Tx) error { return fn(remoteTx{tx}) })
+}
+
+func (s *remoteStore) View(fn func(Tx) error) error {
+	return s.c.View(s.ctx, func(tx *client.Tx) error { return fn(remoteTx{tx}) })
+}
+
+func (s *remoteStore) CounterSnapshot() (map[string]int64, error) {
+	raw, err := s.c.MetricsJSON(s.ctx)
+	if err != nil {
+		return nil, err
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("decode server metrics: %w", err)
+	}
+	return flattenCounters(snap), nil
+}
+
+type remoteTx struct{ tx *client.Tx }
+
+func (t remoteTx) PNew(c *ode.Class, o *ode.Object) (ode.OID, error) { return t.tx.PNew(c, o) }
+func (t remoteTx) Deref(oid ode.OID) (*ode.Object, error)            { return t.tx.Deref(oid) }
+func (t remoteTx) Update(oid ode.OID, o *ode.Object) error           { return t.tx.Update(oid, o) }
+func (t remoteTx) PDelete(oid ode.OID) error                         { return t.tx.PDelete(oid) }
+func (t remoteTx) NewVersion(oid ode.OID) (ode.VRef, error)          { return t.tx.NewVersion(oid) }
+func (t remoteTx) DerefVersion(ref ode.VRef) (*ode.Object, error)    { return t.tx.DerefVersion(ref) }
+func (t remoteTx) DeleteVersion(ref ode.VRef) error                  { return t.tx.DeleteVersion(ref) }
+
+func (t remoteTx) Count(c *ode.Class, field string, min int64) (int, error) {
+	return t.tx.Count(&client.Scan{Class: c, Field: field, Op: client.CmpGe, Value: ode.Int(min)})
+}
+
+// flattenCounters keeps the scalar numeric metrics of a registry
+// snapshot (histogram snapshots and other structured values are
+// dropped): the common currency of the embedded registry (uint64 /
+// int64 counters and gauges) and the server's metrics JSON (float64
+// after decoding).
+func flattenCounters(snap map[string]any) map[string]int64 {
+	out := make(map[string]int64, len(snap))
+	for name, v := range snap {
+		switch n := v.(type) {
+		case uint64:
+			out[name] = int64(n)
+		case int64:
+			out[name] = n
+		case int:
+			out[name] = int64(n)
+		case float64:
+			out[name] = int64(n)
+		}
+	}
+	return out
+}

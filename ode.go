@@ -196,6 +196,8 @@ type DB struct {
 
 	retainMu  sync.Mutex
 	retainWAL func(lsn uint64) bool // replication retention gate; see SetWALRetention
+
+	compactMu sync.Mutex // serializes Compact passes (see compact.go)
 }
 
 // Open opens (creating if missing) the database at path against the
@@ -961,6 +963,13 @@ func rebuild(path string, fs *storage.FileStore, dw *storage.DoubleWriter, log *
 		}
 	}
 	nmgr.NoteOID(maxOID)
+	// The allocator must never regress below the last checkpoint's
+	// persisted value: oids whose objects were deleted after that
+	// checkpoint leave no heap record or WAL op to scan, and handing
+	// one out again would give a new object a dead object's identity.
+	if stored := object.BootNextOID(fs); stored > 0 {
+		nmgr.NoteOID(core.OID(stored - 1))
+	}
 	// Indexes after data (backfill covers everything).
 	for _, ix := range cat.Indexes {
 		c, field, ok := splitIndexName(schema, ix)
