@@ -327,7 +327,17 @@ func (c *Client) Begin(ctx context.Context) (*Tx, error) {
 		c.put(cn)
 		return nil, err
 	}
-	return &Tx{c: c, cn: cn, ctx: ctx, id: id}, nil
+	tx := &Tx{c: c, cn: cn, ctx: ctx, id: id}
+	// The epoch and the node's applied LSN ride after the id on
+	// epoch-aware servers; a short body is an older server, not an
+	// error.
+	if epoch := d.Uvarint(); d.Err() == nil {
+		tx.epoch = epoch
+	}
+	if applied := d.Uvarint(); d.Err() == nil {
+		tx.applied = applied
+	}
+	return tx, nil
 }
 
 // wconn is one protocol connection: socket, buffered reader, request

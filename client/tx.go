@@ -15,12 +15,14 @@ import (
 // deadline bounds the socket, and the server enforces the same
 // deadline on locks, scans, and commit.
 type Tx struct {
-	c    *Client
-	cn   *wconn
-	ctx  context.Context
-	id   uint64
-	done bool
-	lsn  uint64 // commit LSN, set by Commit
+	c       *Client
+	cn      *wconn
+	ctx     context.Context
+	id      uint64
+	done    bool
+	lsn     uint64 // commit LSN, set by Commit
+	epoch   uint64 // server's fencing epoch at begin, refreshed by Commit
+	applied uint64 // server's applied LSN at begin
 
 	// seen records, per OID, the cache tag this transaction has proven
 	// against the server (a full deref, a fill, or a not-modified
@@ -62,11 +64,15 @@ func (tx *Tx) Commit() error {
 	// round trip overwrite it.
 	cerr := respErrOnly(resp)
 	if cerr == nil && len(resp.Body) > 0 {
-		// The RespOK body carries the commit's LSN (absent from pre-
-		// replication servers, so a short body is not an error).
+		// The RespOK body carries the commit's LSN, then the node's
+		// fencing epoch (each absent from older servers, so a short body
+		// is not an error).
 		d := wire.NewDec(resp.Body)
 		if lsn := d.Uvarint(); d.Err() == nil {
 			tx.lsn = lsn
+		}
+		if epoch := d.Uvarint(); d.Err() == nil {
+			tx.epoch = epoch
 		}
 	}
 	tx.finish()
@@ -78,6 +84,19 @@ func (tx *Tx) Commit() error {
 // Replicated.ViewAt accepts it as a freshness floor: a read at this
 // LSN observes the commit.
 func (tx *Tx) CommitLSN() uint64 { return tx.lsn }
+
+// Epoch returns the server's replication fencing epoch as of this
+// transaction's begin (refreshed by a successful Commit); 0 against a
+// pre-epoch server. The Replicated router compares it against the
+// session's epoch floor to refuse a deposed primary.
+func (tx *Tx) Epoch() uint64 { return tx.epoch }
+
+// AppliedLSN returns the serving node's applied log position as of
+// this transaction's begin — the freshness the node can prove for
+// every read inside it. Replicated.ViewAt compares it against the
+// session's floor so a replica that regressed (wiped and resyncing)
+// is skipped rather than trusted on a stale cached position.
+func (tx *Tx) AppliedLSN() uint64 { return tx.applied }
 
 // Abort aborts the remote transaction; safe to call after failure or
 // repeatedly.

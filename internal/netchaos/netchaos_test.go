@@ -1,0 +1,232 @@
+package netchaos
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ode/internal/obs"
+)
+
+// echoServer accepts connections and echoes lines back.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func dialLine(t *testing.T, addr, line string, timeout time.Duration) (string, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	if _, err := c.Write([]byte(line + "\n")); err != nil {
+		return "", err
+	}
+	return bufio.NewReader(c).ReadString('\n')
+}
+
+func TestLinkForwards(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	l, err := NewLink(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got, err := dialLine(t, l.Addr(), "hello", 2*time.Second)
+	if err != nil || got != "hello\n" {
+		t.Fatalf("echo through link = %q, %v", got, err)
+	}
+}
+
+func TestLinkPartitionAndHeal(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	met := &Metrics{}
+	l, err := NewLink(addr, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// A live connection dies when the partition lands.
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(c)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("pre-partition echo: %v", err)
+	}
+	l.SetPartition(true)
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	c.Write([]byte("during\n"))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("read through a partitioned link succeeded")
+	}
+
+	// New attempts are cut off too.
+	if _, err := dialLine(t, l.Addr(), "x", 500*time.Millisecond); err == nil {
+		t.Fatal("connection through a partitioned link succeeded")
+	}
+
+	l.SetPartition(false)
+	if got, err := dialLine(t, l.Addr(), "healed", 2*time.Second); err != nil || got != "healed\n" {
+		t.Fatalf("post-heal echo = %q, %v", got, err)
+	}
+	if met.Partitions.Load() != 1 {
+		t.Fatalf("partitions counter = %d, want 1", met.Partitions.Load())
+	}
+}
+
+func TestLinkStallIsAsymmetric(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	l, err := NewLink(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+
+	// Stall replies only: the request still reaches the echo server,
+	// but nothing comes back until the stall lifts. Writes succeeding
+	// while reads starve is exactly the asymmetric-drop shape.
+	l.SetStall(FromTarget, true)
+	if _, err := c.Write([]byte("delayed\n")); err != nil {
+		t.Fatalf("write during reply stall: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("read completed during reply stall")
+	}
+	l.SetStall(FromTarget, false)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if got, err := br.ReadString('\n'); err != nil || got != "delayed\n" {
+		t.Fatalf("post-stall read = %q, %v", got, err)
+	}
+}
+
+func TestLinkLatencyPreservesOrder(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	l, err := NewLink(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetLatency(20 * time.Millisecond)
+
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	for _, line := range []string{"one", "two", "three"} {
+		if _, err := c.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(c)
+	start := time.Now()
+	for _, want := range []string{"one\n", "two\n", "three\n"} {
+		got, err := br.ReadString('\n')
+		if err != nil || got != want {
+			t.Fatalf("delayed read = %q, %v, want %q", got, err, want)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("three lines echoed in %v; latency not applied", elapsed)
+	}
+}
+
+func TestLinkReset(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	l, err := NewLink(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	c.Write([]byte("a\n"))
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	l.Reset()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	c.Write([]byte("b\n"))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("read survived a reset")
+	}
+	// Unlike a partition, reconnecting works immediately.
+	if got, err := dialLine(t, l.Addr(), "again", 2*time.Second); err != nil || got != "again\n" {
+		t.Fatalf("post-reset reconnect = %q, %v", got, err)
+	}
+}
+
+// TestNetchaosMetricsDocComplete mirrors the repl package's
+// registry-diff: every netchaos.* name must appear backticked in
+// docs/OBSERVABILITY.md.
+func TestNetchaosMetricsDocComplete(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	text := string(doc)
+
+	reg := obs.NewRegistry()
+	(&Metrics{}).Attach(reg)
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("Metrics.Attach registered nothing")
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "netchaos.") {
+			t.Errorf("metric %q: chaos metrics must live under netchaos.*", name)
+		}
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("metric %q is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+}

@@ -91,6 +91,15 @@ type Manager struct {
 	indexes    map[indexID]bool
 	catalogRID storage.RID
 
+	// epoch is the replication fencing epoch: monotonic, bumped on
+	// every promotion, adopted from the primary by replicas. epochLSN
+	// is the LSN at which the current epoch began (the promotion
+	// boundary) — the fence a stale-epoch subscriber is checked
+	// against. Both are atomics for the same reason nextOID is, and
+	// both persist in the boot record.
+	epoch    atomic.Uint64
+	epochLSN atomic.Uint64
+
 	cache *objCache          // decoded-object cache; never nil
 	met   *obs.ObjectMetrics // never nil; SetMetrics swaps in the DB set
 }
@@ -111,16 +120,20 @@ type indexID struct {
 //	[16:20) heap head     [20:28) next OID
 //	[28:32) catalog page  [32:34) catalog slot
 //	[34:35) clean flag
+//	[40:48) replication epoch
+//	[48:56) epoch start LSN
 const (
-	bootDir     = 0
-	bootVer     = 4
-	bootCluster = 8
-	bootIndex   = 12
-	bootHeap    = 16
-	bootNextOID = 20
-	bootCatPage = 28
-	bootCatSlot = 32
-	bootClean   = 34
+	bootDir      = 0
+	bootVer      = 4
+	bootCluster  = 8
+	bootIndex    = 12
+	bootHeap     = 16
+	bootNextOID  = 20
+	bootCatPage  = 28
+	bootCatSlot  = 32
+	bootClean    = 34
+	bootEpoch    = 40
+	bootEpochLSN = 48
 )
 
 // Create initializes a manager over a freshly created file.
@@ -172,10 +185,28 @@ func Open(schema *core.Schema, fs *storage.FileStore, pool *storage.Pool) (*Mana
 		},
 	}
 	m.nextOID.Store(binary.LittleEndian.Uint64(boot[bootNextOID:]))
+	m.epoch.Store(binary.LittleEndian.Uint64(boot[bootEpoch:]))
+	m.epochLSN.Store(binary.LittleEndian.Uint64(boot[bootEpochLSN:]))
 	if err := m.loadCatalog(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// Epoch returns the replication fencing epoch (0 until a promotion or
+// adoption touches the node).
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// EpochStartLSN returns the LSN at which the current epoch began.
+func (m *Manager) EpochStartLSN() uint64 { return m.epochLSN.Load() }
+
+// SetEpoch records a new fencing epoch and its start LSN. The caller
+// must make it durable (Checkpoint / persistBoot) before relying on it
+// for fencing — a promotion that accepts writes before the bumped
+// epoch is on disk could resurrect at the old epoch after a crash.
+func (m *Manager) SetEpoch(epoch, startLSN uint64) {
+	m.epoch.Store(epoch)
+	m.epochLSN.Store(startLSN)
 }
 
 // WasCleanShutdown reads the clean flag from a file's boot record.
@@ -196,6 +227,16 @@ func BootNextOID(fs *storage.FileStore) uint64 {
 	return binary.LittleEndian.Uint64(boot[bootNextOID:])
 }
 
+// BootEpoch reads the persisted replication epoch and its start LSN
+// from a file's boot record. Repair-on-open must carry both into the
+// rebuilt file: a rebuild that silently regressed the fencing epoch to
+// zero would let a deposed node rejoin a group as if it had never been
+// promoted past.
+func BootEpoch(fs *storage.FileStore) (epoch, startLSN uint64) {
+	boot := fs.Boot()
+	return binary.LittleEndian.Uint64(boot[bootEpoch:]), binary.LittleEndian.Uint64(boot[bootEpochLSN:])
+}
+
 // persistBoot stores the roots, counters, and clean flag into the boot
 // record and syncs the file (which writes the meta page).
 func (m *Manager) persistBoot(clean bool) error {
@@ -213,6 +254,8 @@ func (m *Manager) persistBoot(clean bool) error {
 	binary.LittleEndian.PutUint64(boot[bootNextOID:], m.nextOID.Load())
 	binary.LittleEndian.PutUint32(boot[bootCatPage:], uint32(m.catalogRID.Page))
 	binary.LittleEndian.PutUint16(boot[bootCatSlot:], m.catalogRID.Slot)
+	binary.LittleEndian.PutUint64(boot[bootEpoch:], m.epoch.Load())
+	binary.LittleEndian.PutUint64(boot[bootEpochLSN:], m.epochLSN.Load())
 	if clean {
 		boot[bootClean] = 1
 	}

@@ -24,10 +24,19 @@ type Metrics struct {
 	Reconnects    obs.Counter // replica reconnect attempts after a lost primary link
 	Snapshots     obs.Counter // full-resync snapshot dumps served (primary role)
 
+	SubscriberKills   obs.Counter // subscribers the source dropped (queue overflow, shutdown)
+	Resyncs           obs.Counter // full-resync demands issued to unserviceable subscribers
+	StaleEpochRejects obs.Counter // frames/streams rejected for carrying a deposed epoch
+	HeartbeatsSent    obs.Counter // heartbeat frames written to subscribers (primary role)
+	HeartbeatsRecv    obs.Counter // heartbeat frames received from the primary (replica role)
+	Promotions        obs.Counter // times this node promoted itself to primary
+	Demotions         obs.Counter // times this node was demoted back to replica
+
 	Subscribers obs.Gauge // currently connected subscribers (primary role)
 	LSN         obs.Gauge // last shipped (primary) or applied (replica) LSN
 	LagLSN      obs.Gauge // max batches behind across connected subscribers; replica: local lag vs primary
 	LagBytes    obs.Gauge // bytes queued for the slowest connected subscriber
+	Epoch       obs.Gauge // current fencing epoch (bumped by promotion, adopted from the primary)
 }
 
 // Attach registers every replication metric into reg. Call once per
@@ -40,8 +49,16 @@ func (m *Metrics) Attach(reg *obs.Registry) {
 	reg.RegisterCounter("repl.acks", &m.Acks)
 	reg.RegisterCounter("repl.reconnects", &m.Reconnects)
 	reg.RegisterCounter("repl.snapshots", &m.Snapshots)
+	reg.RegisterCounter("repl.subscriber_kills", &m.SubscriberKills)
+	reg.RegisterCounter("repl.resyncs", &m.Resyncs)
+	reg.RegisterCounter("repl.stale_epoch_rejects", &m.StaleEpochRejects)
+	reg.RegisterCounter("repl.heartbeats_sent", &m.HeartbeatsSent)
+	reg.RegisterCounter("repl.heartbeats_recv", &m.HeartbeatsRecv)
+	reg.RegisterCounter("repl.promotions", &m.Promotions)
+	reg.RegisterCounter("repl.demotions", &m.Demotions)
 	reg.RegisterGauge("repl.subscribers", &m.Subscribers)
 	reg.RegisterGauge("repl.lsn", &m.LSN)
 	reg.RegisterGauge("repl.lag_lsn", &m.LagLSN)
 	reg.RegisterGauge("repl.lag_bytes", &m.LagBytes)
+	reg.RegisterGauge("repl.epoch", &m.Epoch)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ode"
+	"ode/internal/wal"
 	"ode/internal/wire"
 )
 
@@ -30,6 +31,12 @@ type ReplicaOptions struct {
 	MaxBackoff time.Duration
 	// MaxFrame bounds one incoming frame (default wire.DefaultMaxFrame).
 	MaxFrame int
+	// HeartbeatTimeout is the longest silence tolerated on the stream
+	// before the connection is declared dead and redialed (default 15s).
+	// The primary heartbeats every SourceOptions.HeartbeatEvery, so a
+	// healthy stream is never silent that long; keep this several
+	// multiples of the heartbeat interval.
+	HeartbeatTimeout time.Duration
 }
 
 func (o *ReplicaOptions) withDefaults() ReplicaOptions {
@@ -48,6 +55,9 @@ func (o *ReplicaOptions) withDefaults() ReplicaOptions {
 	}
 	if out.MaxFrame <= 0 {
 		out.MaxFrame = wire.DefaultMaxFrame
+	}
+	if out.HeartbeatTimeout <= 0 {
+		out.HeartbeatTimeout = 15 * time.Second
 	}
 	return out
 }
@@ -136,13 +146,46 @@ func (r *Replica) Stop() {
 	}
 }
 
-// Promote stops following and opens the local database for writes.
-// The caller is responsible for the old primary being dead or fenced:
-// with manual promotion, two writable copies fork history (split
-// brain), and the loser can only rejoin by full resync.
-func (r *Replica) Promote() {
+// Promote stops following, durably bumps the fencing epoch, and opens
+// the local database for writes, returning the new epoch. The epoch
+// bump lands on disk before the first write is possible, so even a
+// promote-then-crash leaves the node fenced above its old primary. The
+// old primary's unreplicated tail (if any) is forked history: it will
+// be fenced out by the new epoch and can only rejoin by resync.
+func (r *Replica) Promote() (uint64, error) {
 	r.Stop()
-	r.db.SetReadOnly(false)
+	return PromoteDB(r.db, r.met)
+}
+
+// PromoteDB turns db writable at a freshly bumped fencing epoch,
+// without a running replica: the election winner of a node that booted
+// read-only (seeking its group's primary) promotes through here. met
+// may be nil for an unregistered metric set.
+func PromoteDB(db *ode.DB, met *Metrics) (uint64, error) {
+	if met == nil {
+		met = &Metrics{}
+	}
+	epoch, err := db.BumpEpoch()
+	if err != nil {
+		return 0, err
+	}
+	db.SetReadOnly(false)
+	met.Promotions.Inc()
+	met.Epoch.Set(int64(epoch))
+	return epoch, nil
+}
+
+// adopt records a higher epoch learned from the primary (accept,
+// heartbeat, or frame), durably, and mirrors it into the epoch gauge.
+func (r *Replica) adopt(epoch, startLSN uint64) error {
+	if epoch <= r.db.Epoch() {
+		return nil
+	}
+	if err := r.db.AdoptEpoch(epoch, startLSN); err != nil {
+		return err
+	}
+	r.met.Epoch.Set(int64(r.db.Epoch()))
+	return nil
 }
 
 // Done is closed when the streaming loop has exited.
@@ -206,13 +249,15 @@ func (r *Replica) connect() (*replConn, error) {
 		return nil, fmt.Errorf("%w: primary speaks version %d, replica %d", wire.ErrVersion, v, wire.Version)
 	}
 	c := &replConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
-	// Subscribe at the local position. Only a virgin database (nothing
-	// ever committed or applied) accepts a full snapshot: overlaying a
-	// fuzzy dump onto existing state cannot undo local deletes.
+	// Subscribe at the local position and epoch. Only a virgin database
+	// (nothing ever committed or applied) accepts a full snapshot:
+	// overlaying a fuzzy dump onto existing state cannot undo local
+	// deletes.
 	req := &wire.SubscribeReq{
 		ReplID:      r.db.ReplicationID(),
 		LSN:         r.db.LSN(),
 		CanSnapshot: r.db.LSN() == 0,
+		Epoch:       r.db.Epoch(),
 	}
 	if err := writeFrame(c.bw, 1, wire.CmdWALSubscribe, req.Append(nil)); err != nil {
 		nc.Close()
@@ -229,7 +274,19 @@ func (r *Replica) connect() (*replConn, error) {
 	}
 	switch f.Type {
 	case wire.RespReplStatus:
-		// Accepted; the body's LSN is where the stream starts.
+		// Accepted; the body's LSN is where the stream starts, and the
+		// body's epoch is the primary's — adopt it (durably) before any
+		// frame applies, so a crash mid-catchup cannot resurrect this
+		// node at the pre-promotion epoch.
+		st, err := wire.DecodeReplStatus(f.Body)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		if err := r.adopt(st.Epoch, st.EpochLSN); err != nil {
+			nc.Close()
+			return nil, &fatalError{err}
+		}
 	case wire.RespErr:
 		nc.Close()
 		return nil, wire.DecodeErrBody(f.Body)
@@ -282,8 +339,12 @@ func (r *Replica) loop(c *replConn) {
 				backoff = r.opts.Backoff
 				break
 			}
-			if errors.Is(err, ErrResyncRequired) {
+			if errors.Is(err, ErrResyncRequired) || errors.Is(err, ode.ErrStaleEpoch) {
 				r.setErr(err)
+				return
+			}
+			if errors.As(err, &fatal) {
+				r.setErr(fatal.err)
 				return
 			}
 			if backoff *= 2; backoff > r.opts.MaxBackoff {
@@ -302,22 +363,51 @@ func (r *Replica) stream(c *replConn) error {
 		snapLSN uint64
 	)
 	for {
+		// The primary heartbeats HeartbeatEvery; a stream silent for the
+		// whole timeout is a dead or partitioned connection, and the
+		// deadline turns it into a reconnectable read error instead of a
+		// hang.
+		c.nc.SetReadDeadline(time.Now().Add(r.opts.HeartbeatTimeout))
 		f, _, err := wire.ReadFrame(c.br, r.opts.MaxFrame)
 		if err != nil {
 			return err
 		}
 		switch f.Type {
 		case wire.RespWALFrame:
-			lsn, raw, err := wire.DecodeWALFrame(f.Body)
+			lsn, epoch, raw, err := wire.DecodeWALFrame(f.Body)
 			if err != nil {
 				return err
+			}
+			if local := r.db.Epoch(); epoch < local {
+				// A deposed primary is still shipping. Refuse the frame
+				// without applying — the applied LSN must not advance
+				// into fenced history — and end the stream for good; the
+				// owner decides whether to re-point or resync.
+				r.met.StaleEpochRejects.Inc()
+				return &fatalError{fmt.Errorf("%w: WAL frame lsn=%d at epoch %d, local epoch %d",
+					ode.ErrStaleEpoch, lsn, epoch, local)}
+			} else if epoch > local && lsn > 0 {
+				// The primary was promoted mid-stream. The stream is
+				// gap-free, so the first frame stamped with the new
+				// epoch marks the promotion boundary at the previous
+				// position.
+				if err := r.adopt(epoch, lsn-1); err != nil {
+					return &fatalError{err}
+				}
 			}
 			if lsn == 0 && !inSnap {
 				return &fatalError{fmt.Errorf("%w: snapshot frame outside a snapshot", wire.ErrProto)}
 			}
 			if err := r.db.ApplyReplicatedBatch(lsn, raw); err != nil {
-				// The local store is suspect (or the stream has a gap);
-				// restart recovery must sort it out.
+				if errors.Is(err, wal.ErrLSNGap) {
+					// The stream skipped a batch (source-side drop racing
+					// the kill). Reconnecting resubscribes at the exact
+					// local position and the primary replays the gap from
+					// its WAL — self-healing, not fatal.
+					return err
+				}
+				// The local store is suspect; restart recovery must sort
+				// it out.
 				return &fatalError{err}
 			}
 			r.met.FramesApplied.Inc()
@@ -349,11 +439,29 @@ func (r *Replica) stream(c *replConn) error {
 			if err := r.ack(c, snapLSN); err != nil {
 				return err
 			}
+		case wire.RespWALHeartbeat:
+			epoch, epochLSN, lsn, err := wire.DecodeHeartbeat(f.Body)
+			if err != nil {
+				return err
+			}
+			if local := r.db.Epoch(); epoch < local {
+				r.met.StaleEpochRejects.Inc()
+				return &fatalError{fmt.Errorf("%w: heartbeat at epoch %d, local epoch %d",
+					ode.ErrStaleEpoch, epoch, local)}
+			}
+			if err := r.adopt(epoch, epochLSN); err != nil {
+				return &fatalError{err}
+			}
+			r.met.HeartbeatsRecv.Inc()
+			if local := r.db.LSN(); lsn >= local {
+				r.met.LagLSN.Set(int64(lsn - local))
+			}
 		case wire.RespErr:
 			// Mid-stream server error (e.g. the source dropped us for
-			// lagging): reconnect unless it is a resync demand.
+			// lagging): reconnect unless it is a resync demand or an
+			// epoch fence.
 			err := wire.DecodeErrBody(f.Body)
-			if errors.Is(err, ErrResyncRequired) {
+			if errors.Is(err, ErrResyncRequired) || errors.Is(err, ode.ErrStaleEpoch) {
 				return &fatalError{err}
 			}
 			return err

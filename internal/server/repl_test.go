@@ -68,7 +68,7 @@ func startReplPair(t testing.TB) *replPair {
 	// cascading / life after promotion), a promotion hook, and the
 	// follower loop.
 	var rsrc *repl.Source
-	promote := func() error { p.rep.Promote(); return nil }
+	promote := func() error { _, err := p.rep.Promote(); return err }
 	p.rdb, p.rsrv, p.raddr, _ = startReplNode(t, filepath.Join(dir, "replica.odb"), &rsrc, promote)
 	_ = rsrc
 	p.rep = repl.NewReplica(p.rdb, p.paddr, nil, nil)

@@ -1,0 +1,138 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ode"
+	"ode/client"
+	"ode/internal/repl"
+	"ode/internal/server"
+	"ode/internal/wire"
+)
+
+// TestSemiSyncIgnoresBootstrappingSubscriber pins the ack-quorum
+// accounting against the snapshot-bootstrap race: a subscriber that
+// was just accepted onto the snapshot path holds none of the data yet,
+// so it must NOT satisfy the semi-synchronous commit quorum until it
+// has applied and acked the completed dump. The regression this guards:
+// registration used to record the dump LSN as the subscriber's acked
+// position, so a quorum-1 commit was "acked" by a replica that had not
+// received a single byte — and died with the primary.
+func TestSemiSyncIgnoresBootstrappingSubscriber(t *testing.T) {
+	schema, stock := invSchema()
+	db, err := ode.Open(filepath.Join(t.TempDir(), "p.odb"), schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateCluster(stock); err != nil {
+		t.Fatal(err)
+	}
+	src := repl.NewSource(db, nil, nil)
+	srv := server.New(db, &server.Options{
+		Repl:            src,
+		CommitAckQuorum: 1,
+		AckTimeout:      300 * time.Millisecond,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(nil)
+	defer srv.Close()
+
+	// A fake virgin replica with a foreign lineage: the subscribe is
+	// forced onto the snapshot path. It reads the stream but never
+	// acks until told to.
+	nc, err := net.DialTimeout("tcp", addr.String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteHello(nc, wire.Version, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wire.ReadHello(nc); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	req := &wire.SubscribeReq{ReplID: "fake-lineage", LSN: 0, CanSnapshot: true}
+	sub := wire.AppendFrame(nil, &wire.Frame{ReqID: 1, Type: wire.CmdWALSubscribe, Body: req.Append(nil)})
+	if _, err := nc.Write(sub); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := wire.ReadFrame(br, wire.DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.RespReplStatus {
+		t.Fatalf("subscribe answered 0x%02x, want accept", f.Type)
+	}
+	// Drain the stream in the background forever so the source never
+	// blocks on a full TCP buffer; track the highest live LSN seen
+	// (snapshot batches carry LSN 0) but send no acks yet.
+	var maxLSN atomic.Uint64
+	go func() {
+		for {
+			f, _, err := wire.ReadFrame(br, wire.DefaultMaxFrame)
+			if err != nil {
+				return
+			}
+			if f.Type == wire.RespWALFrame {
+				if lsn, _, _, err := wire.DecodeWALFrame(f.Body); err == nil && lsn > maxLSN.Load() {
+					maxLSN.Store(lsn)
+				}
+			}
+		}
+	}()
+
+	c, err := client.Dial(addr.String(), schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One attempt, no RunTx: the ack timeout is retryable, and a retry
+	// loop would stack up durable-but-unacked commits.
+	commit := func() error {
+		tx, err := c.Begin(context.Background())
+		if err != nil {
+			return err
+		}
+		if _, err := tx.PNew(stock, item(stock, "semi", 1, 1.0)); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+
+	// Mid-bootstrap, the subscriber must not count: the commit is
+	// durable locally but the ack wait must time out.
+	if err := commit(); !errors.Is(err, ode.ErrTxTimeout) {
+		t.Fatalf("commit with only a bootstrapping subscriber: err = %v, want ErrTxTimeout", err)
+	}
+
+	// Once the subscriber acks an applied position at or past a
+	// commit's LSN, the quorum is satisfiable again. The timed-out
+	// commit's batch ships live; wait for it, then ack past it.
+	deadline := time.Now().Add(5 * time.Second)
+	for maxLSN.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed-out commit's batch never shipped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ack := wire.AppendFrame(nil, &wire.Frame{ReqID: 1, Type: wire.CmdWALAck, Body: wire.AppendUvarint(nil, maxLSN.Load()+10)})
+	if _, err := nc.Write(ack); err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatalf("commit after subscriber acked: %v", err)
+	}
+}

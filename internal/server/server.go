@@ -65,6 +65,23 @@ type Options struct {
 	// database subscribe here. Without it, subscription requests are
 	// rejected as protocol errors.
 	Repl *repl.Source
+	// CommitAckQuorum, when > 0 with Repl set, makes commits
+	// semi-synchronous: the RespOK for a commit waits until that many
+	// subscribed replicas have acknowledged applying its LSN. With a
+	// quorum of the group acking every commit, a failover election that
+	// requires the same quorum reachable provably includes a node
+	// holding every acknowledged write.
+	CommitAckQuorum int
+	// AckTimeout bounds the semi-synchronous ack wait (default 2s).
+	// On expiry the commit is durable locally but unacknowledged; the
+	// client gets a retryable ErrTxTimeout-wrapped error and must treat
+	// the outcome as ambiguous (see docs/REPLICATION.md).
+	AckTimeout time.Duration
+	// Advertise is the address peers reach this node at, reported in
+	// repl-status as the node's stable election identity (monitors rank
+	// tie-broken candidates by it, so it must be configured identically
+	// across restarts). Empty is fine for single-node serving.
+	Advertise string
 	// Promote, when set, handles CmdPromote (the remote form of
 	// SIGUSR1 on ode-server): it should detach the node from its
 	// primary and open it for writes. Without it, promote requests are
@@ -87,6 +104,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxFrame <= 0 {
 		out.MaxFrame = wire.DefaultMaxFrame
+	}
+	if out.AckTimeout <= 0 {
+		out.AckTimeout = 2 * time.Second
 	}
 	return out
 }
@@ -544,7 +564,15 @@ func (c *conn) handleBegin(f *wire.Frame) error {
 		return c.replyErr(f.ReqID, rejErr)
 	}
 	c.setTx(tx, cancel)
-	return c.reply(f.ReqID, wire.RespOK, wire.AppendUvarint(nil, tx.ID()))
+	// ID, then the node's fencing epoch (a failover-aware client pins
+	// the epoch it began under and refuses to fall back to an older
+	// one), then the applied LSN — the freshness this node can actually
+	// prove, so floored reads detect a replica that regressed by
+	// wipe-resync instead of trusting a stale cached position.
+	body := wire.AppendUvarint(nil, tx.ID())
+	body = wire.AppendUvarint(body, c.s.db.Epoch())
+	body = wire.AppendUvarint(body, c.s.db.AppliedLSN())
+	return c.reply(f.ReqID, wire.RespOK, body)
 }
 
 func (c *conn) handleCommit(f *wire.Frame) error {
@@ -557,9 +585,22 @@ func (c *conn) handleCommit(f *wire.Frame) error {
 	if err != nil {
 		return c.replyErr(f.ReqID, err)
 	}
+	// Semi-synchronous gate: the reply waits for the configured number
+	// of replica acks. A timeout leaves the commit durable locally but
+	// unacknowledged — surfaced as a retryable error, with the ambiguity
+	// documented (the client cannot know whether the write survives a
+	// failover).
+	if q := c.s.opts.CommitAckQuorum; q > 0 && c.s.opts.Repl != nil {
+		if err := c.s.opts.Repl.WaitAcked(tx.CommitLSN(), q, c.s.opts.AckTimeout); err != nil {
+			return c.replyErr(f.ReqID, err)
+		}
+	}
 	// The body carries the commit's LSN so clients can demand
-	// read-your-writes freshness from replicas (client.Replicated).
-	return c.reply(f.ReqID, wire.RespOK, wire.AppendUvarint(nil, tx.CommitLSN()))
+	// read-your-writes freshness from replicas (client.Replicated),
+	// then the epoch the commit happened under.
+	body := wire.AppendUvarint(nil, tx.CommitLSN())
+	body = wire.AppendUvarint(body, c.s.db.Epoch())
+	return c.reply(f.ReqID, wire.RespOK, body)
 }
 
 func (c *conn) handleAbort(f *wire.Frame) error {
@@ -956,8 +997,10 @@ func (c *conn) handleSubscribe(f *wire.Frame) error {
 }
 
 // handleReplStatus reports the node's replication position: role
-// (read-only = replica), replication id, and applied LSN. Served from
-// the database directly, so it works on primaries and replicas alike.
+// (read-only = replica), replication id, applied LSN, fencing epoch,
+// and the last source-initiated subscriber drop. Served from the
+// database directly, so it works on primaries and replicas alike; the
+// failover monitor's probes land here.
 func (c *conn) handleReplStatus(f *wire.Frame) error {
 	st := &wire.ReplStatus{
 		ReadOnly: c.s.db.ReadOnly(),
@@ -965,7 +1008,13 @@ func (c *conn) handleReplStatus(f *wire.Frame) error {
 		// AppliedLSN, not LSN: the position must not run ahead of read
 		// visibility — the Replicated router trusts it as a freshness
 		// proof.
-		LSN: c.s.db.AppliedLSN(),
+		LSN:       c.s.db.AppliedLSN(),
+		Epoch:     c.s.db.Epoch(),
+		EpochLSN:  c.s.db.EpochStartLSN(),
+		Advertise: c.s.opts.Advertise,
+	}
+	if c.s.opts.Repl != nil {
+		st.LastKill = c.s.opts.Repl.LastKill()
 	}
 	return c.reply(f.ReqID, wire.RespReplStatus, st.Append(nil))
 }

@@ -173,11 +173,18 @@ func (r *replRun) runAll() error {
 	}
 
 	// Final act: promote the replica and verify it accepts writes over
-	// the full replicated history.
-	r.rep.Promote()
+	// the full replicated history, at a freshly bumped fencing epoch.
+	oldEpoch := r.pdb.Epoch()
+	epoch, err := r.rep.Promote()
+	if err != nil {
+		return fmt.Errorf("promote replica: %w", err)
+	}
 	r.rep = nil
 	if r.rdb.ReadOnly() {
 		return fmt.Errorf("promoted replica still read-only")
+	}
+	if epoch <= oldEpoch {
+		return fmt.Errorf("promotion epoch %d did not advance past the primary's %d", epoch, oldEpoch)
 	}
 	tx := r.rdb.Begin()
 	defer tx.Abort()
@@ -655,11 +662,17 @@ func (r *replRun) replicaProbe() error {
 	}
 }
 
-// digest hashes one node's full replicated state: every snapshot op
-// (current images and frozen versions, the exact bytes a resync would
-// ship) plus the secondary index extent. Lines are sorted so the hash
-// is order-independent.
+// digest hashes one node's full replicated state; see stateDigest.
 func (r *replRun) digest(db *ode.DB) (string, error) {
+	return stateDigest(db, r.stock)
+}
+
+// stateDigest hashes one node's full replicated state: every snapshot
+// op (current images and frozen versions, the exact bytes a resync
+// would ship) plus the secondary index extent. Lines are sorted so the
+// hash is order-independent. Both replication torture modes use it as
+// their byte-level convergence check.
+func stateDigest(db *ode.DB, stock *ode.Class) (string, error) {
 	var lines []string
 	err := db.Manager().SnapshotOps(func(op *wal.Op) error {
 		lines = append(lines, fmt.Sprintf("op %d @%d v%d c%d %x", op.Type, op.OID, op.Version, op.ClassID, op.Image))
@@ -668,7 +681,7 @@ func (r *replRun) digest(db *ode.DB) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	idx, err := db.Manager().IndexOIDs(r.stock, "qty", ode.Null, ode.Null)
+	idx, err := db.Manager().IndexOIDs(stock, "qty", ode.Null, ode.Null)
 	if err != nil {
 		return "", err
 	}

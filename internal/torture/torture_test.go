@@ -133,6 +133,39 @@ func TestTortureReplFixedSeeds(t *testing.T) {
 	}
 }
 
+// TestTortureNetChaosFixedSeeds runs the network-chaos torture: three
+// full nodes with automatic failover, meshed through netchaos proxy
+// links, with partitions, kills, resets, latency, and asymmetric
+// stalls injected per round while client traffic flows. The run checks
+// at-most-one-writable-epoch continuously and, per round, convergence
+// plus zero acked-write loss (see netchaos.go).
+func TestTortureNetChaosFixedSeeds(t *testing.T) {
+	for _, seed := range []int64{17, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			res, err := RunNetChaos(NetChaosConfig{
+				Seed:        seed,
+				Rounds:      5,
+				OpsPerRound: 18,
+				Dir:         t.TempDir(),
+				Log:         testWriter{t},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed %d: rounds=%d ops=%d acked=%d uncertain=%d reads=%d readfails=%d stale=%d promotions=%d resyncs=%d parts=%d kills=%d resets=%d stalls=%d delays=%d epoch=%d",
+				seed, res.Rounds, res.Ops, res.Acked, res.Uncertain, res.Reads, res.ReadFails, res.StaleReads,
+				res.Promotions, res.Resyncs, res.Partitions, res.Kills, res.Resets, res.Stalls, res.Delays, res.FinalEpoch)
+			if res.Acked == 0 {
+				t.Error("no write was ever acknowledged; traffic is broken")
+			}
+			if res.Promotions == 0 {
+				t.Error("no promotion ever happened; even the bootstrap election should promote")
+			}
+		})
+	}
+}
+
 // TestTortureCI is the environment-driven entry point used by the CI
 // torture matrix. TORTURE_SEED is a number, or the string RANDOM for a
 // time-derived seed that is logged so a failure can be reproduced:
@@ -142,9 +175,11 @@ func TestTortureReplFixedSeeds(t *testing.T) {
 // TORTURE_ROUNDS, TORTURE_OPS, and TORTURE_DIR tune the run;
 // TORTURE_MODE=cancel turns on the resource-governance traffic
 // (Config.Cancel), TORTURE_MODE=compact the online-compaction traffic
-// (Config.Compact), and TORTURE_MODE=repl runs the replication torture
-// (RunRepl) instead of the single-node harness. With TORTURE_DIR set,
-// the store files survive the test for artifact upload on failure.
+// (Config.Compact), TORTURE_MODE=repl runs the replication torture
+// (RunRepl), and TORTURE_MODE=netchaos the network-chaos failover
+// torture (RunNetChaos) instead of the single-node harness. With
+// TORTURE_DIR set, the store files survive the test for artifact
+// upload on failure.
 func TestTortureCI(t *testing.T) {
 	seedEnv := os.Getenv("TORTURE_SEED")
 	if seedEnv == "" {
@@ -176,6 +211,19 @@ func TestTortureCI(t *testing.T) {
 	cfg.Compact = strings.EqualFold(os.Getenv("TORTURE_MODE"), "compact")
 	t.Logf("torture seed %d mode=%s (reproduce: TORTURE_SEED=%d TORTURE_MODE=%s go test -run TestTortureCI -v ./internal/torture)",
 		seed, os.Getenv("TORTURE_MODE"), seed, os.Getenv("TORTURE_MODE"))
+	if strings.EqualFold(os.Getenv("TORTURE_MODE"), "netchaos") {
+		res, err := RunNetChaos(NetChaosConfig{
+			Seed: seed, Rounds: cfg.Rounds, OpsPerRound: cfg.OpsPerRound,
+			Dir: cfg.Dir, Log: cfg.Log,
+		})
+		if err != nil {
+			t.Fatalf("torture failed (reproduce with TORTURE_SEED=%d TORTURE_MODE=netchaos): %v", seed, err)
+		}
+		t.Logf("rounds=%d ops=%d acked=%d uncertain=%d reads=%d readfails=%d stale=%d promotions=%d resyncs=%d parts=%d kills=%d resets=%d stalls=%d delays=%d epoch=%d",
+			res.Rounds, res.Ops, res.Acked, res.Uncertain, res.Reads, res.ReadFails, res.StaleReads,
+			res.Promotions, res.Resyncs, res.Partitions, res.Kills, res.Resets, res.Stalls, res.Delays, res.FinalEpoch)
+		return
+	}
 	if strings.EqualFold(os.Getenv("TORTURE_MODE"), "repl") {
 		res, err := RunRepl(ReplConfig{
 			Seed: seed, Rounds: cfg.Rounds, OpsPerRound: cfg.OpsPerRound,

@@ -31,15 +31,30 @@ var (
 	// promotion clears the mode. Not retryable: the same node stays
 	// read-only until an operator promotes it.
 	ErrReadOnly = errors.New("txn: database is read-only (replica)")
+	// ErrStaleEpoch rejects work carried out under a replication epoch
+	// older than the observer's: the node it came from was deposed by a
+	// promotion it has not seen. Retryable — through a failover-aware
+	// router (client.Replicated) the rerun re-discovers the current
+	// primary; the deposed node itself keeps failing until it rejoins
+	// as a replica.
+	ErrStaleEpoch = errors.New("txn: stale replication epoch (node was deposed by a newer promotion)")
+	// ErrFailover reports an operation lost to a replication failover
+	// in progress: the primary went unreachable mid-flight, or its role
+	// moved while the request was on the wire. Retryable for the same
+	// reason ErrStaleEpoch is — the rerun lands on the promoted
+	// primary once the router re-discovers it.
+	ErrFailover = errors.New("txn: replication failover in progress")
 )
 
 // IsRetryable reports whether err names a transient conflict that an
 // abort-and-rerun loop (the paper's transaction discipline) should
-// retry: deadlock victims and deadline expiries, yes; cancellation,
-// overload rejection, closed database, and deterministic failures such
-// as constraint violations, no.
+// retry: deadlock victims, deadline expiries, and replication-failover
+// casualties (stale epoch, primary loss), yes; cancellation, overload
+// rejection, closed database, and deterministic failures such as
+// constraint violations, no.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTxTimeout)
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTxTimeout) ||
+		errors.Is(err, ErrStaleEpoch) || errors.Is(err, ErrFailover)
 }
 
 // FromContextErr maps a context failure onto the engine's typed

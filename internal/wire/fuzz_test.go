@@ -28,6 +28,23 @@ func FuzzDecodeFrame(f *testing.F) {
 	// Two frames back to back: decoding must stop at the first.
 	f.Add(append(append([]byte(nil), good...), good...))
 
+	// The replication surface (0x50–0x53 and the epoch-bearing
+	// responses): subscribe handshakes, shipped WAL frames, heartbeats,
+	// and status bodies all cross trust boundaries between nodes, so
+	// the decoders get the same hammering as the core commands.
+	sub := &SubscribeReq{ReplID: "r-1234", LSN: 99, CanSnapshot: true, Epoch: 7}
+	f.Add(AppendFrame(nil, &Frame{ReqID: 2, Type: CmdWALSubscribe, Body: sub.Append(nil)}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 3, Type: CmdWALAck, Body: AppendUvarint(nil, 99)}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 4, Type: CmdReplStatus}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 5, Type: CmdPromote}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 6, Type: RespWALFrame, Body: WALFrameBody(42, 3, []byte{1, 2, 3, 4})}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 7, Type: RespWALHeartbeat, Body: HeartbeatBody(3, 40, 42)}))
+	st := &ReplStatus{ReadOnly: true, ReplID: "r-1234", LSN: 42, Epoch: 3, EpochLSN: 40, LastKill: "slow", Advertise: "10.0.0.1:7777"}
+	f.Add(AppendFrame(nil, &Frame{ReqID: 8, Type: RespReplStatus, Body: st.Append(nil)}))
+	// Epoch truncated off a subscribe body: must decode-error, not
+	// default to epoch 0.
+	f.Add(AppendFrame(nil, &Frame{ReqID: 9, Type: CmdWALSubscribe, Body: sub.Append(nil)[:8]}))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, n, err := DecodeFrame(data, 0)
 		if err != nil {
@@ -47,5 +64,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		_, _ = DecodeForallReq(fr.Body, true)
 		_, _ = DecodeForallReq(fr.Body, false)
 		_ = DecodeErrBody(fr.Body)
+		_, _ = DecodeSubscribeReq(fr.Body)
+		_, _, _, _ = DecodeWALFrame(fr.Body)
+		_, _, _, _ = DecodeHeartbeat(fr.Body)
+		_, _ = DecodeReplStatus(fr.Body)
+		_, _, _ = DecodeSnapBody(fr.Body)
 	})
 }

@@ -143,12 +143,14 @@ func DecodeForallReq(body []byte, withBatch bool) (*ForallReq, error) {
 }
 
 // SubscribeReq is the body of a CmdWALSubscribe request: the
-// subscriber's replication id and applied LSN, plus whether it can
-// accept a full snapshot (only a fresh, empty replica can).
+// subscriber's replication id, applied LSN, and fencing epoch, plus
+// whether it can accept a full snapshot (only a fresh, empty replica
+// can).
 type SubscribeReq struct {
 	ReplID      string
 	LSN         uint64
 	CanSnapshot bool
+	Epoch       uint64
 }
 
 // Append serializes the subscribe body.
@@ -159,7 +161,8 @@ func (r *SubscribeReq) Append(b []byte) []byte {
 	if r.CanSnapshot {
 		flags |= 1
 	}
-	return append(b, flags)
+	b = append(b, flags)
+	return AppendUvarint(b, r.Epoch)
 }
 
 // DecodeSubscribeReq parses a CmdWALSubscribe body.
@@ -169,6 +172,7 @@ func DecodeSubscribeReq(body []byte) (*SubscribeReq, error) {
 	r.ReplID = d.String()
 	r.LSN = d.Uvarint()
 	r.CanSnapshot = d.Byte()&1 != 0
+	r.Epoch = d.Uvarint()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -176,28 +180,64 @@ func DecodeSubscribeReq(body []byte) (*SubscribeReq, error) {
 }
 
 // WALFrameBody builds a RespWALFrame body: the batch's LSN (0 for a
-// snapshot batch) followed by its raw WAL encoding.
-func WALFrameBody(lsn uint64, raw []byte) []byte {
-	b := AppendUvarint(make([]byte, 0, 10+len(raw)), lsn)
+// snapshot batch) and the shipping node's fencing epoch, followed by
+// the batch's raw WAL encoding. The epoch lets a replica reject frames
+// from a deposed primary mid-stream; because the stream is gap-free,
+// an epoch *increase* observed at LSN n means the promotion boundary
+// was n-1.
+func WALFrameBody(lsn, epoch uint64, raw []byte) []byte {
+	b := AppendUvarint(make([]byte, 0, 20+len(raw)), lsn)
+	b = AppendUvarint(b, epoch)
 	return append(b, raw...)
 }
 
 // DecodeWALFrame splits a RespWALFrame body (raw aliases body).
-func DecodeWALFrame(body []byte) (lsn uint64, raw []byte, err error) {
+func DecodeWALFrame(body []byte) (lsn, epoch uint64, raw []byte, err error) {
 	d := NewDec(body)
 	lsn = d.Uvarint()
+	epoch = d.Uvarint()
 	if err := d.Err(); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return lsn, d.Rest(), nil
+	return lsn, epoch, d.Rest(), nil
+}
+
+// HeartbeatBody builds a RespWALHeartbeat body: the primary's fencing
+// epoch, that epoch's start LSN, and the primary's current LSN.
+// Heartbeats piggyback liveness on an otherwise-idle subscribe stream;
+// the epoch pair keeps long-idle replicas fenced and the LSN feeds
+// their lag gauge.
+func HeartbeatBody(epoch, epochLSN, lsn uint64) []byte {
+	b := AppendUvarint(make([]byte, 0, 30), epoch)
+	b = AppendUvarint(b, epochLSN)
+	return AppendUvarint(b, lsn)
+}
+
+// DecodeHeartbeat parses a RespWALHeartbeat body.
+func DecodeHeartbeat(body []byte) (epoch, epochLSN, lsn uint64, err error) {
+	d := NewDec(body)
+	epoch = d.Uvarint()
+	epochLSN = d.Uvarint()
+	lsn = d.Uvarint()
+	return epoch, epochLSN, lsn, d.Err()
 }
 
 // ReplStatus is the body of a RespReplStatus response (and, with the
-// LSN as the peer's, the state a CmdReplStatus reports).
+// LSN as the peer's, the state a CmdReplStatus reports): role,
+// replication id, applied LSN, fencing epoch and its start LSN, the
+// reason the node's source last dropped a subscriber ("" if it never
+// has), and the node's advertised address — its stable identity for
+// election ranking, independent of whatever proxied address the
+// observer happened to dial. As a subscribe accept, LSN is the
+// position the stream starts from.
 type ReplStatus struct {
-	ReadOnly bool
-	ReplID   string
-	LSN      uint64
+	ReadOnly  bool
+	ReplID    string
+	LSN       uint64
+	Epoch     uint64
+	EpochLSN  uint64
+	LastKill  string
+	Advertise string
 }
 
 // Append serializes the status body.
@@ -208,7 +248,11 @@ func (r *ReplStatus) Append(b []byte) []byte {
 	}
 	b = append(b, role)
 	b = AppendString(b, r.ReplID)
-	return AppendUvarint(b, r.LSN)
+	b = AppendUvarint(b, r.LSN)
+	b = AppendUvarint(b, r.Epoch)
+	b = AppendUvarint(b, r.EpochLSN)
+	b = AppendString(b, r.LastKill)
+	return AppendString(b, r.Advertise)
 }
 
 // DecodeReplStatus parses a RespReplStatus body.
@@ -218,6 +262,10 @@ func DecodeReplStatus(body []byte) (*ReplStatus, error) {
 	r.ReadOnly = d.Byte() == 1
 	r.ReplID = d.String()
 	r.LSN = d.Uvarint()
+	r.Epoch = d.Uvarint()
+	r.EpochLSN = d.Uvarint()
+	r.LastKill = d.String()
+	r.Advertise = d.String()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}

@@ -96,6 +96,7 @@ const (
 	RespWALSnapBegin = 0x91
 	RespWALSnapEnd   = 0x92
 	RespReplStatus   = 0x93
+	RespWALHeartbeat = 0x94
 )
 
 // CmdName names a message type for metrics and diagnostics.
@@ -358,6 +359,8 @@ const (
 	CodeSchema     // image's class id does not match the server's schema
 	CodeReadOnly   // write against a read-only replica
 	CodeReplResync // subscriber position unserviceable: full resync required
+	CodeStaleEpoch // epoch fencing: the peer was deposed by a newer promotion
+	CodeFailover   // operation lost to a replication failover in progress
 )
 
 // ErrProto reports a request the server could not honor as sent (no
@@ -395,6 +398,10 @@ func Code(err error) uint16 {
 		return CodeSchema
 	case errors.Is(err, txn.ErrReadOnly):
 		return CodeReadOnly
+	case errors.Is(err, txn.ErrStaleEpoch):
+		return CodeStaleEpoch
+	case errors.Is(err, txn.ErrFailover):
+		return CodeFailover
 	case errors.Is(err, ErrResync):
 		return CodeReplResync
 	case errors.Is(err, ErrProto):
@@ -437,6 +444,10 @@ func CodeErr(code uint16, msg string) error {
 		sentinel = ErrNoClass
 	case CodeReadOnly:
 		sentinel = txn.ErrReadOnly
+	case CodeStaleEpoch:
+		sentinel = txn.ErrStaleEpoch
+	case CodeFailover:
+		sentinel = txn.ErrFailover
 	case CodeReplResync:
 		sentinel = ErrResync
 	default:

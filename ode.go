@@ -970,6 +970,10 @@ func rebuild(path string, fs *storage.FileStore, dw *storage.DoubleWriter, log *
 	if stored := object.BootNextOID(fs); stored > 0 {
 		nmgr.NoteOID(core.OID(stored - 1))
 	}
+	// The fencing epoch survives a rebuild for the same reason the
+	// allocator does: regressing it would let this node rejoin a
+	// replication group at an identity (epoch) it was deposed from.
+	nmgr.SetEpoch(object.BootEpoch(fs))
 	// Indexes after data (backfill covers everything).
 	for _, ix := range cat.Indexes {
 		c, field, ok := splitIndexName(schema, ix)

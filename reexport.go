@@ -250,6 +250,14 @@ var (
 	// ErrReadOnly: a write against a read-only replica; send writes to
 	// the primary (or promote this node).
 	ErrReadOnly = txn.ErrReadOnly
+	// ErrStaleEpoch: the node was deposed by a newer promotion
+	// (replication epoch fencing); retryable — a failover-aware router
+	// re-discovers the current primary on the rerun.
+	ErrStaleEpoch = txn.ErrStaleEpoch
+	// ErrFailover: the operation was lost to a replication failover in
+	// progress (primary unreachable or role moved mid-flight);
+	// retryable once the router re-routes.
+	ErrFailover = txn.ErrFailover
 	// ErrSchemaMismatch: the registered schema does not match the file.
 	ErrSchemaMismatch = object.ErrSchemaMismatch
 	// ErrNoTrigger: activation of an undeclared trigger.
@@ -258,9 +266,10 @@ var (
 
 // IsRetryable reports whether err names a transient conflict an
 // abort-and-rerun loop should retry (deadlock victims, deadline
-// expiries) as opposed to a deterministic or governance failure
-// (constraint violations, cancellation, overload, closed database).
-// RunTx applies this taxonomy internally.
+// expiries, replication-failover casualties) as opposed to a
+// deterministic or governance failure (constraint violations,
+// cancellation, overload, closed database). RunTx applies this
+// taxonomy internally.
 func IsRetryable(err error) bool { return txn.IsRetryable(err) }
 
 // timeNow is indirected for tests of timed triggers.

@@ -41,6 +41,50 @@ func (db *DB) ReplicationID() string { return db.log.ReplID() }
 // application proceed. Promotion calls SetReadOnly(false).
 func (db *DB) SetReadOnly(v bool) { db.engine.SetReadOnly(v) }
 
+// Epoch returns the replication fencing epoch: a monotonic counter,
+// persisted in the boot record, bumped by every promotion and adopted
+// from the primary by replicas. Two nodes writable at the same epoch
+// is split brain; the epoch in every shipped frame and commit reply is
+// what lets the rest of the group reject the deposed one with
+// ErrStaleEpoch.
+func (db *DB) Epoch() uint64 { return db.mgr.Epoch() }
+
+// EpochStartLSN returns the LSN at which the current epoch began (the
+// promotion boundary). A subscriber still at the previous epoch is
+// serviceable from the WAL only if its position does not exceed this
+// boundary — batches past it were committed under an epoch the
+// subscriber never saw, so its history may have diverged.
+func (db *DB) EpochStartLSN() uint64 { return db.mgr.EpochStartLSN() }
+
+// BumpEpoch advances the fencing epoch by one, durably, with the
+// current LSN as the new epoch's start boundary. Promotion must call
+// this BEFORE opening the database for writes: the bumped epoch has to
+// survive a crash, or the node could resurrect writable at the epoch
+// it was promoted past. Runs a full checkpoint under the commit lock.
+func (db *DB) BumpEpoch() (uint64, error) {
+	var e uint64
+	err := db.engine.WithCommitLock(func() error {
+		e = db.mgr.Epoch() + 1
+		db.mgr.SetEpoch(e, db.log.LSN())
+		return db.mgr.Checkpoint(false)
+	})
+	return e, err
+}
+
+// AdoptEpoch records a higher epoch learned from this node's primary
+// (subscribe accept, heartbeat, or a shipped frame), durably, with the
+// boundary the primary advertised. Adopting a lower or equal epoch is
+// a no-op: epochs only move forward.
+func (db *DB) AdoptEpoch(epoch, startLSN uint64) error {
+	return db.engine.WithCommitLock(func() error {
+		if epoch <= db.mgr.Epoch() {
+			return nil
+		}
+		db.mgr.SetEpoch(epoch, startLSN)
+		return db.mgr.Checkpoint(false)
+	})
+}
+
 // ReadOnly reports whether the database is in replica (read-only)
 // mode.
 func (db *DB) ReadOnly() bool { return db.engine.ReadOnly() }
