@@ -252,28 +252,17 @@ func (c *Client) MetricsJSON(ctx context.Context) ([]byte, error) {
 // deadlocks, deadline expiries) under the same capped-backoff policy
 // and budget as the embedded ode.DB.RunTx.
 func (c *Client) RunTx(ctx context.Context, fn func(tx *Tx) error) error {
-	for attempt := 0; ; attempt++ {
+	return runWithRetry(ctx, func() error {
 		tx, err := c.Begin(ctx)
-		if err == nil {
-			err = fn(tx)
-			if err == nil {
-				err = tx.Commit()
-			} else {
-				tx.Abort()
-			}
-		}
-		if err == nil {
-			return nil
-		}
-		if !ode.IsRetryable(err) || attempt >= ode.MaxTxRetries || ctx.Err() != nil {
+		if err != nil {
 			return err
 		}
-		select {
-		case <-time.After(ode.RetryBackoff(attempt)):
-		case <-ctx.Done():
+		if err := fn(tx); err != nil {
+			tx.Abort()
 			return err
 		}
-	}
+		return tx.Commit()
+	}, ode.IsRetryable)
 }
 
 // View runs fn in a read-only transaction: begin, fn, abort. Nothing

@@ -33,3 +33,28 @@ func TestClientMetricsDocComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestShardMetricsDocComplete applies the same registry diff to the
+// sharded router's client.shard.* family.
+func TestShardMetricsDocComplete(t *testing.T) {
+	doc, err := os.ReadFile("../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read docs/OBSERVABILITY.md: %v", err)
+	}
+	text := string(doc)
+
+	reg := obs.NewRegistry()
+	(&ShardMetrics{}).Attach(reg)
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("ShardMetrics.Attach registered nothing")
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "client.shard.") {
+			t.Errorf("metric %q: router metrics must live under client.shard.*", name)
+		}
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("metric %q is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+}

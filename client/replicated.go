@@ -274,24 +274,17 @@ func (r *Replicated) refreshPrimary(ctx context.Context) bool {
 // kinds; a budget exhausted mid-failover surfaces as a retryable
 // ode.ErrFailover.
 func (r *Replicated) RunTx(ctx context.Context, fn func(tx *Tx) error) error {
-	var err error
-	for attempt := 0; ; attempt++ {
-		err = r.runTxOnce(ctx, fn)
-		if err == nil {
-			return nil
-		}
-		fo := failoverish(err)
-		if ctx.Err() != nil || attempt >= ode.MaxTxRetries || (!fo && !ode.IsRetryable(err)) {
-			break
-		}
-		if fo {
-			r.refreshPrimary(ctx)
-		}
-		select {
-		case <-time.After(ode.RetryBackoff(attempt)):
-		case <-ctx.Done():
-			return err
-		}
+	err := runWithRetry(ctx,
+		func() error { return r.runTxOnce(ctx, fn) },
+		func(err error) bool {
+			if failoverish(err) {
+				r.refreshPrimary(ctx)
+				return true
+			}
+			return ode.IsRetryable(err)
+		})
+	if err == nil {
+		return nil
 	}
 	if failoverish(err) && !ode.IsRetryable(err) {
 		// A raw transport failure is not retryable on its own; name what

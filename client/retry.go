@@ -1,0 +1,37 @@
+package client
+
+import (
+	"context"
+	"time"
+
+	"ode"
+)
+
+// runWithRetry is the one retry loop every router in this package
+// shares: it runs attempt until success, a non-retryable failure, an
+// expired context, or an exhausted budget (ode.MaxTxRetries attempts
+// beyond the first), sleeping ode.RetryBackoff between attempts —
+// exactly the policy the embedded ode.DB.RunTx applies.
+//
+// classify decides whether a failure warrants another attempt and is
+// the hook for recovery work that must precede the retry (the
+// Replicated router re-discovers its primary there, the Sharded router
+// refreshes shard health). It is only consulted while budget remains,
+// so recovery is never wasted on an attempt that cannot happen.
+func runWithRetry(ctx context.Context, attempt func() error, classify func(error) bool) error {
+	var err error
+	for try := 0; ; try++ {
+		err = attempt()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || try >= ode.MaxTxRetries || !classify(err) {
+			return err
+		}
+		select {
+		case <-time.After(ode.RetryBackoff(try)):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}

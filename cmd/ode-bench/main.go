@@ -74,6 +74,10 @@ var (
 		"run the macro workload suite instead of the experiments: comma-separated mix names, or 'all' (docs/TESTING.md); -seed/-workers/-quick apply; with -connect the mixes run against that server, with -loopback both embedded and loopback-remote rows are produced")
 	loopback = flag.Bool("loopback", false,
 		"workload mode: follow the embedded rows with remote rows through an in-process server (baseline recording)")
+	connectShards = flag.String("connect-shards", "",
+		"workload mode: comma-separated shard server addresses; the remote-capable mixes run through the sharding router (scatter-gather scans, 2PC commits)")
+	loopbackShards = flag.Int("loopback-shards", 0,
+		"workload mode: boot N in-process shard servers and run the remote-capable mixes through the router (how BENCH_4.json is recorded)")
 )
 
 // benchResult is one measured row of the machine-readable output.

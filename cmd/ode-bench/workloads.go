@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"ode"
 	"ode/client"
 	"ode/internal/bench"
 	"ode/internal/server"
@@ -84,6 +85,42 @@ func runWorkloads(jsonPath string) int {
 		return runOne(wl, workload.NewRemoteStore(c, cw))
 	}
 
+	sharded := func(wl *workload.Workload, addrs []string) int {
+		schema, cw := bench.Schema()
+		r, err := client.DialSharded(addrs, schema, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ode-bench: workload %s: dial shards %v: %v\n", wl.Name, addrs, err)
+			return 1
+		}
+		defer r.Close()
+		return runOne(wl, workload.NewShardedStore(r, cw))
+	}
+
+	// A fresh in-process shard group per mix: N worlds opened with shard
+	// coordinates (striped OID allocation) behind N servers and one
+	// router, exactly like the fresh loopback worlds.
+	loopbackSharded := func(wl *workload.Workload, n int) int {
+		addrs := make([]string, n)
+		for i := 0; i < n; i++ {
+			w, err := bench.NewWorld(&ode.Options{ShardCount: n, ShardSlot: i})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ode-bench: workload %s: open shard %d: %v\n", wl.Name, i, err)
+				return 1
+			}
+			defer w.Close()
+			srv := server.New(w.DB, nil)
+			a, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ode-bench: workload %s: shard %d listen: %v\n", wl.Name, i, err)
+				return 1
+			}
+			go srv.Serve(nil)
+			defer srv.Close()
+			addrs[i] = a.String()
+		}
+		return sharded(wl, addrs)
+	}
+
 	// A fresh loopback server per mix keeps runs independent, exactly
 	// like the fresh embedded worlds.
 	loopbackRemote := func(wl *workload.Workload) int {
@@ -113,6 +150,18 @@ func runWorkloads(jsonPath string) int {
 			return 2
 		}
 		switch {
+		case *connectShards != "":
+			if !wl.RemoteOK {
+				fmt.Printf("%-10s sharded   skipped: needs embedded APIs (%s)\n", wl.Name, wl.Desc)
+				continue
+			}
+			fail |= sharded(wl, strings.Split(*connectShards, ","))
+		case *loopbackShards > 1:
+			if !wl.RemoteOK {
+				fmt.Printf("%-10s sharded   skipped: needs embedded APIs (%s)\n", wl.Name, wl.Desc)
+				continue
+			}
+			fail |= loopbackSharded(wl, *loopbackShards)
 		case *connectAddr != "":
 			if !wl.RemoteOK {
 				fmt.Printf("%-10s remote    skipped: needs embedded APIs (%s)\n", wl.Name, wl.Desc)

@@ -98,6 +98,8 @@ type config struct {
 	window      time.Duration
 	ackQuorum   int
 	ackTimeout  time.Duration
+	shardSlot   int
+	shardCount  int
 
 	schema *ode.Schema
 }
@@ -126,6 +128,8 @@ func main() {
 		window      = flag.Duration("failover-window", 3*time.Second, "how long the primary must be unreachable before failing over")
 		ackQuorum   = flag.Int("commit-ack-quorum", 0, "replicas that must ack each commit before its reply (0: asynchronous)")
 		ackTimeout  = flag.Duration("commit-ack-timeout", 2*time.Second, "bound on the commit ack wait")
+		shardSlot   = flag.Int("shard-slot", 0, "with -shard-count: this node's shard index (OIDs ≡ slot mod count route here)")
+		shardCount  = flag.Int("shard-count", 0, "shards in the group; enables striped OID allocation and 2PC participation (0: unsharded)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ode-server -db FILE [-addr HOST:PORT] [schema.oql ...]\n")
@@ -138,6 +142,14 @@ func main() {
 	}
 	if *auto && *peers == "" {
 		fmt.Fprintln(os.Stderr, "ode-server: -auto-failover requires -peers")
+		os.Exit(exitUsage)
+	}
+	if *shardCount > 0 && (*shardSlot < 0 || *shardSlot >= *shardCount) {
+		fmt.Fprintf(os.Stderr, "ode-server: -shard-slot %d out of range for -shard-count %d\n", *shardSlot, *shardCount)
+		os.Exit(exitUsage)
+	}
+	if *shardCount == 0 && *shardSlot != 0 {
+		fmt.Fprintln(os.Stderr, "ode-server: -shard-slot requires -shard-count")
 		os.Exit(exitUsage)
 	}
 	if *noSync {
@@ -191,6 +203,8 @@ func main() {
 		window:      *window,
 		ackQuorum:   *ackQuorum,
 		ackTimeout:  *ackTimeout,
+		shardSlot:   *shardSlot,
+		shardCount:  *shardCount,
 		schema:      schema,
 	}
 	if cfg.advertise == "" {
@@ -496,6 +510,8 @@ func runOnce(cfg *config, follow string, shutdown, usr1 <-chan os.Signal) outcom
 		MaxQueuedTx:     cfg.maxQueued,
 		WALSoftLimit:    cfg.walSoft,
 		WALHardLimit:    cfg.walHard,
+		ShardSlot:       cfg.shardSlot,
+		ShardCount:      cfg.shardCount,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ode-server:", err)

@@ -16,7 +16,13 @@
 // With -connect the shell speaks the wire protocol to an ode-server
 // daemon instead of opening a file: statements execute in a pinned
 // server-side session, so declared classes and `begin` transactions
-// persist across lines exactly as they do locally.
+// persist across lines exactly as they do locally. The extra `shards;`
+// statement prints the server's shard status (LSN, epoch, shard
+// coordinates, in-doubt transactions).
+//
+// With -connect-shards the shell is an operator console for a shard
+// group: `shards;` prints every shard's status through the router and
+// `resolve;` settles in-doubt two-phase commits (see docs/SHARDING.md).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ode"
 	"ode/client"
@@ -35,12 +42,17 @@ import (
 func main() {
 	dbPath := flag.String("db", "", "database file (required unless -connect)")
 	connect := flag.String("connect", "", "run against a remote ode-server at host:port")
+	connectShards := flag.String("connect-shards", "", "comma-separated shard addresses; operator console over the router (shards; resolve;)")
 	poolPages := flag.Int("pool", 1024, "buffer pool size in pages")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ode-sh -db FILE [script.oql ...]\n       ode-sh -connect HOST:PORT [script.oql ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ode-sh -db FILE [script.oql ...]\n       ode-sh -connect HOST:PORT [script.oql ...]\n       ode-sh -connect-shards HOST:PORT,HOST:PORT,...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *connectShards != "" {
+		remoteShards(strings.Split(*connectShards, ","))
+		return
+	}
 	if *connect != "" {
 		remote(*connect, flag.Args())
 		return
@@ -143,6 +155,14 @@ func remote(addr string, scripts []string) {
 	defer sess.Close()
 
 	exec := func(src string) error {
+		if isStmt(src, "shards") {
+			st, err := c.ShardStatus(ctx)
+			if err != nil {
+				return err
+			}
+			printShard(-1, addr, st)
+			return nil
+		}
 		out, err := sess.Exec(ctx, src)
 		if out != "" {
 			fmt.Print(out)
@@ -188,6 +208,91 @@ func remote(addr string, scripts []string) {
 		if err := exec(src); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
+	}
+}
+
+// remoteShards is the operator console for a shard group: statements
+// go to the router, not an interpreter. `shards;` prints every shard's
+// status and `resolve;` settles in-doubt two-phase commits.
+func remoteShards(addrs []string) {
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	r, err := client.DialSharded(addrs, ode.NewSchema(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	exec := func(src string) error {
+		switch {
+		case isStmt(src, "shards"):
+			sts, err := r.Status(ctx)
+			for i, st := range sts {
+				if st == nil {
+					fmt.Printf("shard %d @ %s  UNREACHABLE\n", i, addrs[i])
+					continue
+				}
+				printShard(i, addrs[i], st)
+			}
+			return err
+		case isStmt(src, "resolve"):
+			n, err := r.ResolveInDoubt(ctx)
+			fmt.Printf("resolved %d in-doubt transaction(s)\n", n)
+			return err
+		default:
+			return fmt.Errorf("router mode understands 'shards;' and 'resolve;' only; connect to one shard with -connect to run O++ statements")
+		}
+	}
+
+	fmt.Printf("ode-sh — router over %d shards. Statements: shards; resolve;. Ctrl-D to exit.\n", len(addrs))
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("ode> ")
+		if !scanner.Scan() {
+			break
+		}
+		src := scanner.Text()
+		if strings.TrimSpace(src) == "" {
+			continue
+		}
+		if err := exec(src); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+// isStmt reports whether src is exactly the given bare statement,
+// allowing the closing ';' and surrounding whitespace.
+func isStmt(src, word string) bool {
+	return strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), ";")) == word
+}
+
+// printShard renders one node's shard status. slot -1 means "whatever
+// the server says" (single -connect mode).
+func printShard(slot int, addr string, st *client.ShardStatus) {
+	role := "rw"
+	if st.ReadOnly {
+		role = "ro"
+	}
+	coords := "unsharded"
+	if st.Count > 0 {
+		coords = fmt.Sprintf("slot %d/%d", st.Slot, st.Count)
+	}
+	label := ""
+	if slot >= 0 {
+		label = fmt.Sprintf("shard %d ", slot)
+	}
+	fmt.Printf("%s@ %s  %s  lsn=%d epoch=%d %s  prepared=%d\n",
+		label, addr, coords, st.LSN, st.Epoch, role, len(st.Prepared))
+	for _, p := range st.Prepared {
+		rec := ""
+		if p.Recovered {
+			rec = " recovered"
+		}
+		fmt.Printf("  in-doubt %s  ops=%d age=%s%s\n", p.GID, p.Ops, p.Age.Round(time.Millisecond), rec)
 	}
 }
 

@@ -87,6 +87,8 @@ type Manager struct {
 	// goroutines while a background checkpoint (persistBoot) snapshots
 	// the counter, possibly with mu already held by a DDL caller.
 	nextOID    atomic.Uint64
+	oidSlot    uint64 // OID stride residue (SetOIDStride); 0 when unsharded
+	oidCount   uint64 // OID stride modulus; < 2 disables striding
 	clusters   map[core.ClassID]bool
 	indexes    map[indexID]bool
 	catalogRID storage.RID
@@ -426,10 +428,35 @@ func (m *Manager) SetObjectCacheSize(n int) { m.cache.reset(n) }
 // ObjectCacheLen counts currently cached decoded objects (test helper).
 func (m *Manager) ObjectCacheLen() int { return m.cache.len() }
 
+// SetOIDStride constrains the OID allocator to one residue class:
+// every id returned by AllocOID satisfies oid % count == slot. A
+// sharded deployment gives each shard its own slot so a router can
+// map any OID back to its shard with one modulo (docs/SHARDING.md).
+// Call at open time, before serving traffic; count < 2 clears the
+// stride.
+func (m *Manager) SetOIDStride(slot, count int) {
+	if count < 2 || slot < 0 || slot >= count {
+		count, slot = 0, 0
+	}
+	m.oidSlot, m.oidCount = uint64(slot), uint64(count)
+}
+
 // AllocOID reserves a fresh object id. Ids burned by aborted
 // transactions are never reused.
 func (m *Manager) AllocOID() core.OID {
-	return core.OID(m.nextOID.Add(1) - 1)
+	if m.oidCount < 2 {
+		return core.OID(m.nextOID.Add(1) - 1)
+	}
+	for {
+		cur := m.nextOID.Load()
+		oid := cur
+		if r := oid % m.oidCount; r != m.oidSlot {
+			oid += (m.oidSlot + m.oidCount - r) % m.oidCount
+		}
+		if m.nextOID.CompareAndSwap(cur, oid+1) {
+			return core.OID(oid)
+		}
+	}
 }
 
 // NoteOID raises the OID allocator above oid; used during WAL replay.

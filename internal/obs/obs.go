@@ -254,6 +254,11 @@ type TxnMetrics struct {
 	AdmissionRejects     Counter   // Begin calls rejected with ErrOverloaded
 	AdmissionActive      Gauge     // transactions currently holding an admission slot
 	AdmissionQueued      Gauge     // Begin calls currently waiting for a slot
+	PreparedTotal        Counter   // two-phase commits prepared (votes logged)
+	PreparedCommits      Counter   // prepared transactions committed by decision
+	PreparedAborts       Counter   // prepared transactions aborted by decision
+	PreparedTimeouts     Counter   // prepared transactions aborted by the orphan timeout
+	PreparedInDoubt      Gauge     // prepared transactions currently awaiting a decision
 	CommitNS             Histogram // Commit() latency (constraint checks through log+apply)
 }
 
@@ -353,6 +358,11 @@ type TxnStats struct {
 	AdmissionRejects     uint64
 	AdmissionActive      int64
 	AdmissionQueued      int64
+	PreparedTotal        uint64
+	PreparedCommits      uint64
+	PreparedAborts       uint64
+	PreparedTimeouts     uint64
+	PreparedInDoubt      int64
 	CommitNS             HistogramSnapshot
 }
 
@@ -445,6 +455,11 @@ func (m *Metrics) Stats() Snapshot {
 			AdmissionRejects:     m.Txn.AdmissionRejects.Load(),
 			AdmissionActive:      m.Txn.AdmissionActive.Load(),
 			AdmissionQueued:      m.Txn.AdmissionQueued.Load(),
+			PreparedTotal:        m.Txn.PreparedTotal.Load(),
+			PreparedCommits:      m.Txn.PreparedCommits.Load(),
+			PreparedAborts:       m.Txn.PreparedAborts.Load(),
+			PreparedTimeouts:     m.Txn.PreparedTimeouts.Load(),
+			PreparedInDoubt:      m.Txn.PreparedInDoubt.Load(),
 			CommitNS:             m.Txn.CommitNS.Snapshot(),
 		},
 		Object: ObjectStats{
@@ -519,6 +534,11 @@ func NewMetrics(reg *Registry) *Metrics {
 		{"txn.admission_rejects", &m.Txn.AdmissionRejects},
 		{"txn.admission_active", &m.Txn.AdmissionActive},
 		{"txn.admission_queued", &m.Txn.AdmissionQueued},
+		{"txn.prepared_total", &m.Txn.PreparedTotal},
+		{"txn.prepared_commits", &m.Txn.PreparedCommits},
+		{"txn.prepared_aborts", &m.Txn.PreparedAborts},
+		{"txn.prepared_timeouts", &m.Txn.PreparedTimeouts},
+		{"txn.prepared_indoubt", &m.Txn.PreparedInDoubt},
 		{"txn.commit_ns", &m.Txn.CommitNS},
 		{"object.creates", &m.Object.Creates},
 		{"object.updates", &m.Object.Updates},

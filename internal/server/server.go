@@ -521,6 +521,16 @@ func (c *conn) dispatch(f *wire.Frame) error {
 		err = c.handleReplStatus(f)
 	case wire.CmdPromote:
 		err = c.handlePromote(f)
+	case wire.CmdPrepare:
+		err = c.handlePrepare(f)
+	case wire.CmdCommitPrepared:
+		err = c.handleCommitPrepared(f)
+	case wire.CmdAbortPrepared:
+		err = c.handleAbortPrepared(f)
+	case wire.CmdTxStatus:
+		err = c.handleTxStatus(f)
+	case wire.CmdShardStatus:
+		err = c.handleShardStatus(f)
 	default:
 		err = c.replyErr(f.ReqID, protoErr("unknown command 0x%02x", f.Type))
 	}

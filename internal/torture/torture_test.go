@@ -166,6 +166,44 @@ func TestTortureNetChaosFixedSeeds(t *testing.T) {
 	}
 }
 
+// TestTortureShardFixedSeeds runs the sharding torture: three shard
+// servers behind a client.Sharded router, cross-shard 2PC traffic with
+// faults armed on the prepare/decide WAL sites, and every round a
+// hand-staged transaction killed between prepare and the decision (or
+// between the decision and its delivery) on a coordinator or a
+// participant. The atomicity sweep requires each marker either fully
+// present or fully absent, and every acked commit fully present (see
+// shard.go).
+func TestTortureShardFixedSeeds(t *testing.T) {
+	for _, seed := range []int64{19, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			res, err := RunShard(ShardConfig{
+				Seed:        seed,
+				Rounds:      5,
+				OpsPerRound: 15,
+				Dir:         t.TempDir(),
+				Log:         testWriter{t},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed %d: rounds=%d ops=%d acked=%d uncertain=%d crossacked=%d staged=%d ckills=%d pkills=%d resolved=%d faults=%d fired=%v",
+				seed, res.Rounds, res.Ops, res.Acked, res.Uncertain, res.CrossAcked, res.Staged,
+				res.CoordKills, res.PartKills, res.Resolved, res.Faults, res.SitesFired)
+			if res.Acked == 0 {
+				t.Error("no transaction was ever acked; traffic is broken")
+			}
+			if res.CoordKills+res.PartKills == 0 {
+				t.Error("no shard was ever killed; kill schedule is broken")
+			}
+			if res.Resolved == 0 {
+				t.Error("no in-doubt transaction was ever resolved; the kill windows are missing the protocol")
+			}
+		})
+	}
+}
+
 // TestTortureCI is the environment-driven entry point used by the CI
 // torture matrix. TORTURE_SEED is a number, or the string RANDOM for a
 // time-derived seed that is logged so a failure can be reproduced:
@@ -176,8 +214,9 @@ func TestTortureNetChaosFixedSeeds(t *testing.T) {
 // TORTURE_MODE=cancel turns on the resource-governance traffic
 // (Config.Cancel), TORTURE_MODE=compact the online-compaction traffic
 // (Config.Compact), TORTURE_MODE=repl runs the replication torture
-// (RunRepl), and TORTURE_MODE=netchaos the network-chaos failover
-// torture (RunNetChaos) instead of the single-node harness. With
+// (RunRepl), TORTURE_MODE=netchaos the network-chaos failover torture
+// (RunNetChaos), and TORTURE_MODE=shard the cross-shard 2PC torture
+// (RunShard) instead of the single-node harness. With
 // TORTURE_DIR set, the store files survive the test for artifact
 // upload on failure.
 func TestTortureCI(t *testing.T) {
@@ -222,6 +261,19 @@ func TestTortureCI(t *testing.T) {
 		t.Logf("rounds=%d ops=%d acked=%d uncertain=%d reads=%d readfails=%d stale=%d promotions=%d resyncs=%d parts=%d kills=%d resets=%d stalls=%d delays=%d epoch=%d",
 			res.Rounds, res.Ops, res.Acked, res.Uncertain, res.Reads, res.ReadFails, res.StaleReads,
 			res.Promotions, res.Resyncs, res.Partitions, res.Kills, res.Resets, res.Stalls, res.Delays, res.FinalEpoch)
+		return
+	}
+	if strings.EqualFold(os.Getenv("TORTURE_MODE"), "shard") {
+		res, err := RunShard(ShardConfig{
+			Seed: seed, Rounds: cfg.Rounds, OpsPerRound: cfg.OpsPerRound,
+			Dir: cfg.Dir, Log: cfg.Log,
+		})
+		if err != nil {
+			t.Fatalf("torture failed (reproduce with TORTURE_SEED=%d TORTURE_MODE=shard): %v", seed, err)
+		}
+		t.Logf("rounds=%d ops=%d acked=%d uncertain=%d crossacked=%d staged=%d ckills=%d pkills=%d resolved=%d faults=%d fired=%v",
+			res.Rounds, res.Ops, res.Acked, res.Uncertain, res.CrossAcked, res.Staged,
+			res.CoordKills, res.PartKills, res.Resolved, res.Faults, res.SitesFired)
 		return
 	}
 	if strings.EqualFold(os.Getenv("TORTURE_MODE"), "repl") {

@@ -38,6 +38,12 @@ var (
 	// primary; the deposed node itself keeps failing until it rejoins
 	// as a replica.
 	ErrStaleEpoch = errors.New("txn: stale replication epoch (node was deposed by a newer promotion)")
+	// ErrNoPrepared rejects a two-phase-commit decision for a global
+	// transaction id with no prepared state and no recorded commit
+	// decision on this node. Under presumed abort this is a hard "no
+	// such transaction" only for CommitPrepared; AbortPrepared treats
+	// the same condition as success.
+	ErrNoPrepared = errors.New("txn: no prepared transaction with that gid")
 	// ErrFailover reports an operation lost to a replication failover
 	// in progress: the primary went unreachable mid-flight, or its role
 	// moved while the request was on the wire. Retryable for the same

@@ -1,0 +1,529 @@
+package txn
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ode/internal/core"
+	"ode/internal/failpoint"
+	"ode/internal/wal"
+)
+
+// Two-phase commit: a transaction that spans shards is prepared on
+// every participant (durable vote, locks retained, detached from its
+// session), then committed or aborted by a decision the coordinator
+// shard makes durable first. The protocol is presumed abort: a node
+// with neither prepared state nor a recorded commit decision for a gid
+// answers "unknown", which resolvers treat as abort. See
+// docs/SHARDING.md for the full failure matrix.
+
+// Failpoints in the two-phase-commit pipeline.
+var (
+	// fpPrepareWAL fires in Prepare before the prepared batch reaches
+	// the WAL: the vote is "no", the transaction aborts cleanly.
+	fpPrepareWAL = failpoint.New("txn.prepare_wal")
+	// fpDecideWAL fires in CommitPrepared before the decide record
+	// reaches the WAL: the decision is not durable, the transaction
+	// stays prepared (the entry is reinstated for a retry).
+	fpDecideWAL = failpoint.New("txn.decide_wal")
+)
+
+// DefaultPrepareTimeout is the orphan timeout applied when the DB layer
+// does not configure one: a prepared transaction whose coordinator is
+// this node and that has heard no decision for this long is presumed
+// abandoned (its router died before deciding) and aborted.
+const DefaultPrepareTimeout = 60 * time.Second
+
+// maxDecisionRetention bounds how many of the most recent decision
+// records are re-staged into the WAL across a truncation, so a
+// coordinator crash shortly after a checkpoint still finds the commit
+// decisions that in-doubt participants may come asking about. (Older
+// decisions fall back to presumed abort; the window is documented in
+// docs/SHARDING.md.)
+const maxDecisionRetention = 256
+
+// maxDecisionsInMemory bounds the in-process decision map; beyond it
+// the oldest decisions are evicted and answer as "unknown".
+const maxDecisionsInMemory = 1 << 16
+
+// preparedTx is one in-doubt two-phase-commit transaction parked in the
+// engine: its vote is durable in the WAL, its locks are still held
+// under txid, and it survives until a decision (or, on the coordinator
+// only, the orphan timeout) resolves it.
+type preparedTx struct {
+	gid       string
+	txid      uint64
+	ops       []wal.Op
+	timer     *time.Timer
+	since     time.Time
+	recovered bool // reinstated by crash recovery, not a live session
+}
+
+func (p *preparedTx) stopTimer() {
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+}
+
+// decision is the recorded outcome for a resolved gid.
+type decision struct {
+	txid   uint64
+	commit bool
+	lsn    uint64 // commit LSN on this node; 0 for aborts and read-only commits
+}
+
+// Transaction status values reported by TxStatus.
+const (
+	StatusUnknown   = "unknown" // no prepared state, no recorded decision (presumed abort)
+	StatusPrepared  = "prepared"
+	StatusCommitted = "committed"
+	StatusAborted   = "aborted"
+)
+
+// PreparedInfo describes one in-doubt transaction for status surfaces.
+type PreparedInfo struct {
+	GID       string
+	TxID      uint64
+	Ops       int
+	Age       time.Duration
+	Recovered bool
+}
+
+// SetShardSlot records this node's shard index so the engine can tell
+// whether it is the coordinator for a router-minted gid. Unset (-1)
+// means unsharded.
+func (e *Engine) SetShardSlot(slot int) { e.shardSlot = slot }
+
+// SetPrepareTimeout overrides the orphan timeout (0 keeps the default).
+func (e *Engine) SetPrepareTimeout(d time.Duration) { e.prepareTimeout = d }
+
+// GIDCoordinator parses the coordinator shard index out of a global
+// transaction id of the canonical "s<slot>-<unique>" form minted by the
+// client router. Non-canonical gids report ok=false.
+func GIDCoordinator(gid string) (slot int, ok bool) {
+	if len(gid) < 3 || gid[0] != 's' {
+		return 0, false
+	}
+	i, n := 1, 0
+	for ; i < len(gid); i++ {
+		c := gid[i]
+		if c == '-' {
+			break
+		}
+		if c < '0' || c > '9' || n > 1<<20 {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if i == 1 || i >= len(gid)-1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// mayPresumeAbort reports whether this node may unilaterally abort an
+// undecided prepared transaction at the orphan timeout. Only the
+// transaction's coordinator can: its durable decision record is the
+// global commit point, so "no decision recorded here" proves no
+// participant anywhere committed. A participant that times out must
+// keep its locks and wait for resolution (docs/SHARDING.md runbook) —
+// aborting on its own could contradict a commit decision it simply has
+// not heard yet. Gids that are not router-minted belong to single-node
+// use, where this node is trivially the coordinator.
+func (e *Engine) mayPresumeAbort(gid string) bool {
+	slot, ok := GIDCoordinator(gid)
+	if !ok {
+		return true
+	}
+	return e.shardSlot >= 0 && slot == e.shardSlot
+}
+
+func (e *Engine) armPrepareTimer(p *preparedTx) {
+	if !e.mayPresumeAbort(p.gid) {
+		return
+	}
+	d := e.prepareTimeout
+	if d <= 0 {
+		d = DefaultPrepareTimeout
+	}
+	gid := p.gid
+	p.timer = time.AfterFunc(d, func() { e.abortPrepared(gid, true) })
+}
+
+// finishPrepared parks the transaction in the prepared state: the
+// admission slot is returned and session bookkeeping runs (onFinish),
+// but — unlike finish — every lock stays held under the transaction's
+// id until the decision arrives.
+func (tx *Tx) finishPrepared() {
+	tx.state = statePrepared
+	for _, fn := range tx.onFinish {
+		fn()
+	}
+	tx.onFinish = nil
+}
+
+// Prepare runs the first phase of two-phase commit on tx: constraints
+// and the PreCommit hook run exactly as in Commit, the lowered batch is
+// staged to the WAL as a prepared record (no LSN consumed) and fsynced,
+// and the transaction detaches from its session into the engine's
+// prepared table with every lock still held. A read-only participant
+// logs nothing but still parks holding its locks until the decision.
+// After Prepare returns nil the node has voted yes: only
+// CommitPrepared/AbortPrepared (or, on the coordinator, the orphan
+// timeout) finish the transaction.
+func (e *Engine) Prepare(tx *Tx, gid string) error {
+	if err := tx.ensureActive(); err != nil {
+		return err
+	}
+	if gid == "" {
+		tx.Abort()
+		return fmt.Errorf("txn: prepare: empty gid")
+	}
+	e.prepMu.Lock()
+	_, dup := e.prepared[gid]
+	_, dec := e.decided[gid]
+	e.prepMu.Unlock()
+	if dup || dec {
+		tx.Abort()
+		return fmt.Errorf("txn: prepare: gid %q already in use", gid)
+	}
+	met := &e.met.Txn
+	defer met.CommitNS.Since(time.Now())
+	ops, err := tx.precommit()
+	if err != nil {
+		return err
+	}
+	if len(ops) > 0 {
+		e.commitMu.Lock()
+		if e.closed.Load() {
+			e.commitMu.Unlock()
+			tx.Abort()
+			return fmt.Errorf("%w (prepare of tx %d rejected)", ErrDBClosed, tx.id)
+		}
+		if err := fpPrepareWAL.Check(); err != nil {
+			e.commitMu.Unlock()
+			tx.Abort()
+			return fmt.Errorf("txn: prepare: %w", err)
+		}
+		target, err := e.log.StageMeta(wal.EncodePrepared(tx.id, gid, ops))
+		if err != nil {
+			e.commitMu.Unlock()
+			tx.Abort()
+			return fmt.Errorf("txn: wal append of prepare record: %w", err)
+		}
+		if fn := e.AfterAppend; fn != nil {
+			fn(e.log.Size())
+		}
+		e.commitMu.Unlock()
+		// The vote must be durable before it is given: a yes answered
+		// from volatile state could be forgotten by a crash while the
+		// coordinator goes on to commit everyone else.
+		if err := e.log.SyncTo(target); err != nil {
+			tx.finish(stateAborted)
+			return fmt.Errorf("txn: wal sync of prepare record: %w", err)
+		}
+	}
+	entry := &preparedTx{gid: gid, txid: tx.id, ops: ops, since: time.Now()}
+	tx.finishPrepared()
+	e.prepMu.Lock()
+	e.prepared[gid] = entry
+	e.prepMu.Unlock()
+	met.PreparedTotal.Inc()
+	met.PreparedInDoubt.Add(1)
+	e.armPrepareTimer(entry)
+	return nil
+}
+
+// claim atomically removes gid's prepared entry, taking ownership of
+// its resolution; nil means no such entry.
+func (e *Engine) claim(gid string) *preparedTx {
+	e.prepMu.Lock()
+	entry := e.prepared[gid]
+	if entry != nil {
+		delete(e.prepared, gid)
+	}
+	e.prepMu.Unlock()
+	if entry != nil {
+		entry.stopTimer()
+	}
+	return entry
+}
+
+// reinstate puts a claimed entry back after a transient decision
+// failure so the coordinator (or resolver) can retry.
+func (e *Engine) reinstate(entry *preparedTx) {
+	e.prepMu.Lock()
+	e.prepared[entry.gid] = entry
+	e.prepMu.Unlock()
+	e.armPrepareTimer(entry)
+}
+
+// CommitPrepared runs the second phase for gid with a commit decision:
+// a decide record and the ordinary committed re-encoding of the batch
+// are staged together (one LSN, one fsync), the ops are applied, the
+// batch is announced to replication, and the locks release. Delivering
+// the same commit twice is idempotent (the recorded decision answers
+// with the original LSN); an unknown gid fails with ErrNoPrepared —
+// under presumed abort that means the transaction never prepared here
+// or was already aborted.
+func (e *Engine) CommitPrepared(gid string) (uint64, error) {
+	entry := e.claim(gid)
+	if entry == nil {
+		e.prepMu.Lock()
+		d, dec := e.decided[gid]
+		e.prepMu.Unlock()
+		if dec && d.commit {
+			return d.lsn, nil
+		}
+		if dec {
+			return 0, fmt.Errorf("%w: gid %q was aborted", ErrNoPrepared, gid)
+		}
+		return 0, fmt.Errorf("%w: gid %q", ErrNoPrepared, gid)
+	}
+	met := &e.met.Txn
+	var lsn uint64
+	var raw []byte
+	if len(entry.ops) > 0 {
+		e.commitMu.Lock()
+		if e.closed.Load() {
+			e.commitMu.Unlock()
+			e.reinstate(entry)
+			return 0, fmt.Errorf("%w (commit-prepared of %q rejected)", ErrDBClosed, gid)
+		}
+		if err := fpDecideWAL.Check(); err != nil {
+			e.commitMu.Unlock()
+			e.reinstate(entry)
+			return 0, fmt.Errorf("txn: commit-prepared: %w", err)
+		}
+		if _, err := e.log.StageMeta(wal.EncodeDecide(entry.txid, gid, true)); err != nil {
+			e.commitMu.Unlock()
+			e.reinstate(entry)
+			return 0, fmt.Errorf("txn: wal append of decide record: %w", err)
+		}
+		raw = wal.EncodeBatch(entry.txid, entry.ops)
+		target, err := e.log.StageRaw(raw)
+		if err != nil {
+			e.commitMu.Unlock()
+			e.reinstate(entry)
+			return 0, fmt.Errorf("txn: wal append: %w", err)
+		}
+		if fn := e.AfterAppend; fn != nil {
+			fn(e.log.Size())
+		}
+		for i := range entry.ops {
+			if err := e.mgr.Apply(&entry.ops[i]); err != nil {
+				e.commitMu.Unlock()
+				e.locks.ReleaseAll(entry.txid)
+				met.PreparedInDoubt.Add(-1)
+				return 0, fmt.Errorf("txn: apply after logging (database needs recovery): %w", err)
+			}
+		}
+		lsn = e.log.LSN()
+		e.commitMu.Unlock()
+		if err := e.log.SyncTo(target); err != nil {
+			e.locks.ReleaseAll(entry.txid)
+			met.PreparedInDoubt.Add(-1)
+			return 0, fmt.Errorf("txn: wal sync after apply (database needs recovery): %w", err)
+		}
+		e.announce(lsn, raw)
+	}
+	e.locks.ReleaseAll(entry.txid)
+	e.recordDecision(gid, decision{txid: entry.txid, commit: true, lsn: lsn})
+	met.Commits.Inc()
+	met.PreparedCommits.Inc()
+	met.PreparedInDoubt.Add(-1)
+	return lsn, nil
+}
+
+// AbortPrepared runs the second phase for gid with an abort decision.
+// Unknown gids succeed: under presumed abort, "never prepared here" and
+// "already aborted" are both the caller's desired state.
+func (e *Engine) AbortPrepared(gid string) error { return e.abortPrepared(gid, false) }
+
+func (e *Engine) abortPrepared(gid string, timedOut bool) error {
+	entry := e.claim(gid)
+	if entry == nil {
+		return nil
+	}
+	met := &e.met.Txn
+	if len(entry.ops) > 0 {
+		e.commitMu.Lock()
+		if !e.closed.Load() {
+			// Durable tombstone, best effort and not fsynced: without it
+			// a crash before the next truncation resurrects the prepared
+			// batch as in-doubt and resolution has to abort it a second
+			// time; with it lost, the same resolution still converges.
+			if _, err := e.log.StageMeta(wal.EncodeDecide(entry.txid, gid, false)); err == nil {
+				if fn := e.AfterAppend; fn != nil {
+					fn(e.log.Size())
+				}
+			}
+		}
+		e.commitMu.Unlock()
+	}
+	e.locks.ReleaseAll(entry.txid)
+	e.recordDecision(gid, decision{txid: entry.txid, commit: false})
+	met.Aborts.Inc()
+	met.PreparedAborts.Inc()
+	if timedOut {
+		met.PreparedTimeouts.Inc()
+	}
+	met.PreparedInDoubt.Add(-1)
+	return nil
+}
+
+func (e *Engine) recordDecision(gid string, d decision) {
+	e.prepMu.Lock()
+	if _, ok := e.decided[gid]; !ok {
+		e.decOrder = append(e.decOrder, gid)
+		if len(e.decOrder) > maxDecisionsInMemory {
+			evict := e.decOrder[0]
+			e.decOrder = e.decOrder[1:]
+			delete(e.decided, evict)
+		}
+	}
+	e.decided[gid] = d
+	e.prepMu.Unlock()
+}
+
+// TxStatus reports gid's fate on this node: prepared (in-doubt),
+// committed, aborted, or unknown. Resolvers treat the coordinator's
+// "unknown" as abort (presumed abort: the decision record is written
+// before any participant may commit).
+func (e *Engine) TxStatus(gid string) string {
+	e.prepMu.Lock()
+	defer e.prepMu.Unlock()
+	if _, ok := e.prepared[gid]; ok {
+		return StatusPrepared
+	}
+	if d, ok := e.decided[gid]; ok {
+		if d.commit {
+			return StatusCommitted
+		}
+		return StatusAborted
+	}
+	return StatusUnknown
+}
+
+// PreparedCount returns the number of in-doubt transactions.
+func (e *Engine) PreparedCount() int {
+	e.prepMu.Lock()
+	defer e.prepMu.Unlock()
+	return len(e.prepared)
+}
+
+// PreparedList describes every in-doubt transaction, oldest first.
+func (e *Engine) PreparedList() []PreparedInfo {
+	e.prepMu.Lock()
+	defer e.prepMu.Unlock()
+	out := make([]PreparedInfo, 0, len(e.prepared))
+	for _, p := range e.prepared {
+		out = append(out, PreparedInfo{
+			GID:       p.gid,
+			TxID:      p.txid,
+			Ops:       len(p.ops),
+			Age:       time.Since(p.since),
+			Recovered: p.recovered,
+		})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Age > out[j-1].Age; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RestageRecords returns the WAL metadata records that must survive a
+// log truncation: every undecided prepared batch, plus decide records
+// for the most recent maxDecisionRetention decisions (so a crash after
+// a checkpoint still finds the answers in-doubt participants come
+// asking about). The DB layer stages them right after truncating.
+func (e *Engine) RestageRecords() [][]byte {
+	e.prepMu.Lock()
+	defer e.prepMu.Unlock()
+	var out [][]byte
+	for gid, p := range e.prepared {
+		if len(p.ops) > 0 {
+			out = append(out, wal.EncodePrepared(p.txid, gid, p.ops))
+		}
+	}
+	keep := len(e.decOrder) - maxDecisionRetention
+	if keep < 0 {
+		keep = 0
+	}
+	for _, gid := range e.decOrder[keep:] {
+		d, ok := e.decided[gid]
+		if !ok {
+			continue
+		}
+		out = append(out, wal.EncodeDecide(d.txid, gid, d.commit))
+	}
+	return out
+}
+
+// NoteTxID raises the transaction-id allocator past id so ids of
+// recovered prepared transactions cannot be reissued to new sessions.
+func (e *Engine) NoteTxID(id uint64) {
+	for {
+		cur := e.nextID.Load()
+		if cur >= id || e.nextID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// RestorePrepared reinstates in-doubt transactions found in the WAL by
+// crash recovery: each gets its write locks back (exclusive, on every
+// OID its batch touches — read locks do not survive a crash), its txid
+// fenced off the allocator, and a prepared-table entry. Decisions found
+// in the log seed the decision map, so redelivered CommitPrepared /
+// TxStatus calls answer correctly after a restart. Recovered entries on
+// a participant get no orphan timer — only their coordinator may
+// presume abort.
+func (e *Engine) RestorePrepared(preps []*wal.Prepared, decisions map[string]bool) error {
+	for gid, commit := range decisions {
+		e.recordDecision(gid, decision{commit: commit})
+	}
+	met := &e.met.Txn
+	for _, p := range preps {
+		e.NoteTxID(p.TxID)
+		ops := make([]wal.Op, len(p.Ops))
+		seen := make(map[core.OID]bool, len(p.Ops))
+		for i, op := range p.Ops {
+			ops[i] = *op
+			oid := core.OID(op.OID)
+			// OIDs in a prepared batch were allocated before the crash but
+			// appear in no committed record — fence the allocator so a new
+			// transaction cannot be handed the same identity.
+			e.mgr.NoteOID(oid)
+			if seen[oid] {
+				continue
+			}
+			seen[oid] = true
+			if err := e.locks.Acquire(context.Background(), p.TxID, oid, Exclusive); err != nil {
+				return fmt.Errorf("txn: restore prepared %q: relock @%d: %w", p.GID, op.OID, err)
+			}
+		}
+		entry := &preparedTx{gid: p.GID, txid: p.TxID, ops: ops, since: time.Now(), recovered: true}
+		e.prepMu.Lock()
+		e.prepared[p.GID] = entry
+		e.prepMu.Unlock()
+		met.PreparedInDoubt.Add(1)
+		e.armPrepareTimer(entry)
+	}
+	return nil
+}
+
+// StopPrepareTimers disarms every orphan timer (shutdown): prepared
+// state stays in the table for RestageRecords, and nothing races the
+// closing WAL.
+func (e *Engine) StopPrepareTimers() {
+	e.prepMu.Lock()
+	defer e.prepMu.Unlock()
+	for _, p := range e.prepared {
+		p.stopTimer()
+	}
+}

@@ -32,7 +32,8 @@ const (
 	stateActive = iota
 	stateCommitted
 	stateAborted
-	stateFailed // never admitted: Begin itself was rejected
+	stateFailed   // never admitted: Begin itself was rejected
+	statePrepared // two-phase commit: durable in-doubt, locks retained (prepared.go)
 )
 
 // Sentinel errors.
@@ -103,6 +104,16 @@ type Engine struct {
 	// With group commit the call happens outside the commit lock (see
 	// announce). Guarded by annMu.
 	onCommit func(lsn uint64, raw []byte)
+
+	// Two-phase-commit state (prepared.go). prepMu guards the prepared
+	// table and the decision history; lock order: prepMu → commitMu is
+	// forbidden — decision paths take prepMu only around map access.
+	prepMu         sync.Mutex
+	prepared       map[string]*preparedTx
+	decided        map[string]decision
+	decOrder       []string // decision retention ring (re-staged across truncation)
+	shardSlot      int      // this node's shard index; -1 = unsharded
+	prepareTimeout time.Duration
 }
 
 // NewEngine builds a transaction engine over a manager and its WAL.
@@ -113,6 +124,9 @@ func NewEngine(mgr *object.Manager, log *wal.Log) *Engine {
 		locks:      NewLockManager(),
 		annNext:    log.LSN() + 1,
 		annPending: make(map[uint64][]byte),
+		prepared:   make(map[string]*preparedTx),
+		decided:    make(map[string]decision),
+		shardSlot:  -1,
 	}
 	e.SetMetrics(obs.NewMetrics(nil))
 	return e
@@ -731,59 +745,11 @@ func (tx *Tx) Commit() error {
 	}
 	met := &tx.engine.met.Txn
 	defer met.CommitNS.Since(time.Now())
-	// Constraint check over final buffered states (conceptually "at the
-	// end of each transaction").
-	for oid, w := range tx.writes {
-		if w.obj == nil || !w.dirty {
-			continue
-		}
-		violated, err := w.obj.CheckConstraints(tx)
-		if err != nil {
-			met.ConstraintViolations.Inc()
-			tx.Abort()
-			return fmt.Errorf("%w: %v", ErrConstraintViolation, err)
-		}
-		if violated != nil {
-			met.ConstraintViolations.Inc()
-			tx.Abort()
-			return fmt.Errorf("%w: object @%d of class %s violates %q (%s)",
-				ErrConstraintViolation, oid, w.obj.Class().Name, violated.Name, violated.Src)
-		}
+	ops, err := tx.precommit()
+	if err != nil {
+		return err
 	}
-	if hook := tx.engine.PreCommit; hook != nil {
-		if err := hook(tx); err != nil {
-			tx.Abort()
-			return err
-		}
-	}
-	ops := tx.buildOps()
 	e := tx.engine
-	if len(ops) > 0 {
-		// A transaction begun before the node entered replica mode may
-		// reach Commit with a write set; reject it like the write entry
-		// points do.
-		if e.readOnly.Load() {
-			tx.Abort()
-			return fmt.Errorf("%w (commit of tx %d)", ErrReadOnly, tx.id)
-		}
-		// A dead context aborts before anything reaches the WAL, so a
-		// canceled transaction is always a clean abort, never an
-		// ambiguous commit.
-		if err := tx.ctx.Err(); err != nil {
-			terr := tx.noteCtxErr(err)
-			tx.Abort()
-			return terr
-		}
-		// Hard-limit stall before the commit lock: the checkpointer
-		// needs that lock to drain the log.
-		if bp := e.Backpressure; bp != nil {
-			if err := bp(tx.ctx); err != nil {
-				tx.noteIfCtx(err)
-				tx.Abort()
-				return err
-			}
-		}
-	}
 	var raw []byte
 	var syncTarget int64
 	e.commitMu.Lock()
@@ -859,6 +825,68 @@ func (tx *Tx) Commit() error {
 		hook(tx)
 	}
 	return nil
+}
+
+// precommit runs the shared front half of Commit and Engine.Prepare:
+// the constraint sweep over final buffered states (conceptually "at
+// the end of each transaction"), the PreCommit hook, lowering to WAL
+// ops, and — for transactions with a write set — the read-only,
+// dead-context, and backpressure gates. On error the transaction has
+// already been aborted.
+func (tx *Tx) precommit() ([]wal.Op, error) {
+	met := &tx.engine.met.Txn
+	for oid, w := range tx.writes {
+		if w.obj == nil || !w.dirty {
+			continue
+		}
+		violated, err := w.obj.CheckConstraints(tx)
+		if err != nil {
+			met.ConstraintViolations.Inc()
+			tx.Abort()
+			return nil, fmt.Errorf("%w: %v", ErrConstraintViolation, err)
+		}
+		if violated != nil {
+			met.ConstraintViolations.Inc()
+			tx.Abort()
+			return nil, fmt.Errorf("%w: object @%d of class %s violates %q (%s)",
+				ErrConstraintViolation, oid, w.obj.Class().Name, violated.Name, violated.Src)
+		}
+	}
+	if hook := tx.engine.PreCommit; hook != nil {
+		if err := hook(tx); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	ops := tx.buildOps()
+	e := tx.engine
+	if len(ops) > 0 {
+		// A transaction begun before the node entered replica mode may
+		// reach Commit with a write set; reject it like the write entry
+		// points do.
+		if e.readOnly.Load() {
+			tx.Abort()
+			return nil, fmt.Errorf("%w (commit of tx %d)", ErrReadOnly, tx.id)
+		}
+		// A dead context aborts before anything reaches the WAL, so a
+		// canceled transaction is always a clean abort, never an
+		// ambiguous commit.
+		if err := tx.ctx.Err(); err != nil {
+			terr := tx.noteCtxErr(err)
+			tx.Abort()
+			return nil, terr
+		}
+		// Hard-limit stall before the commit lock: the checkpointer
+		// needs that lock to drain the log.
+		if bp := e.Backpressure; bp != nil {
+			if err := bp(tx.ctx); err != nil {
+				tx.noteIfCtx(err)
+				tx.Abort()
+				return nil, err
+			}
+		}
+	}
+	return ops, nil
 }
 
 // buildOps lowers the buffered write set to WAL operations: frozen

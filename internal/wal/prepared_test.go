@@ -1,0 +1,142 @@
+package wal
+
+import (
+	"testing"
+)
+
+// stagePrepared stages and fsyncs one prepared record.
+func stagePrepared(t testing.TB, l *Log, txid uint64, gid string, ops []Op) {
+	t.Helper()
+	target, err := l.StageMeta(EncodePrepared(txid, gid, ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncTo(target); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stageDecide stages and fsyncs one decision record.
+func stageDecide(t testing.TB, l *Log, txid uint64, gid string, commit bool) {
+	t.Helper()
+	target, err := l.StageMeta(EncodeDecide(txid, gid, commit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncTo(target); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayPreparedUndecided: prepared records come back in log
+// order, with their ops intact, until a decision resolves them.
+func TestReplayPreparedUndecided(t *testing.T) {
+	l, path := openTestLog(t)
+	stagePrepared(t, l, 7, "s0-a-1", []Op{put(10, "x"), {Type: OpDelete, OID: 4}})
+	stagePrepared(t, l, 9, "s1-b-2", []Op{put(11, "y")})
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	preps, decisions, err := l2.ReplayPrepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 0 {
+		t.Fatalf("decisions = %v, want none", decisions)
+	}
+	if len(preps) != 2 || preps[0].GID != "s0-a-1" || preps[1].GID != "s1-b-2" {
+		t.Fatalf("preps = %+v, want log order", preps)
+	}
+	if preps[0].TxID != 7 || len(preps[0].Ops) != 2 ||
+		preps[0].Ops[0].OID != 10 || string(preps[0].Ops[0].Image) != "x" ||
+		preps[0].Ops[1].Type != OpDelete || preps[0].Ops[1].OID != 4 {
+		t.Fatalf("ops not preserved: %+v", preps[0])
+	}
+}
+
+// TestReplayPreparedDecided: a decision removes its gid from the
+// undecided set and surfaces in the decision map instead.
+func TestReplayPreparedDecided(t *testing.T) {
+	l, path := openTestLog(t)
+	stagePrepared(t, l, 1, "g-commit", []Op{put(10, "x")})
+	stagePrepared(t, l, 2, "g-abort", []Op{put(11, "y")})
+	stagePrepared(t, l, 3, "g-open", []Op{put(12, "z")})
+	stageDecide(t, l, 1, "g-commit", true)
+	stageDecide(t, l, 2, "g-abort", false)
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	preps, decisions, err := l2.ReplayPrepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preps) != 1 || preps[0].GID != "g-open" {
+		t.Fatalf("undecided = %+v, want only g-open", preps)
+	}
+	if commit, ok := decisions["g-commit"]; !ok || !commit {
+		t.Fatalf("decisions[g-commit] = %v,%v, want commit", commit, ok)
+	}
+	if commit, ok := decisions["g-abort"]; !ok || commit {
+		t.Fatalf("decisions[g-abort] = %v,%v, want abort", commit, ok)
+	}
+}
+
+// TestPreparedRecordsInvisibleToLSN: metadata records must not move
+// the committed-batch LSN, at stage time or across a reopen.
+func TestPreparedRecordsInvisibleToLSN(t *testing.T) {
+	l, path := openTestLog(t)
+	if err := l.Append(1, []Op{put(10, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	before := l.LSN()
+	stagePrepared(t, l, 2, "g-1", []Op{put(11, "b")})
+	stageDecide(t, l, 2, "g-1", false)
+	if got := l.LSN(); got != before {
+		t.Fatalf("LSN moved %d -> %d on metadata records", before, got)
+	}
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LSN(); got != before {
+		t.Fatalf("LSN after reopen = %d, want %d", got, before)
+	}
+}
+
+// TestReplaySkipsPreparedBatches: ordinary committed replay must not
+// apply ops that only ever reached a prepared record.
+func TestReplaySkipsPreparedBatches(t *testing.T) {
+	l, path := openTestLog(t)
+	if err := l.Append(1, []Op{put(10, "committed")}); err != nil {
+		t.Fatal(err)
+	}
+	stagePrepared(t, l, 2, "g-1", []Op{put(11, "indoubt")})
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var oids []uint64
+	if err := l2.Replay(func(op *Op) error {
+		oids = append(oids, op.OID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 1 || oids[0] != 10 {
+		t.Fatalf("replayed oids %v, want only the committed 10", oids)
+	}
+}

@@ -82,6 +82,18 @@ const (
 	OpDeleteVersion        // remove one frozen version
 	OpCommit
 	OpLSNBase
+	// OpPrepare terminates a prepared (in-doubt) two-phase-commit batch:
+	// the preceding records for its TxID are the transaction's redo ops,
+	// durable but not yet decided. Image holds the global transaction id.
+	// Prepared batches do not advance the LSN and are never replayed as
+	// committed state; recovery surfaces them via ReplayPrepared.
+	OpPrepare
+	// OpDecide is a coordinator's 2PC decision record: Image holds the
+	// global transaction id, Version is 1 for commit and 0 for abort. A
+	// decide-commit is always followed (in the same sync) by the ordinary
+	// committed batch re-encoding of the prepared ops, which is what
+	// replay and replication actually apply.
+	OpDecide
 )
 
 func (t OpType) String() string {
@@ -98,6 +110,10 @@ func (t OpType) String() string {
 		return "commit"
 	case OpLSNBase:
 		return "lsn-base"
+	case OpPrepare:
+		return "prepare"
+	case OpDecide:
+		return "decide"
 	}
 	return "invalid"
 }
@@ -325,8 +341,8 @@ func DecodeBatch(raw []byte) (*Batch, error) {
 			}
 			return b, nil
 		}
-		if op.Type == OpLSNBase {
-			return nil, fmt.Errorf("%w: base record inside batch", ErrCorrupt)
+		if op.Type == OpLSNBase || op.Type == OpPrepare || op.Type == OpDecide {
+			return nil, fmt.Errorf("%w: metadata record inside batch", ErrCorrupt)
 		}
 		b.Ops = append(b.Ops, op)
 	}
@@ -387,6 +403,39 @@ func (l *Log) StageRaw(raw []byte) (target int64, err error) {
 	l.gcMu.Lock()
 	l.staged += int64(len(raw))
 	l.pendingN++
+	target = l.staged
+	l.gcMu.Unlock()
+	return target, nil
+}
+
+// StageMeta writes pre-encoded metadata records (a prepared batch, a
+// 2PC decision) into the file WITHOUT advancing the LSN: scanEnd counts
+// only commit records, so the replication position is untouched — which
+// is exactly why prepared batches must be staged here and not through
+// StageRaw. Returns a SyncTo target like StageRaw. The caller must hold
+// the commit lock.
+func (l *Log) StageMeta(raw []byte) (target int64, err error) {
+	l.gcMu.Lock()
+	if l.poison != nil {
+		defer l.gcMu.Unlock()
+		return 0, l.poisonErrLocked()
+	}
+	l.gcMu.Unlock()
+	end := l.end.Load()
+	if k, ferr := fpAppend.CheckIO(len(raw)); ferr != nil {
+		if k > 0 {
+			l.f.WriteAt(raw[:k], end)
+		}
+		return 0, fmt.Errorf("wal: append: %w", ferr)
+	}
+	if _, err := l.f.WriteAt(raw, end); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.end.Store(end + int64(len(raw)))
+	l.met.Appends.Inc()
+	l.met.AppendBytes.Add(uint64(len(raw)))
+	l.gcMu.Lock()
+	l.staged += int64(len(raw))
 	target = l.staged
 	l.gcMu.Unlock()
 	return target, nil
@@ -546,7 +595,15 @@ func (l *Log) ReplayBatches(fn func(lsn uint64, b *Batch) error) error {
 			return err
 		}
 		off += frameHeader + int64(n)
-		if op.Type == OpLSNBase {
+		if op.Type == OpLSNBase || op.Type == OpDecide {
+			continue
+		}
+		if op.Type == OpPrepare {
+			// The preceding records for this TxID are a prepared (in-doubt)
+			// batch, not a committed one: they must never reach committed
+			// replay or the replication announce stream. A decide-commit
+			// re-logs them as an ordinary batch, which replays normally.
+			delete(pending, op.TxID)
 			continue
 		}
 		p := pending[op.TxID]
@@ -569,6 +626,93 @@ func (l *Log) ReplayBatches(fn func(lsn uint64, b *Batch) error) error {
 	return nil
 }
 
+// EncodePrepared builds the on-disk encoding of one prepared (in-doubt)
+// batch: each op as a record, terminated by a prepare record carrying
+// the global transaction id. Staged via StageMeta — never StageRaw —
+// because prepared batches must not advance the LSN.
+func EncodePrepared(txid uint64, gid string, ops []Op) []byte {
+	buf := make([]byte, 0, 256)
+	for i := range ops {
+		op := ops[i]
+		op.TxID = txid
+		buf = appendRecord(buf, &op)
+	}
+	return appendRecord(buf, &Op{Type: OpPrepare, TxID: txid, Image: []byte(gid)})
+}
+
+// EncodeDecide builds a 2PC decision record for gid: commit when commit
+// is true, abort otherwise.
+func EncodeDecide(txid uint64, gid string, commit bool) []byte {
+	var v uint32
+	if commit {
+		v = 1
+	}
+	return appendRecord(nil, &Op{Type: OpDecide, TxID: txid, Version: v, Image: []byte(gid)})
+}
+
+// Prepared is one in-doubt transaction recovered from the log: its redo
+// operations are durable behind a prepare record but no decision has
+// been logged. The coordinator's decision (or a presumed abort) resolves
+// it.
+type Prepared struct {
+	GID  string
+	TxID uint64
+	Ops  []*Op
+}
+
+// ReplayPrepared scans the log for two-phase-commit state: it returns
+// the still-undecided prepared transactions in log order, plus every
+// decision record seen (gid -> committed). A prepared transaction whose
+// gid has a decision is resolved — a decide-commit staged the ordinary
+// committed batch alongside it (which ReplayBatches applies), and a
+// decide-abort simply discards it. Callers must hold the commit lock
+// (or otherwise exclude Truncate) if the log is live.
+func (l *Log) ReplayPrepared() ([]*Prepared, map[string]bool, error) {
+	var off int64
+	pending := make(map[uint64][]*Op)
+	var order []*Prepared
+	decisions := make(map[string]bool)
+	var hdr [frameHeader]byte
+	for off < l.end.Load() {
+		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+			return nil, nil, fmt.Errorf("wal: replay read: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		buf := make([]byte, n)
+		if _, err := l.f.ReadAt(buf, off+frameHeader); err != nil {
+			return nil, nil, fmt.Errorf("wal: replay read payload: %w", err)
+		}
+		if crc32.Checksum(buf, crcTable) != crc {
+			return nil, nil, fmt.Errorf("%w at offset %d", ErrCorrupt, off)
+		}
+		op, err := decodeOp(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		off += frameHeader + int64(n)
+		switch op.Type {
+		case OpLSNBase:
+		case OpPrepare:
+			order = append(order, &Prepared{GID: string(op.Image), TxID: op.TxID, Ops: pending[op.TxID]})
+			delete(pending, op.TxID)
+		case OpDecide:
+			decisions[string(op.Image)] = op.Version == 1
+		case OpCommit:
+			delete(pending, op.TxID)
+		default:
+			pending[op.TxID] = append(pending[op.TxID], op)
+		}
+	}
+	out := order[:0]
+	for _, p := range order {
+		if _, decided := decisions[p.GID]; !decided {
+			out = append(out, p)
+		}
+	}
+	return out, decisions, nil
+}
+
 func decodeOp(buf []byte) (*Op, error) {
 	if len(buf) < payloadFixed {
 		return nil, ErrCorrupt
@@ -580,7 +724,7 @@ func decodeOp(buf []byte) (*Op, error) {
 		Version: binary.LittleEndian.Uint32(buf[17:]),
 		ClassID: binary.LittleEndian.Uint32(buf[21:]),
 	}
-	if op.Type == OpInvalid || op.Type > OpLSNBase {
+	if op.Type == OpInvalid || op.Type > OpDecide {
 		return nil, fmt.Errorf("%w: bad op type %d", ErrCorrupt, buf[0])
 	}
 	if len(buf) > payloadFixed {

@@ -45,6 +45,33 @@ func FuzzDecodeFrame(f *testing.F) {
 	// default to epoch 0.
 	f.Add(AppendFrame(nil, &Frame{ReqID: 9, Type: CmdWALSubscribe, Body: sub.Append(nil)[:8]}))
 
+	// The 2PC surface (0x60–0x64): gids, decision responses, and shard
+	// status bodies arrive from the router and from operators, so the
+	// decoders get the same treatment as 0x50–0x53. Truncation seeds
+	// cut inside a string length and inside the prepared list.
+	gid := GIDBody("s2-deadbeef-17")
+	f.Add(AppendFrame(nil, &Frame{ReqID: 10, Type: CmdPrepare, Body: gid}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 11, Type: CmdCommitPrepared, Body: gid}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 12, Type: CmdAbortPrepared, Body: gid}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 13, Type: CmdTxStatus, Body: gid}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 14, Type: CmdPrepare, Body: gid[:len(gid)-4]})) // gid cut mid-string
+	f.Add(AppendFrame(nil, &Frame{ReqID: 15, Type: RespTxStatus, Body: TxStatusBody("committed", 4242)}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 16, Type: RespTxStatus, Body: TxStatusBody("prepared", 0)[:3]})) // lsn truncated off
+	sh := &ShardStatus{LSN: 99, Epoch: 4, ReadOnly: false, ShardSlot: 1, ShardCount: 3,
+		Prepared: []PreparedGID{{GID: "s0-aa-1", Ops: 2, AgeMS: 1500, Recovered: true}, {GID: "s1-bb-2", Ops: 1}}}
+	shBody := sh.Append(nil)
+	f.Add(AppendFrame(nil, &Frame{ReqID: 17, Type: CmdShardStatus}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 18, Type: RespShardStatus, Body: shBody}))
+	f.Add(AppendFrame(nil, &Frame{ReqID: 19, Type: RespShardStatus, Body: shBody[:len(shBody)-6]})) // list cut mid-entry
+	// A prepared-count claiming more entries than the body holds: the
+	// decoder's overflow guard must error, not allocate.
+	lie := AppendUvarint(AppendUvarint(nil, 99), 4)
+	lie = append(lie, 0)
+	lie = AppendUvarint(lie, 1)
+	lie = AppendUvarint(lie, 3)
+	lie = AppendUvarint(lie, 1<<40)
+	f.Add(AppendFrame(nil, &Frame{ReqID: 20, Type: RespShardStatus, Body: lie}))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, n, err := DecodeFrame(data, 0)
 		if err != nil {
@@ -69,5 +96,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		_, _, _, _ = DecodeHeartbeat(fr.Body)
 		_, _ = DecodeReplStatus(fr.Body)
 		_, _, _ = DecodeSnapBody(fr.Body)
+		_, _ = DecodeGIDBody(fr.Body)
+		_, _, _ = DecodeTxStatusBody(fr.Body)
+		_, _ = DecodeShardStatus(fr.Body)
 	})
 }

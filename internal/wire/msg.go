@@ -288,6 +288,110 @@ func DecodeSnapBody(body []byte) (replID string, lsn uint64, err error) {
 	return replID, lsn, d.Err()
 }
 
+// GIDBody builds the body shared by CmdPrepare, CmdCommitPrepared,
+// CmdAbortPrepared, and CmdTxStatus: the global transaction id.
+func GIDBody(gid string) []byte { return AppendString(nil, gid) }
+
+// DecodeGIDBody parses a gid-only body.
+func DecodeGIDBody(body []byte) (string, error) {
+	d := NewDec(body)
+	gid := d.String()
+	return gid, d.Err()
+}
+
+// TxStatusBody builds a RespTxStatus body: the transaction's fate on
+// the answering node ("prepared", "committed", "aborted", "unknown")
+// and, for a commit, the local commit LSN.
+func TxStatusBody(status string, lsn uint64) []byte {
+	b := AppendString(nil, status)
+	return AppendUvarint(b, lsn)
+}
+
+// DecodeTxStatusBody parses a RespTxStatus body.
+func DecodeTxStatusBody(body []byte) (status string, lsn uint64, err error) {
+	d := NewDec(body)
+	status = d.String()
+	lsn = d.Uvarint()
+	return status, lsn, d.Err()
+}
+
+// PreparedGID describes one in-doubt transaction in a ShardStatus.
+type PreparedGID struct {
+	GID       string
+	Ops       uint64
+	AgeMS     uint64
+	Recovered bool
+}
+
+// ShardStatus is the body of a RespShardStatus response: the node's
+// durability position and fencing epoch, its shard coordinates, and
+// every prepared (in-doubt) two-phase-commit transaction it holds —
+// the raw material of the in-doubt resolution runbook
+// (docs/SHARDING.md).
+type ShardStatus struct {
+	LSN        uint64
+	Epoch      uint64
+	ReadOnly   bool
+	ShardSlot  uint64 // this node's shard index
+	ShardCount uint64 // 0 when unsharded
+	Prepared   []PreparedGID
+}
+
+// Append serializes the status body.
+func (s *ShardStatus) Append(b []byte) []byte {
+	b = AppendUvarint(b, s.LSN)
+	b = AppendUvarint(b, s.Epoch)
+	var flags byte
+	if s.ReadOnly {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = AppendUvarint(b, s.ShardSlot)
+	b = AppendUvarint(b, s.ShardCount)
+	b = AppendUvarint(b, uint64(len(s.Prepared)))
+	for i := range s.Prepared {
+		p := &s.Prepared[i]
+		b = AppendString(b, p.GID)
+		b = AppendUvarint(b, p.Ops)
+		b = AppendUvarint(b, p.AgeMS)
+		var pf byte
+		if p.Recovered {
+			pf |= 1
+		}
+		b = append(b, pf)
+	}
+	return b
+}
+
+// DecodeShardStatus parses a RespShardStatus body.
+func DecodeShardStatus(body []byte) (*ShardStatus, error) {
+	d := NewDec(body)
+	s := &ShardStatus{}
+	s.LSN = d.Uvarint()
+	s.Epoch = d.Uvarint()
+	s.ReadOnly = d.Byte()&1 != 0
+	s.ShardSlot = d.Uvarint()
+	s.ShardCount = d.Uvarint()
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(d.Rest())) {
+		// Each entry consumes at least one byte; a count beyond the
+		// remaining body is corruption, not an allocation request.
+		return nil, fmt.Errorf("%w: prepared count %d exceeds body", ErrMalformed, n)
+	}
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		var p PreparedGID
+		p.GID = d.String()
+		p.Ops = d.Uvarint()
+		p.AgeMS = d.Uvarint()
+		p.Recovered = d.Byte()&1 != 0
+		s.Prepared = append(s.Prepared, p)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // ErrBody builds a RespErr body.
 func ErrBody(code uint16, msg string) []byte {
 	b := AppendUvarint(nil, uint64(code))

@@ -82,6 +82,13 @@ const (
 	CmdReplStatus     = 0x52
 	CmdPromote        = 0x53
 
+	// Two-phase commit (cross-shard transactions; docs/SHARDING.md).
+	CmdPrepare        = 0x60
+	CmdCommitPrepared = 0x61
+	CmdAbortPrepared  = 0x62
+	CmdTxStatus       = 0x63
+	CmdShardStatus    = 0x64
+
 	RespOK       = 0x80
 	RespErr      = 0x81
 	RespOID      = 0x82
@@ -97,6 +104,9 @@ const (
 	RespWALSnapEnd   = 0x92
 	RespReplStatus   = 0x93
 	RespWALHeartbeat = 0x94
+
+	RespTxStatus    = 0x95
+	RespShardStatus = 0x96
 )
 
 // CmdName names a message type for metrics and diagnostics.
@@ -138,6 +148,16 @@ func CmdName(t byte) string {
 		return "repl-status"
 	case CmdPromote:
 		return "promote"
+	case CmdPrepare:
+		return "prepare"
+	case CmdCommitPrepared:
+		return "commit-prepared"
+	case CmdAbortPrepared:
+		return "abort-prepared"
+	case CmdTxStatus:
+		return "tx-status"
+	case CmdShardStatus:
+		return "shard-status"
 	}
 	return fmt.Sprintf("cmd(0x%02x)", t)
 }
@@ -361,6 +381,7 @@ const (
 	CodeReplResync // subscriber position unserviceable: full resync required
 	CodeStaleEpoch // epoch fencing: the peer was deposed by a newer promotion
 	CodeFailover   // operation lost to a replication failover in progress
+	CodeNoPrepared // two-phase commit: no prepared transaction with that gid
 )
 
 // ErrProto reports a request the server could not honor as sent (no
@@ -402,6 +423,8 @@ func Code(err error) uint16 {
 		return CodeStaleEpoch
 	case errors.Is(err, txn.ErrFailover):
 		return CodeFailover
+	case errors.Is(err, txn.ErrNoPrepared):
+		return CodeNoPrepared
 	case errors.Is(err, ErrResync):
 		return CodeReplResync
 	case errors.Is(err, ErrProto):
@@ -448,6 +471,8 @@ func CodeErr(code uint16, msg string) error {
 		sentinel = txn.ErrStaleEpoch
 	case CodeFailover:
 		sentinel = txn.ErrFailover
+	case CodeNoPrepared:
+		sentinel = txn.ErrNoPrepared
 	case CodeReplResync:
 		sentinel = ErrResync
 	default:

@@ -99,6 +99,65 @@ func (t remoteTx) Count(c *ode.Class, field string, min int64) (int, error) {
 	return t.tx.Count(&client.Scan{Class: c, Field: field, Op: client.CmpGe, Value: ode.Int(min)})
 }
 
+// NewShardedStore adapts a shard-group router into a workload Store:
+// point ops route by OID, scans scatter-gather, and multi-shard writes
+// commit through 2PC. The world must come from bench.Schema().
+func NewShardedStore(r *client.Sharded, w *bench.World) Store {
+	return &shardedStore{r: r, w: w, ctx: context.Background()}
+}
+
+type shardedStore struct {
+	r   *client.Sharded
+	w   *bench.World
+	ctx context.Context
+}
+
+func (s *shardedStore) Mode() string        { return fmt.Sprintf("sharded-%d", s.r.NumShards()) }
+func (s *shardedStore) World() *bench.World { return s.w }
+func (s *shardedStore) DB() *ode.DB         { return nil }
+
+func (s *shardedStore) RunTx(fn func(Tx) error) error {
+	return s.r.RunTx(s.ctx, func(tx *client.STx) error { return fn(shardedTx{tx}) })
+}
+
+func (s *shardedStore) View(fn func(Tx) error) error {
+	return s.r.View(s.ctx, func(tx *client.STx) error { return fn(shardedTx{tx}) })
+}
+
+// CounterSnapshot sums the scalar metrics across all shards, so
+// counter-delta columns report group-wide totals.
+func (s *shardedStore) CounterSnapshot() (map[string]int64, error) {
+	total := make(map[string]int64)
+	for i := 0; i < s.r.NumShards(); i++ {
+		raw, err := s.r.Shard(i).MetricsJSON(s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("decode shard %d metrics: %w", i, err)
+		}
+		for name, v := range flattenCounters(snap) {
+			total[name] += v
+		}
+	}
+	return total, nil
+}
+
+type shardedTx struct{ tx *client.STx }
+
+func (t shardedTx) PNew(c *ode.Class, o *ode.Object) (ode.OID, error) { return t.tx.PNew(c, o) }
+func (t shardedTx) Deref(oid ode.OID) (*ode.Object, error)            { return t.tx.Deref(oid) }
+func (t shardedTx) Update(oid ode.OID, o *ode.Object) error           { return t.tx.Update(oid, o) }
+func (t shardedTx) PDelete(oid ode.OID) error                         { return t.tx.PDelete(oid) }
+func (t shardedTx) NewVersion(oid ode.OID) (ode.VRef, error)          { return t.tx.NewVersion(oid) }
+func (t shardedTx) DerefVersion(ref ode.VRef) (*ode.Object, error)    { return t.tx.DerefVersion(ref) }
+func (t shardedTx) DeleteVersion(ref ode.VRef) error                  { return t.tx.DeleteVersion(ref) }
+
+func (t shardedTx) Count(c *ode.Class, field string, min int64) (int, error) {
+	return t.tx.Count(&client.Scan{Class: c, Field: field, Op: client.CmpGe, Value: ode.Int(min)})
+}
+
 // flattenCounters keeps the scalar numeric metrics of a registry
 // snapshot (histogram snapshots and other structured values are
 // dropped): the common currency of the embedded registry (uint64 /

@@ -124,6 +124,20 @@ type Options struct {
 	// waiter leads, the rest follow). On by default — a lone committer
 	// pays exactly the old write+fsync cost.
 	GroupCommit GroupCommitOptions
+	// ShardCount and ShardSlot configure this database as shard
+	// ShardSlot of a ShardCount-wide group: every OID it allocates
+	// satisfies oid % ShardCount == ShardSlot, so a client-side router
+	// (client.Sharded) can map any OID back to its shard with one
+	// modulo, and the transaction engine learns which two-phase-commit
+	// gids it coordinates (docs/SHARDING.md). ShardCount < 2 means
+	// unsharded.
+	ShardCount int
+	ShardSlot  int
+	// PrepareTimeout bounds how long a prepared (in-doubt) two-phase-
+	// commit transaction waits for its decision before its coordinator
+	// presumes abort and releases the locks (default 60s). Participants
+	// never time out on their own — see docs/SHARDING.md.
+	PrepareTimeout time.Duration
 }
 
 // GroupCommitOptions configures commit batching (Options.GroupCommit).
@@ -249,6 +263,18 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 	log.SetSync(!o.NoSync)
 	log.SetGroupCommit(o.GroupCommit.MaxBatch, o.GroupCommit.MaxDelay)
 
+	// In-doubt two-phase-commit state must be captured before recovery:
+	// the rebuild below truncates the log, and prepared batches — which
+	// exist even under a clean-shutdown mark (Close re-stages them) —
+	// would be lost with it.
+	preps, decisions, perr := log.ReplayPrepared()
+	if perr != nil {
+		log.Close()
+		dw.Close()
+		fs.Close()
+		return nil, fmt.Errorf("ode: scan prepared transactions: %w", perr)
+	}
+
 	needRebuild := !fresh && !object.WasCleanShutdown(fs) && !log.Empty()
 	if needRebuild {
 		if o.DisableRecovery {
@@ -290,6 +316,9 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 	if o.ObjectCacheSize != object.DefaultObjectCacheSize {
 		mgr.SetObjectCacheSize(o.ObjectCacheSize)
 	}
+	if o.ShardCount > 1 {
+		mgr.SetOIDStride(o.ShardSlot, o.ShardCount)
+	}
 	// Any crash from here on implies recovery at next open.
 	if err := mgr.MarkUnclean(); err != nil {
 		log.Close()
@@ -299,6 +328,10 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 	}
 	engine := txn.NewEngine(mgr, log)
 	engine.SetGroupCommit(!o.GroupCommit.Disable)
+	if o.ShardCount > 1 {
+		engine.SetShardSlot(o.ShardSlot)
+	}
+	engine.SetPrepareTimeout(o.PrepareTimeout)
 	svc, err := trigger.NewService(engine, !o.AsyncTriggers)
 	if err != nil {
 		log.Close()
@@ -332,6 +365,35 @@ func Open(path string, schema *core.Schema, opts *Options) (*DB, error) {
 	mgr.SetMetrics(&met.Object)
 	engine.SetMetrics(met)
 	svc.SetMetrics(&met.Trigger)
+	// Reinstate in-doubt two-phase-commit transactions: write locks
+	// come back under their original txids, and — when recovery just
+	// truncated the log — their prepared batches and the recent
+	// decision records are staged into the fresh log so a second crash
+	// still finds them.
+	if len(preps) > 0 || len(decisions) > 0 {
+		if err := engine.RestorePrepared(preps, decisions); err != nil {
+			log.Close()
+			dw.Close()
+			fs.Close()
+			return nil, err
+		}
+		if needRebuild {
+			for _, rec := range engine.RestageRecords() {
+				if _, err := log.StageMeta(rec); err != nil {
+					log.Close()
+					dw.Close()
+					fs.Close()
+					return nil, fmt.Errorf("ode: restage prepared state: %w", err)
+				}
+			}
+			if err := log.SyncAll(); err != nil {
+				log.Close()
+				dw.Close()
+				fs.Close()
+				return nil, fmt.Errorf("ode: restage prepared state: %w", err)
+			}
+		}
+	}
 	db := &DB{
 		path:     path,
 		opts:     o,
@@ -643,7 +705,25 @@ func (db *DB) Checkpoint() error {
 		if gate != nil && gate(db.log.LSN()) {
 			return nil
 		}
-		return db.log.Truncate()
+		// Prepared (in-doubt) two-phase-commit transactions pin the log
+		// the same way: their batches live only there until a decision
+		// arrives, so truncation waits for resolution.
+		if db.engine.PreparedCount() > 0 {
+			return nil
+		}
+		if err := db.log.Truncate(); err != nil {
+			return err
+		}
+		// Re-stage recent decision records across the truncation so a
+		// crash after this checkpoint still finds the answers in-doubt
+		// participants come asking about. Not fsynced: a lost tombstone
+		// degrades to presumed abort (docs/SHARDING.md).
+		for _, rec := range db.engine.RestageRecords() {
+			if _, err := db.log.StageMeta(rec); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 }
 
@@ -758,6 +838,7 @@ func (db *DB) MetricsRegistry() *obs.Registry { return db.reg }
 // For tests and benchmarks only.
 func (db *DB) CrashForTesting() {
 	db.closing.Store(true)
+	db.engine.StopPrepareTimers()
 	db.stopCheckpointer()
 	if db.closed {
 		return
@@ -816,6 +897,7 @@ func (db *DB) Close() error {
 	// From here commits with a write set are rejected under the commit
 	// lock: nothing can reach the WAL once the final checkpoint runs.
 	db.engine.MarkClosed()
+	db.engine.StopPrepareTimers()
 	db.stopCheckpointer()
 	if db.closed {
 		return nil
@@ -825,7 +907,18 @@ func (db *DB) Close() error {
 		if err := db.mgr.Checkpoint(true); err != nil {
 			return err
 		}
-		return db.log.Truncate()
+		if err := db.log.Truncate(); err != nil {
+			return err
+		}
+		// In-doubt two-phase-commit batches and recent decision records
+		// survive the shutdown truncation: the next Open reinstates them
+		// (a clean-shutdown mark does not resolve a distributed vote).
+		for _, rec := range db.engine.RestageRecords() {
+			if _, err := db.log.StageMeta(rec); err != nil {
+				return err
+			}
+		}
+		return db.log.SyncAll()
 	})
 	if err != nil {
 		return err

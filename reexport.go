@@ -258,6 +258,9 @@ var (
 	// progress (primary unreachable or role moved mid-flight);
 	// retryable once the router re-routes.
 	ErrFailover = txn.ErrFailover
+	// ErrNoPrepared rejects a two-phase-commit decision for a gid with
+	// no prepared state and no recorded commit decision on this node.
+	ErrNoPrepared = txn.ErrNoPrepared
 	// ErrSchemaMismatch: the registered schema does not match the file.
 	ErrSchemaMismatch = object.ErrSchemaMismatch
 	// ErrNoTrigger: activation of an undeclared trigger.
