@@ -338,13 +338,22 @@ func (s *Sharded) commit2PC(ctx context.Context, txs []*Tx, parts []int) error {
 		}
 	}
 	if prepErr != nil {
-		// Global abort: release the shards that voted yes. Best effort —
-		// a shard that misses the abort stays prepared until the
-		// coordinator's presumed-abort verdict reaches it through
-		// ResolveInDoubt (or its own timeout, if it is the coordinator).
-		for k, i := range parts {
-			if perrs[k] == nil {
-				_ = s.shards[i].AbortPrepared(ctx, gid)
+		// Global abort, delivered to every participant — including the
+		// ones whose Prepare failed: a transport-level failure (request
+		// processed, response lost) may have prepared server-side, and a
+		// non-coordinator participant has no orphan timeout, so skipping
+		// it would strand its locks until ResolveInDoubt. AbortPrepared
+		// is idempotent (unknown gids succeed), so over-delivery is
+		// free. Still best effort: a shard that misses the abort stays
+		// prepared until the coordinator's presumed-abort verdict
+		// reaches it through ResolveInDoubt (or its own timeout, if it
+		// is the coordinator).
+		for _, i := range parts {
+			for try := 0; ; try++ {
+				if err := s.shards[i].AbortPrepared(ctx, gid); err == nil ||
+					ctx.Err() != nil || try >= decisionRetries {
+					break
+				}
 			}
 		}
 		s.met.CrossAborts.Inc()

@@ -10,6 +10,7 @@ import (
 
 	"ode"
 	"ode/client"
+	"ode/internal/netchaos"
 	"ode/internal/object"
 	"ode/internal/server"
 )
@@ -386,6 +387,171 @@ func TestShardedInDoubtRecovery(t *testing.T) {
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardedReadOnlyCoordinatorCrash: a cross-shard transaction that
+// only *reads* on its coordinator shard (routine — the router picks
+// the lowest touched shard, written or not) must keep its acked commit
+// decision across a coordinator crash: the decision record is durable
+// even with an empty write set, so the in-doubt writer participant
+// resolves to commit, not presumed abort.
+func TestShardedReadOnlyCoordinatorCrash(t *testing.T) {
+	p0 := filepath.Join(t.TempDir(), "shard0.odb")
+	db0, srv0, addr0 := startShardServer(t, p0, 0, 2)
+	db1, _, addr1 := startShardServer(t, filepath.Join(t.TempDir(), "shard1.odb"), 1, 2)
+
+	schema, stock := invSchema()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// Seed an object on shard 0 for the coordinator-side read.
+	var oid0 ode.OID
+	if err := db0.RunTx(func(tx *ode.Tx) error {
+		var err error
+		oid0, err = tx.PNew(stock, item(stock, "seed", 0, 0))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the 2PC verbs by hand so the crash lands between the
+	// durable decision and its delivery to the writer participant.
+	c0, err := client.Dial(addr0, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	t0, err := c0.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t0.Deref(oid0); err != nil { // read-only on the coordinator
+		t.Fatal(err)
+	}
+	var oid1 ode.OID
+	t1 := db1.Begin()
+	oid1, err = t1.PNew(stock, item(stock, "writer-half", 9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const gid = "s0-ro-coord-1"
+	if err := t0.Prepare(gid); err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.PrepareTx(t1, gid); err != nil {
+		t.Fatal(err)
+	}
+	// The decision: acked once durable on the (read-only) coordinator.
+	if _, _, err := c0.CommitPrepared(ctx, gid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator crashes before delivering to the participant.
+	srv0.Close()
+	db0.CrashForTesting()
+	_, _, addr0b := startShardServer(t, p0, 0, 2)
+
+	// The restarted coordinator must still answer "committed" — and
+	// resolution must deliver the commit, not presume abort.
+	c0b, err := client.Dial(addr0b, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0b.Close()
+	st, err := c0b.TxStatus(ctx, gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ode.TxStatusCommitted {
+		t.Fatalf("restarted read-only coordinator answers %q, want committed", st)
+	}
+	sh, err := client.DialSharded([]string{addr0b, addr1}, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	resolved, err := sh.ResolveInDoubt(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != 1 {
+		t.Fatalf("resolved %d transactions, want 1", resolved)
+	}
+	if err := db1.View(func(tx *ode.Tx) error {
+		o, err := tx.Deref(oid1)
+		if err != nil {
+			return fmt.Errorf("acked participant write lost: %w", err)
+		}
+		if got := o.MustGet("qty").Int(); got != 9 {
+			return fmt.Errorf("qty = %d, want 9", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedAbortBroadcastOnLostPrepareReply: a Prepare whose reply is
+// lost at the transport layer may still have prepared server-side; the
+// router's global abort must reach that shard too — a non-coordinator
+// participant has no orphan timeout, so skipping it would strand its
+// exclusive locks until an operator runs ResolveInDoubt.
+func TestShardedAbortBroadcastOnLostPrepareReply(t *testing.T) {
+	_, _, addr0 := startShardServer(t, filepath.Join(t.TempDir(), "shard0.odb"), 0, 2)
+	db1, _, addr1 := startShardServer(t, filepath.Join(t.TempDir(), "shard1.odb"), 1, 2)
+
+	link, err := netchaos.NewLink(addr1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	schema, stock := invSchema()
+	sh, err := client.DialSharded([]string{addr0, link.Addr()}, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	tx := sh.Begin(ctx)
+	if _, err := tx.PNew(stock, item(stock, "both-0", 1, 1)); err != nil { // shard 0
+		t.Fatal(err)
+	}
+	if _, err := tx.PNew(stock, item(stock, "both-1", 1, 1)); err != nil { // shard 1
+		t.Fatal(err)
+	}
+
+	// Lose the participant's prepare reply: the request still reaches
+	// the server (which prepares), the response is held, and then the
+	// connection dies under the router.
+	link.SetStall(netchaos.FromTarget, true)
+	errc := make(chan error, 1)
+	go func() { errc <- tx.Commit() }()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(db1.PreparedTxs()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("participant never prepared server-side")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	link.Reset()                              // the in-flight round trip fails
+	link.SetStall(netchaos.FromTarget, false) // heal for the abort delivery
+	if err := <-errc; err == nil {
+		t.Fatal("commit succeeded despite the lost prepare reply")
+	}
+
+	// The global abort must have reached the transport-failed shard:
+	// its prepared entry clears without ResolveInDoubt.
+	deadline = time.Now().Add(10 * time.Second)
+	for len(db1.PreparedTxs()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("participant still holds %+v; abort never delivered", db1.PreparedTxs())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -35,13 +35,21 @@ var (
 // abandoned (its router died before deciding) and aborted.
 const DefaultPrepareTimeout = 60 * time.Second
 
-// maxDecisionRetention bounds how many of the most recent decision
-// records are re-staged into the WAL across a truncation, so a
-// coordinator crash shortly after a checkpoint still finds the commit
-// decisions that in-doubt participants may come asking about. (Older
-// decisions fall back to presumed abort; the window is documented in
-// docs/SHARDING.md.)
+// maxDecisionRetention is the count floor on decision records re-staged
+// into the WAL across a truncation: the most recent N survive no matter
+// how old they are, so a coordinator crash shortly after a checkpoint
+// still finds the commit decisions that in-doubt participants may come
+// asking about.
 const maxDecisionRetention = 256
+
+// decisionRetentionAge is the time floor on the same window: every
+// decision younger than this is re-staged regardless of how many newer
+// decisions exist, so a hot coordinator cannot shrink an in-doubt
+// participant's resolution window to an arbitrarily short interval.
+// Only decisions that are both older than this and past the count floor
+// fall back to presumed abort (the window is documented in
+// docs/SHARDING.md).
+const decisionRetentionAge = 10 * time.Minute
 
 // maxDecisionsInMemory bounds the in-process decision map; beyond it
 // the oldest decisions are evicted and answer as "unknown".
@@ -71,7 +79,8 @@ func (p *preparedTx) stopTimer() {
 type decision struct {
 	txid   uint64
 	commit bool
-	lsn    uint64 // commit LSN on this node; 0 for aborts and read-only commits
+	lsn    uint64    // commit LSN on this node; 0 for aborts and read-only commits
+	at     time.Time // when the decision was recorded (or restored)
 }
 
 // Transaction status values reported by TxStatus.
@@ -181,14 +190,29 @@ func (e *Engine) Prepare(tx *Tx, gid string) error {
 		tx.Abort()
 		return fmt.Errorf("txn: prepare: empty gid")
 	}
+	// Reserve the gid before any staging: two concurrent Prepare calls
+	// racing the same gid must not both pass the duplicate check, or the
+	// second's table insertion would silently orphan the first's locks
+	// and WAL record. The reservation is released on every exit — by
+	// then the winner's entry is in e.prepared (inserted under the same
+	// mutex), so late duplicates still fail.
 	e.prepMu.Lock()
 	_, dup := e.prepared[gid]
 	_, dec := e.decided[gid]
+	inUse := dup || dec || e.prepPending[gid]
+	if !inUse {
+		e.prepPending[gid] = true
+	}
 	e.prepMu.Unlock()
-	if dup || dec {
+	if inUse {
 		tx.Abort()
 		return fmt.Errorf("txn: prepare: gid %q already in use", gid)
 	}
+	defer func() {
+		e.prepMu.Lock()
+		delete(e.prepPending, gid)
+		e.prepMu.Unlock()
+	}()
 	met := &e.met.Txn
 	defer met.CommitNS.Since(time.Now())
 	ops, err := tx.precommit()
@@ -263,11 +287,16 @@ func (e *Engine) reinstate(entry *preparedTx) {
 // CommitPrepared runs the second phase for gid with a commit decision:
 // a decide record and the ordinary committed re-encoding of the batch
 // are staged together (one LSN, one fsync), the ops are applied, the
-// batch is announced to replication, and the locks release. Delivering
-// the same commit twice is idempotent (the recorded decision answers
-// with the original LSN); an unknown gid fails with ErrNoPrepared —
-// under presumed abort that means the transaction never prepared here
-// or was already aborted.
+// batch is announced to replication, and the locks release. The decide
+// record — not the batch — is the global commit point, so it is made
+// durable even when the prepared write set is empty: a read-only
+// coordinator is routine (the router picks the lowest touched shard,
+// written or not), and its acked decision must survive a crash or an
+// in-doubt participant would later be presumed aborted against it.
+// Delivering the same commit twice is idempotent (the recorded
+// decision answers with the original LSN); an unknown gid fails with
+// ErrNoPrepared — under presumed abort that means the transaction
+// never prepared here or was already aborted.
 func (e *Engine) CommitPrepared(gid string) (uint64, error) {
 	entry := e.claim(gid)
 	if entry == nil {
@@ -328,6 +357,35 @@ func (e *Engine) CommitPrepared(gid string) (uint64, error) {
 			return 0, fmt.Errorf("txn: wal sync after apply (database needs recovery): %w", err)
 		}
 		e.announce(lsn, raw)
+	} else {
+		// Empty write set: there is no batch whose fsync would carry the
+		// decide record along, so stage and sync it on its own. Nothing
+		// has been applied, so every failure reinstates for a retry.
+		e.commitMu.Lock()
+		if e.closed.Load() {
+			e.commitMu.Unlock()
+			e.reinstate(entry)
+			return 0, fmt.Errorf("%w (commit-prepared of %q rejected)", ErrDBClosed, gid)
+		}
+		if err := fpDecideWAL.Check(); err != nil {
+			e.commitMu.Unlock()
+			e.reinstate(entry)
+			return 0, fmt.Errorf("txn: commit-prepared: %w", err)
+		}
+		target, err := e.log.StageMeta(wal.EncodeDecide(entry.txid, gid, true))
+		if err != nil {
+			e.commitMu.Unlock()
+			e.reinstate(entry)
+			return 0, fmt.Errorf("txn: wal append of decide record: %w", err)
+		}
+		if fn := e.AfterAppend; fn != nil {
+			fn(e.log.Size())
+		}
+		e.commitMu.Unlock()
+		if err := e.log.SyncTo(target); err != nil {
+			e.reinstate(entry)
+			return 0, fmt.Errorf("txn: wal sync of decide record: %w", err)
+		}
 	}
 	e.locks.ReleaseAll(entry.txid)
 	e.recordDecision(gid, decision{txid: entry.txid, commit: true, lsn: lsn})
@@ -375,6 +433,7 @@ func (e *Engine) abortPrepared(gid string, timedOut bool) error {
 }
 
 func (e *Engine) recordDecision(gid string, d decision) {
+	d.at = time.Now()
 	e.prepMu.Lock()
 	if _, ok := e.decided[gid]; !ok {
 		e.decOrder = append(e.decOrder, gid)
@@ -438,9 +497,11 @@ func (e *Engine) PreparedList() []PreparedInfo {
 
 // RestageRecords returns the WAL metadata records that must survive a
 // log truncation: every undecided prepared batch, plus decide records
-// for the most recent maxDecisionRetention decisions (so a crash after
-// a checkpoint still finds the answers in-doubt participants come
-// asking about). The DB layer stages them right after truncating.
+// for recent decisions — every decision younger than
+// decisionRetentionAge and, as a floor, the most recent
+// maxDecisionRetention regardless of age — so a crash after a
+// checkpoint still finds the answers in-doubt participants come asking
+// about. The DB layer stages them right after truncating.
 func (e *Engine) RestageRecords() [][]byte {
 	e.prepMu.Lock()
 	defer e.prepMu.Unlock()
@@ -454,9 +515,13 @@ func (e *Engine) RestageRecords() [][]byte {
 	if keep < 0 {
 		keep = 0
 	}
-	for _, gid := range e.decOrder[keep:] {
+	cutoff := time.Now().Add(-decisionRetentionAge)
+	for idx, gid := range e.decOrder {
 		d, ok := e.decided[gid]
 		if !ok {
+			continue
+		}
+		if idx < keep && d.at.Before(cutoff) {
 			continue
 		}
 		out = append(out, wal.EncodeDecide(d.txid, gid, d.commit))

@@ -1,0 +1,97 @@
+package txn
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrepareDuplicateGIDConcurrent: the gid reservation must be
+// atomic with the duplicate check — of N concurrent Prepare calls
+// racing the same gid, exactly one may win; a second winner would
+// overwrite the first's prepared entry, orphaning its locks and WAL
+// record.
+func TestPrepareDuplicateGIDConcurrent(t *testing.T) {
+	e, item := newTestEngine(t)
+	const workers = 8
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := e.Begin()
+			if _, err := tx.PNew(item, newItem(item, fmt.Sprintf("dup-%d", w), 1)); err != nil {
+				errs[w] = err
+				return
+			}
+			errs[w] = e.Prepare(tx, "g-dup-race")
+		}(w)
+	}
+	wg.Wait()
+	won := 0
+	for w, err := range errs {
+		if err == nil {
+			won++
+		} else if !strings.Contains(err.Error(), "already in use") {
+			t.Fatalf("worker %d failed with %v, want the duplicate-gid error", w, err)
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d Prepare calls won gid %q, want exactly 1", won, "g-dup-race")
+	}
+	if n := e.PreparedCount(); n != 1 {
+		t.Fatalf("prepared table holds %d entries, want 1", n)
+	}
+	if err := e.AbortPrepared("g-dup-race"); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.PreparedCount(); n != 0 {
+		t.Fatalf("prepared table holds %d entries after abort, want 0", n)
+	}
+	// The reservation must be fully released: the gid's decision is
+	// recorded, so a re-prepare still fails — but with the decided
+	// error path, not a leaked pending slot (same message either way,
+	// so just check it fails).
+	tx := e.Begin()
+	if _, err := tx.PNew(item, newItem(item, "late", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Prepare(tx, "g-dup-race"); err == nil {
+		t.Fatal("re-prepare of a decided gid succeeded")
+	}
+}
+
+// TestRestageDecisionRetentionByAge: the restage window is time-based
+// with a count floor — young decisions survive truncation no matter
+// how many newer ones exist (a hot coordinator must not shrink an
+// in-doubt participant's resolution window), while decisions past both
+// floors retire.
+func TestRestageDecisionRetentionByAge(t *testing.T) {
+	e, _ := newTestEngine(t)
+	const total = maxDecisionRetention + 100
+	for i := 0; i < total; i++ {
+		e.recordDecision(fmt.Sprintf("g-ret-%d", i), decision{txid: uint64(i + 1), commit: true})
+	}
+	// All fresh: every decision is younger than the age floor, so all
+	// restage — more than the count floor alone would keep.
+	if got := len(e.RestageRecords()); got != total {
+		t.Fatalf("restaged %d fresh decisions, want %d", got, total)
+	}
+	// Age out everything below the count floor: only the most recent
+	// maxDecisionRetention stay.
+	e.prepMu.Lock()
+	for i, gid := range e.decOrder {
+		if i < len(e.decOrder)-maxDecisionRetention {
+			d := e.decided[gid]
+			d.at = time.Now().Add(-2 * decisionRetentionAge)
+			e.decided[gid] = d
+		}
+	}
+	e.prepMu.Unlock()
+	if got := len(e.RestageRecords()); got != maxDecisionRetention {
+		t.Fatalf("restaged %d aged decisions, want the count floor %d", got, maxDecisionRetention)
+	}
+}

@@ -110,6 +110,7 @@ type Engine struct {
 	// forbidden — decision paths take prepMu only around map access.
 	prepMu         sync.Mutex
 	prepared       map[string]*preparedTx
+	prepPending    map[string]bool // gids reserved by an in-flight Prepare
 	decided        map[string]decision
 	decOrder       []string // decision retention ring (re-staged across truncation)
 	shardSlot      int      // this node's shard index; -1 = unsharded
@@ -119,14 +120,15 @@ type Engine struct {
 // NewEngine builds a transaction engine over a manager and its WAL.
 func NewEngine(mgr *object.Manager, log *wal.Log) *Engine {
 	e := &Engine{
-		mgr:        mgr,
-		log:        log,
-		locks:      NewLockManager(),
-		annNext:    log.LSN() + 1,
-		annPending: make(map[uint64][]byte),
-		prepared:   make(map[string]*preparedTx),
-		decided:    make(map[string]decision),
-		shardSlot:  -1,
+		mgr:         mgr,
+		log:         log,
+		locks:       NewLockManager(),
+		annNext:     log.LSN() + 1,
+		annPending:  make(map[uint64][]byte),
+		prepared:    make(map[string]*preparedTx),
+		prepPending: make(map[string]bool),
+		decided:     make(map[string]decision),
+		shardSlot:   -1,
 	}
 	e.SetMetrics(obs.NewMetrics(nil))
 	return e

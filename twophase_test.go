@@ -302,6 +302,37 @@ func TestShardOIDStriding(t *testing.T) {
 	}
 }
 
+// TestReadOnlyPreparedDecisionSurvivesCrash: the decide record, not
+// the batch, is the global commit point — a committed decision for a
+// prepared transaction with an empty write set must survive a crash
+// (a read-only coordinator is routine: the router picks the lowest
+// touched shard, written or not), or in-doubt writer participants
+// would later be presumed aborted against an acked commit.
+func TestReadOnlyPreparedDecisionSurvivesCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prep.odb")
+	crashAfter(t, path, func(db *DB, stock *Class) {
+		oid := addItem(t, db, stock, "read", 1, 1)
+		tx := db.Begin()
+		if _, err := tx.Deref(oid); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.PrepareTx(tx, "s0-ro-crash-1"); err != nil {
+			t.Fatal(err)
+		}
+		lsn, err := db.CommitPrepared("s0-ro-crash-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != 0 {
+			t.Fatalf("read-only prepared commit LSN = %d, want 0", lsn)
+		}
+	})
+	db, _ := reopen(t, path)
+	if st := db.TxStatus("s0-ro-crash-1"); st != TxStatusCommitted {
+		t.Fatalf("status after crash = %q, want committed", st)
+	}
+}
+
 // TestPreparedEmptyTx: preparing a read-only transaction votes yes
 // with nothing to make durable; both decisions are trivial.
 func TestPreparedEmptyTx(t *testing.T) {
